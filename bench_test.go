@@ -1,0 +1,411 @@
+// Package nvmllc_test benchmarks regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index):
+//
+//	BenchmarkTableII_*   — cell models + modeling heuristics (Table II)
+//	BenchmarkTableIII_*  — NVSim-style LLC model generation (Table III)
+//	BenchmarkTableV_*    — workload LLC MPKI (Table V)
+//	BenchmarkTableVI_*   — workload characterization (Table VI)
+//	BenchmarkFigure1a/1b — fixed-capacity speedup/energy/ED²P (Figure 1)
+//	BenchmarkFigure2a/2b — fixed-area speedup/energy/ED²P (Figure 2)
+//	BenchmarkCoreSweep   — Section V-C multi-core sensitivity study
+//	BenchmarkFigure4     — feature-correlation heatmaps (Figure 4)
+//	BenchmarkAblation_*  — design-choice ablations called out in DESIGN.md
+//
+// Benchmark iterations use reduced trace lengths; the cmd/figures binary
+// regenerates the artifacts at full scale.
+package nvmllc_test
+
+import (
+	"testing"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/mainmem"
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/nvsim"
+	"nvmllc/internal/prism"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/sweep"
+	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// benchCfg is the reduced-scale sweep configuration for benchmarks.
+func benchCfg() sweep.Config {
+	return sweep.Config{Opts: workload.Options{Accesses: 40_000, Seed: 1}}
+}
+
+func BenchmarkTableII_Heuristics(b *testing.B) {
+	corpus := nvm.Corpus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range corpus {
+			stripped := nvm.Strip(c)
+			if _, err := nvm.Complete(stripped, corpus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableIII_FixedCapacity(b *testing.B) {
+	cells := nvm.CorpusWithSRAM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			org := nvsim.GainestownLLC()
+			if c.Class == nvm.SRAM {
+				org.ProcessNM = 45
+			}
+			if _, err := nvsim.Generate(c, org); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableIII_FixedArea(b *testing.B) {
+	cells := nvm.CorpusWithSRAM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			org := nvsim.GainestownLLC()
+			if c.Class == nvm.SRAM {
+				org.ProcessNM = 45
+			}
+			if _, err := nvsim.FitCapacityToArea(c, org, reference.SRAMBaselineAreaMM2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableV_MPKI(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.TableV(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVI_Characterization(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.TableVI(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1a(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Figure1a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1b(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Figure1b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2a(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Figure2a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2b(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Figure2b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreSweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.CoreSweep("ft", []int{1, 4, 16}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := sweep.Figure4Config{Config: benchCfg()}
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_WriteContention is the DESIGN.md ablation of the
+// paper's writes-off-critical-path assumption: the same fixed-capacity
+// sweep with LLC bank write contention modeled.
+func BenchmarkAblation_WriteContention(b *testing.B) {
+	cfg := benchCfg()
+	cfg.WriteContention = true
+	for i := 0; i < b.N; i++ {
+		fig, err := sweep.RunFigure("ablation", reference.FixedCapacityModels(),
+			[]string{"is", "lu"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = fig
+	}
+}
+
+// BenchmarkAblation_MLCSensing measures the cost of the MLC two-step
+// sensing model (DESIGN.md design-choice ablation): Xue with 1 vs 2
+// levels.
+func BenchmarkAblation_MLCSensing(b *testing.B) {
+	slc := nvm.Xue()
+	slc.CellLevels = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvsim.Generate(nvm.Xue(), nvsim.GainestownLLC()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nvsim.Generate(slc, nvsim.GainestownLLC()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Microbenchmarks of the substrates ---
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, err := workload.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := system.Gainestown(reference.SRAMBaseline())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(tr.Accesses)))
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	p, err := workload.ByName("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(p, workload.Options{Accesses: 100_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrismCharacterize(b *testing.B) {
+	p, err := workload.ByName("leela")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 100_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prism.Characterize(tr, prism.Config{})
+	}
+}
+
+func BenchmarkTraceCodec(b *testing.B) {
+	p, err := workload.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 50_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// writeCounter is a throwaway io.Writer.
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkAblation_ReplacementPolicy compares the LLC replacement
+// policies (DESIGN.md ablation): LRU (the paper's configuration) vs SRRIP
+// vs Random on a scan-heavy workload.
+func BenchmarkAblation_ReplacementPolicy(b *testing.B) {
+	p, err := workload.ByName("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 60_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []cache.Policy{cache.LRU, cache.SRRIP, cache.Random} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := system.Gainestown(reference.SRAMBaseline())
+			cfg.LLCPolicy = pol
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Run(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DeadBlockBypass measures the NVM write-bypass
+// technique (the paper's related-work category 2) against the baseline on
+// a PCRAM LLC.
+func BenchmarkAblation_DeadBlockBypass(b *testing.B) {
+	p, err := workload.ByName("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 60_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, byp := range []system.BypassPolicy{system.BypassNone, system.BypassDeadBlock} {
+		b.Run(byp.String(), func(b *testing.B) {
+			cfg := system.Gainestown(kang)
+			cfg.LLCBypass = byp
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Run(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLifetimeStudy regenerates the Section VII future-work
+// endurance/lifetime experiment.
+func BenchmarkLifetimeStudy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Lifetime(cfg, []string{"Kang_P"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_3DStacking compares planar vs 4-layer 3D LLC model
+// generation (the DESTINY-style extension).
+func BenchmarkAblation_3DStacking(b *testing.B) {
+	org := nvsim.GainestownLLC()
+	org3d := org
+	org3d.Layers = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvsim.Generate(nvm.Hayakawa(), org); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nvsim.Generate(nvm.Hayakawa(), org3d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_MainMemoryTech compares DRAM vs NVM main memories
+// below the SRAM LLC using the NVMain-style model — the "NVMs down the
+// memory hierarchy" trajectory of the paper's Section II.
+func BenchmarkAblation_MainMemoryTech(b *testing.B) {
+	p, err := workload.ByName("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 60_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tech := range []mainmem.Tech{mainmem.DRAM, mainmem.PCRAMMem, mainmem.STTRAMMem, mainmem.RRAMMem} {
+		b.Run(tech.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mem, err := mainmem.New(mainmem.Preset(tech))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := system.Gainestown(reference.SRAMBaseline())
+				cfg.Memory = mem
+				if _, err := system.Run(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_HybridLLC compares a pure PCRAM LLC against the
+// hybrid SRAM/NVM placement-and-migration design (the paper's cited
+// technique [7]) on a write-heavy workload.
+func BenchmarkAblation_HybridLLC(b *testing.B) {
+	p, err := workload.ByName("ua")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 60_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pure-PCRAM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(system.Gainestown(kang), tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		cfg := system.Gainestown(kang)
+		cfg.Hybrid = &system.HybridConfig{
+			SRAM: reference.SRAMBaseline(), NVM: kang, SRAMWays: 4,
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

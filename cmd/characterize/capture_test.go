@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		_, cErr := io.Copy(&buf, r)
+		done <- cErr
+	}()
+	ferr := f()
+	w.Close()
+	if cErr := <-done; cErr != nil {
+		t.Fatal(cErr)
+	}
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return buf.String()
+}

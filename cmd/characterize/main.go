@@ -1,0 +1,131 @@
+// Command characterize profiles memory traces with the PRISM-style
+// framework (Section IV-B): global/local entropy, unique and 90%
+// footprints, and totals, separately for reads and writes.
+//
+// It can characterize a named Table V workload's synthetic trace, or any
+// binary trace file produced with the trace codec.
+//
+// Usage:
+//
+//	characterize -workload leela
+//	characterize -workload cg -accesses 2000000 -save cg.trc
+//	characterize -file cg.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmllc/internal/prism"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "Table V workload to generate and characterize")
+	file := flag.String("file", "", "binary trace file to characterize")
+	save := flag.String("save", "", "write the generated trace to this file")
+	accesses := flag.Int("accesses", 1_000_000, "base trace length before per-workload scaling")
+	threads := flag.Int("threads", 4, "threads for multi-threaded workloads")
+	seed := flag.Int64("seed", 1, "trace generation seed")
+	skipBits := flag.Int("skipbits", prism.DefaultLocalSkipBits, "low-order address bits skipped for local entropy (the paper's M)")
+	format := flag.String("format", "binary", "trace file format for -file/-save: binary or text")
+	window := flag.Int("window", 0, "also print the working-set-over-time curve with this window size (accesses)")
+	flag.Parse()
+
+	if err := run(*wl, *file, *save, *accesses, *threads, *seed, *skipBits, *format, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, file, save string, accesses, threads int, seed int64, skipBits int, format string, window int) error {
+	if format != "binary" && format != "text" {
+		return fmt.Errorf("unknown -format %q (want binary or text)", format)
+	}
+	var tr *trace.Trace
+	switch {
+	case wl != "" && file != "":
+		return fmt.Errorf("use either -workload or -file, not both")
+	case wl != "":
+		p, err := workload.ByName(wl)
+		if err != nil {
+			return err
+		}
+		tr, err = workload.Generate(p, workload.Options{Accesses: accesses, Threads: threads, Seed: seed})
+		if err != nil {
+			return err
+		}
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if format == "text" {
+			tr, err = trace.DecodeText(f)
+		} else {
+			tr, err = trace.Decode(f)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -workload or -file is required")
+	}
+
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		encode := trace.Encode
+		if format == "text" {
+			encode = trace.EncodeText
+		}
+		if err := encode(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d accesses)\n", save, len(tr.Accesses))
+	}
+
+	feats := prism.Characterize(tr, prism.Config{LocalSkipBits: skipBits})
+	reads, writes, ifetches := tr.Counts()
+
+	t := tablefmt.New(fmt.Sprintf("Characterization of %s (%d accesses, %d threads, M=%d)",
+		tr.Name, len(tr.Accesses), tr.Threads, skipBits), "metric", "reads", "writes")
+	t.AddRowf("global entropy [bits]", feats.GlobalReadEntropy, feats.GlobalWriteEntropy)
+	t.AddRowf("local entropy [bits]", feats.LocalReadEntropy, feats.LocalWriteEntropy)
+	t.AddRowf("unique footprint", feats.UniqueReads, feats.UniqueWrites)
+	t.AddRowf("90% footprint", feats.Footprint90Reads, feats.Footprint90Writes)
+	t.AddRowf("total accesses", feats.TotalReads, feats.TotalWrites)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nmix: %d reads, %d writes, %d ifetches; instructions: %d\n",
+		reads, writes, ifetches, tr.InstrCount)
+
+	if window > 0 {
+		ws, err := prism.WindowProfile(tr, window)
+		if err != nil {
+			return err
+		}
+		peak, err := prism.PeakWorkingSetBytes(tr, window)
+		if err != nil {
+			return err
+		}
+		wt := tablefmt.New(fmt.Sprintf("\nWorking set over time (window = %d accesses; peak %d KB)", window, peak/1024),
+			"window start", "unique lines", "entropy [bits]", "write frac")
+		for _, w := range ws {
+			wt.AddRowf(w.StartAccess, w.UniqueLines, w.GlobalEntropy, w.WriteFrac)
+		}
+		return wt.Render(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmllc/internal/prism"
+)
+
+func TestRunWorkload(t *testing.T) {
+	out := capture(t, func() error {
+		return run("leela", "", "", 30000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
+	})
+	for _, want := range []string{"Characterization of leela", "global entropy", "90% footprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSaveAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leela.trc")
+	capture(t, func() error {
+		return run("leela", "", path, 20000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
+	})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace not saved: %v", err)
+	}
+	out := capture(t, func() error {
+		return run("", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "binary", 0)
+	})
+	if !strings.Contains(out, "Characterization of leela") {
+		t.Error("reloaded trace not characterized")
+	}
+}
+
+func TestTextFormatAndWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cg.txt")
+	capture(t, func() error {
+		return run("cg", "", path, 20000, 2, 1, prism.DefaultLocalSkipBits, "text", 0)
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# nvmllc-trace v1") {
+		t.Error("text save not in text format")
+	}
+	out := capture(t, func() error {
+		return run("", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "text", 2000)
+	})
+	for _, want := range []string{"Characterization of cg", "Working set over time", "unique lines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text/window output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("x", "y", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if err := run("", "/nonexistent/file", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("cg", "", "", 1000, 1, 1, 10, "yaml", 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from this reproduction: Figures 1a/1b (fixed-capacity),
+// Figures 2a/2b (fixed-area), the Section V-C core sweep, Table V (LLC
+// MPKI), Table VI (workload features) and the Figure 4 correlation
+// heatmaps.
+//
+// Usage:
+//
+//	figures -all
+//	figures -fig1a -fig4
+//	figures -coresweep -accesses 800000
+//	figures -fig1a -contention      (write-contention ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmllc/internal/sweep"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate everything")
+		fig1a     = flag.Bool("fig1a", false, "Figure 1a: fixed-capacity, single-threaded")
+		fig1b     = flag.Bool("fig1b", false, "Figure 1b: fixed-capacity, multi-threaded")
+		fig2a     = flag.Bool("fig2a", false, "Figure 2a: fixed-area, single-threaded")
+		fig2b     = flag.Bool("fig2b", false, "Figure 2b: fixed-area, multi-threaded")
+		coresweep = flag.Bool("coresweep", false, "Section V-C core sweep")
+		fig4      = flag.Bool("fig4", false, "Figure 4 correlation heatmaps")
+		table5    = flag.Bool("table5", false, "Table V: workload LLC MPKI")
+		table6    = flag.Bool("table6", false, "Table VI: workload features")
+		lifetime  = flag.Bool("lifetime", false, "endurance/lifetime study (Section VII future work)")
+		predict   = flag.Bool("predict", false, "train energy predictors on non-AI workloads, predict the AI domain")
+		ablations = flag.Bool("ablations", false, "design-lever ablation table (workload 'is' on Kang_P)")
+		accesses  = flag.Int("accesses", 600_000, "base trace length before per-workload scaling")
+		seed      = flag.Int64("seed", 1, "trace generation seed")
+		contend   = flag.Bool("contention", false, "model LLC write contention (ablation of the paper's off-critical-path writes)")
+		measured  = flag.Bool("measuredfeatures", false, "use prism-measured features for Figure 4 instead of the paper's Table VI")
+	)
+	flag.Parse()
+
+	cfg := sweep.Config{
+		Opts:            workload.Options{Accesses: *accesses, Seed: *seed},
+		WriteContention: *contend,
+	}
+	type job struct {
+		enabled bool
+		run     func() error
+	}
+	jobs := []job{
+		{*all || *table5, func() error { return printTableV(cfg) }},
+		{*all || *table6, func() error { return printTableVI(cfg) }},
+		{*all || *fig1a, func() error { return printFigure(sweep.Figure1a, cfg) }},
+		{*all || *fig1b, func() error { return printFigure(sweep.Figure1b, cfg) }},
+		{*all || *fig2a, func() error { return printFigure(sweep.Figure2a, cfg) }},
+		{*all || *fig2b, func() error { return printFigure(sweep.Figure2b, cfg) }},
+		{*all || *coresweep, func() error { return printCoreSweep(cfg) }},
+		{*all || *fig4, func() error { return printFigure4(cfg, *measured) }},
+		{*all || *lifetime, func() error { return printLifetime(cfg) }},
+		{*all || *predict, func() error { return printPredict(cfg) }},
+		{*all || *ablations, func() error { return printAblations(cfg) }},
+	}
+	ran := false
+	for _, j := range jobs {
+		if !j.enabled {
+			continue
+		}
+		ran = true
+		if err := j.run(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printFigure renders one bar-chart figure as three tables (speedup, LLC
+// energy, ED²P), each normalized to SRAM = 1.
+func printFigure(gen func(sweep.Config) (*sweep.FigureResult, error), cfg sweep.Config) error {
+	fig, err := gen(cfg)
+	if err != nil {
+		return err
+	}
+	blocks := []struct {
+		name string
+		data [][]float64
+	}{
+		{"normalized speedup", fig.Speedup},
+		{"normalized LLC energy", fig.Energy},
+		{"normalized ED2P", fig.ED2P},
+	}
+	for _, b := range blocks {
+		t := tablefmt.New(fmt.Sprintf("%s — %s (SRAM = 1.0)", fig.Title, b.name),
+			append([]string{"workload"}, fig.LLCs...)...)
+		for wi, w := range fig.Workloads {
+			row := []interface{}{w}
+			for _, v := range b.data[wi] {
+				row = append(row, v)
+			}
+			t.AddRowf(row...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printCoreSweep(cfg sweep.Config) error {
+	for _, name := range sweep.CoreSweepWorkloads {
+		if err := printCoreSweepOne(name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printCoreSweepOne renders the Section V-C sweep for one workload.
+func printCoreSweepOne(name string, cfg sweep.Config) error {
+	res, err := sweep.CoreSweep(name, sweep.DefaultCoreCounts, cfg)
+	if err != nil {
+		return err
+	}
+	for _, block := range []struct {
+		label string
+		data  [][]float64
+	}{{"speedup", res.Speedup}, {"LLC energy", res.Energy}} {
+		t := tablefmt.New(
+			fmt.Sprintf("Core sweep (%s, %s, normalized to 1-core SRAM)", name, block.label),
+			append([]string{"cores"}, res.LLCs...)...)
+		for ci, n := range res.Cores {
+			row := []interface{}{fmt.Sprintf("%d", n)}
+			for _, v := range block.data[ci] {
+				row = append(row, v)
+			}
+			t.AddRowf(row...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printTableV(cfg sweep.Config) error {
+	rows, err := sweep.TableV(cfg)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Table V: workloads and LLC MPKI (simulated vs paper)",
+		"workload", "suite", "MPKI (ours)", "MPKI (paper)")
+	for _, r := range rows {
+		t.AddRowf(r.Workload, r.Suite, r.MPKI, r.PaperMPKI)
+	}
+	return t.Render(os.Stdout)
+}
+
+func printTableVI(cfg sweep.Config) error {
+	rows, err := sweep.TableVI(cfg)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New(
+		fmt.Sprintf("Table VI: workload features (measured on synthetic traces; paper footprints are ~%d× larger at full scale)", workload.FootprintScale),
+		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
+	for _, r := range rows {
+		m := r.Measured
+		t.AddRowf(r.Workload, m.GlobalReadEntropy, m.LocalReadEntropy,
+			m.GlobalWriteEntropy, m.LocalWriteEntropy,
+			m.UniqueReads, m.UniqueWrites, m.Footprint90Reads, m.Footprint90Writes,
+			m.TotalReads, m.TotalWrites)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	tp := tablefmt.New("Table VI: paper values",
+		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
+	for _, r := range rows {
+		p := r.Paper
+		tp.AddRowf(r.Workload, p.GlobalReadEntropy, p.LocalReadEntropy,
+			p.GlobalWriteEntropy, p.LocalWriteEntropy,
+			p.UniqueReads, p.UniqueWrites, p.Footprint90Reads, p.Footprint90Writes,
+			p.TotalReads, p.TotalWrites)
+	}
+	return tp.Render(os.Stdout)
+}
+
+func printFigure4(cfg sweep.Config, measured bool) error {
+	f4 := sweep.Figure4Config{Config: cfg}
+	if measured {
+		f4.Source = sweep.MeasuredFeatures
+	}
+	panels, err := sweep.Figure4(f4)
+	if err != nil {
+		return err
+	}
+	labels := []string{"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"}
+	for i, p := range panels {
+		h := p.Heatmap()
+		if i < len(labels) {
+			h.Title = fmt.Sprintf("Figure 4%s: |Pearson r|, %s, AI workloads", labels[i], h.Title)
+		}
+		if err := h.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printLifetime(cfg sweep.Config) error {
+	study, err := sweep.Lifetime(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("LLC lifetime projection (first-cell-failure model; intra-set wear leveling per WriteSmoothing [20])",
+		"workload", "LLC", "class", "hottest-line wr/s", "raw years", "leveled years", "imbalance", "viable 5y")
+	for _, r := range study.Rows {
+		t.AddRowf(r.Workload, r.LLC, r.Class.String(), r.HottestLineWritesPerSec,
+			r.RawYears, r.LeveledYears, r.ImbalanceFactor,
+			fmt.Sprintf("%v", r.Viable(5)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, p := range study.Panels {
+		h := p.Heatmap()
+		h.Title = "Wear-rate correlation with workload features: " + h.Title
+		h.RowNames = []string{"wear rate", "(dup)"}
+		h.Cells = h.Cells[:1]
+		h.RowNames = h.RowNames[:1]
+		if err := h.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printPredict(cfg sweep.Config) error {
+	study, err := sweep.Predict(cfg)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Energy prediction: models trained on the 13 non-AI workloads, evaluated on the unseen AI domain (SRAM-normalized energies)",
+		"LLC", "workload", "predictor feature", "predicted", "simulated", "rel. err")
+	for _, r := range study.Rows {
+		t.AddRowf(r.LLC, r.Workload, r.Feature, r.Predicted, r.Simulated, r.RelErr)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("mean relative error: %.2f\n", study.MeanRelErr)
+	return nil
+}
+
+func printAblations(cfg sweep.Config) error {
+	rows, err := sweep.AblationSuite("is", "Kang_P", cfg)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Design-lever ablations: is on Kang_P (PCRAM)",
+		"configuration", "time [ms]", "dyn energy [mJ]", "total energy [mJ]", "LLC writes", "LLC hits")
+	for _, r := range rows {
+		t.AddRowf(r.Name, r.TimeMS, r.DynEnergyMJ, r.TotalEnergyMJ, r.LLCWrites, r.Hits)
+	}
+	return t.Render(os.Stdout)
+}

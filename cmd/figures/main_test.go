@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nvmllc/internal/sweep"
+	"nvmllc/internal/workload"
+)
+
+func smallCfg() sweep.Config {
+	return sweep.Config{Opts: workload.Options{Accesses: 20000, Seed: 2}}
+}
+
+func TestPrintTableV(t *testing.T) {
+	out := capture(t, func() error { return printTableV(smallCfg()) })
+	if !strings.Contains(out, "Table V") || !strings.Contains(out, "deepsjeng") {
+		t.Error("Table V output malformed")
+	}
+}
+
+func TestPrintTableVI(t *testing.T) {
+	out := capture(t, func() error { return printTableVI(smallCfg()) })
+	if !strings.Contains(out, "Table VI") || !strings.Contains(out, "paper values") {
+		t.Error("Table VI output malformed")
+	}
+}
+
+func TestPrintFigure(t *testing.T) {
+	out := capture(t, func() error { return printFigure(sweep.Figure1a, smallCfg()) })
+	for _, want := range []string{"Figure 1a", "normalized speedup", "normalized LLC energy", "normalized ED2P"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestPrintFigure4(t *testing.T) {
+	out := capture(t, func() error { return printFigure4(smallCfg(), false) })
+	if !strings.Contains(out, "Figure 4(a)") || !strings.Contains(out, "H_wg") {
+		t.Error("Figure 4 output malformed")
+	}
+}
+
+func TestPrintLifetime(t *testing.T) {
+	out := capture(t, func() error { return printLifetime(smallCfg()) })
+	for _, want := range []string{"lifetime projection", "Kang_P", "Wear-rate correlation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lifetime output missing %q", want)
+		}
+	}
+}
+
+func TestPrintPredict(t *testing.T) {
+	out := capture(t, func() error { return printPredict(smallCfg()) })
+	for _, want := range []string{"Energy prediction", "deepsjeng", "mean relative error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predict output missing %q", want)
+		}
+	}
+}
+
+func TestPrintCoreSweepOne(t *testing.T) {
+	// Exercise the core-sweep printer on a single small sweep via the
+	// sweep API path used by -coresweep.
+	out := capture(t, func() error {
+		res, err := sweep.CoreSweep("ft", []int{1, 2}, smallCfg())
+		if err != nil {
+			return err
+		}
+		_ = res
+		return printCoreSweepOne("ft", smallCfg())
+	})
+	if !strings.Contains(out, "Core sweep (ft") {
+		t.Errorf("core sweep output malformed:\n%s", out[:min(200, len(out))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPrintAblations(t *testing.T) {
+	out := capture(t, func() error { return printAblations(smallCfg()) })
+	for _, want := range []string{"Design-lever ablations", "dead-block bypass", "hybrid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command llcsim runs one workload against one LLC model on the simulated
+// Gainestown system and prints the full result: timing, cache statistics,
+// LLC energy breakdown and the paper's combined metrics.
+//
+// Usage:
+//
+//	llcsim -workload cg -llc Jan_S -config area -accesses 1000000
+//	llcsim -workload bzip2 -llc SRAM
+//	llcsim -workload is -llc Kang_P -contention   (write-contention ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmllc/internal/endurance"
+	"nvmllc/internal/mainmem"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "cg", "Table V workload name")
+	llc := flag.String("llc", "SRAM", "LLC model name from Table III (e.g. Jan_S, Zhang_R, SRAM)")
+	config := flag.String("config", "cap", "LLC configuration block: cap (fixed-capacity) or area (fixed-area)")
+	accesses := flag.Int("accesses", 1_000_000, "base trace length before per-workload scaling")
+	threads := flag.Int("threads", 4, "threads for multi-threaded workloads")
+	cores := flag.Int("cores", 4, "simulated cores")
+	seed := flag.Int64("seed", 1, "trace generation seed")
+	contention := flag.Bool("contention", false, "model LLC bank write contention (ablation)")
+	wear := flag.Bool("wear", false, "track LLC write wear and project lifetime")
+	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
+	hybridWays := flag.Int("hybridsram", 0, "make the LLC a hybrid with this many SRAM ways (rest NVM from -llc)")
+	flag.Parse()
+
+	if err := run(*wl, *llc, *config, *accesses, *threads, *cores, *seed, *contention, *wear, *mainMemTech, *hybridWays); err != nil {
+		fmt.Fprintln(os.Stderr, "llcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
+	models := reference.FixedCapacityModels()
+	if config == "area" {
+		models = reference.FixedAreaModels()
+	} else if config != "cap" {
+		return fmt.Errorf("unknown -config %q (want cap or area)", config)
+	}
+	model, err := reference.ModelByName(models, llc)
+	if err != nil {
+		return err
+	}
+	profile, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.Generate(profile, workload.Options{
+		Accesses: accesses, Threads: threads, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := system.Gainestown(model).WithCores(cores)
+	cfg.ModelWriteContention = contention
+	cfg.TrackWear = wear
+	if hybridSRAMWays > 0 {
+		cfg.Hybrid = &system.HybridConfig{
+			SRAM:     reference.SRAMBaseline(),
+			NVM:      model,
+			SRAMWays: hybridSRAMWays,
+		}
+		cfg.TrackWear = false // unsupported in hybrid mode
+	}
+	var nvMainMem *mainmem.Memory
+	if mainMemTech != "" {
+		tech, err := parseMainMemTech(mainMemTech)
+		if err != nil {
+			return err
+		}
+		nvMainMem, err = mainmem.New(mainmem.Preset(tech))
+		if err != nil {
+			return err
+		}
+		cfg.Memory = nvMainMem
+	}
+	r, err := system.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s (%s, %d cores, %d accesses, %d threads)\n\n",
+		r.Workload, r.LLCName, config, cores, len(tr.Accesses), tr.Threads)
+	t := tablefmt.New("Result", "metric", "value")
+	t.AddRowf("execution time [ms]", r.TimeNS/1e6)
+	t.AddRowf("instructions", r.Instructions)
+	t.AddRowf("LLC hits", r.LLC.Hits)
+	t.AddRowf("LLC misses", r.LLC.Misses)
+	t.AddRowf("LLC writes (fills+wb)", r.LLC.Writes)
+	t.AddRowf("LLC MPKI", r.LLCMPKI())
+	t.AddRowf("L1D miss rate", r.L1D.MissRate())
+	t.AddRowf("L2 miss rate", r.L2.MissRate())
+	t.AddRowf("DRAM reads", r.DRAM.Reads)
+	t.AddRowf("DRAM writes", r.DRAM.Writes)
+	t.AddRowf("LLC dynamic energy [mJ]", r.LLCDynamicJ*1e3)
+	t.AddRowf("LLC leakage energy [mJ]", r.LLCLeakageJ*1e3)
+	t.AddRowf("LLC total energy [mJ]", r.LLCEnergyJ()*1e3)
+	t.AddRowf("EDP [J*s]", r.EDP())
+	t.AddRowf("ED2P [J*s^2]", r.ED2P())
+	t.AddRowf("memory stall [ms]", r.MemStallNS/1e6)
+	if r.Hybrid != nil {
+		h := r.Hybrid
+		t.AddRowf("hybrid SRAM/NVM hits", fmt.Sprintf("%d / %d", h.SRAMHits, h.NVMHits))
+		t.AddRowf("hybrid SRAM/NVM writes", fmt.Sprintf("%d / %d", h.SRAMWrites, h.NVMWrites))
+		t.AddRowf("hybrid migrations/demotions", fmt.Sprintf("%d / %d", h.Migrations, h.Demotions))
+	}
+	if nvMainMem != nil {
+		ms := nvMainMem.Stats()
+		t.AddRowf("main memory tech", nvMainMem.Tech().String())
+		t.AddRowf("main memory row hit rate", ms.RowHitRate())
+		t.AddRowf("main memory energy [mJ]", nvMainMem.EnergyJ(r.TimeNS)*1e3)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if r.Wear != nil {
+		est, err := endurance.FromResult(r, model.Class)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		w := tablefmt.New("Write wear and lifetime projection", "metric", "value")
+		w.AddRowf("lines written", r.Wear.LinesTouched)
+		w.AddRowf("hottest line writes", r.Wear.MaxLineWrites)
+		w.AddRowf("hottest set writes", r.Wear.MaxSetWrites)
+		w.AddRowf("imbalance factor", r.Wear.ImbalanceFactor())
+		w.AddRowf("raw lifetime [years]", est.RawYears)
+		w.AddRowf("wear-leveled lifetime [years]", est.LeveledYears)
+		return w.Render(os.Stdout)
+	}
+	return nil
+}
+
+// parseMainMemTech maps a flag value to a technology preset.
+func parseMainMemTech(s string) (mainmem.Tech, error) {
+	switch s {
+	case "dram":
+		return mainmem.DRAM, nil
+	case "pcram", "pcm":
+		return mainmem.PCRAMMem, nil
+	case "sttram", "stt":
+		return mainmem.STTRAMMem, nil
+	case "rram":
+		return mainmem.RRAMMem, nil
+	}
+	return 0, fmt.Errorf("unknown main memory technology %q", s)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	out := capture(t, func() error {
+		return run("tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
+	})
+	for _, want := range []string{"tonto on Jan_S", "LLC MPKI", "ED2P"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "lifetime") {
+		t.Error("wear output printed without -wear")
+	}
+}
+
+func TestRunWithWear(t *testing.T) {
+	out := capture(t, func() error {
+		return run("is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
+	})
+	for _, want := range []string{"Write wear", "raw lifetime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wear output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithNVMMainMemory(t *testing.T) {
+	out := capture(t, func() error {
+		return run("cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
+	})
+	for _, want := range []string{"main memory tech", "PCRAM", "row hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("main-memory output missing %q", want)
+		}
+	}
+	if err := run("cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
+		t.Error("unknown main memory tech accepted")
+	}
+}
+
+func TestRunHybrid(t *testing.T) {
+	out := capture(t, func() error {
+		return run("ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
+	})
+	for _, want := range []string{"hybrid(SRAM+Kang_P)", "migrations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hybrid output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+		t.Error("unknown LLC accepted")
+	}
+	if err := run("cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Command nvmcells prints the released NVM cell models of the paper's
+// Table II with their heuristic provenance, and can demonstrate the
+// modeling heuristics by stripping a cell back to its reported parameters
+// and re-deriving the rest.
+//
+// Usage:
+//
+//	nvmcells              print Table II with provenance markers
+//	nvmcells -derive Kang strip a cell and show each heuristic derivation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/tablefmt"
+)
+
+func main() {
+	derive := flag.String("derive", "", "cell name to strip and re-derive with the modeling heuristics")
+	export := flag.String("export", "", "write the released cell models to this JSON file")
+	load := flag.String("load", "", "print Table II from a previously exported JSON file instead of the built-in corpus")
+	flag.Parse()
+
+	if *derive != "" {
+		if err := runDerive(*derive); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcells:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *export != "" {
+		if err := runExport(*export); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcells:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *load != "" {
+		if err := runLoad(*load); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcells:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := printTableII(); err != nil {
+		fmt.Fprintln(os.Stderr, "nvmcells:", err)
+		os.Exit(1)
+	}
+}
+
+// runExport writes the model-release JSON file (the paper's published
+// artifact).
+func runExport(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := nvm.ExportJSON(f, nvm.CorpusWithSRAM()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cell models to %s\n", len(nvm.CorpusWithSRAM()), path)
+	return nil
+}
+
+// runLoad prints the Table II view of an imported model file.
+func runLoad(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cells, err := nvm.ImportJSON(f)
+	if err != nil {
+		return err
+	}
+	var nvmOnly []*nvm.Cell
+	for _, c := range cells {
+		if c.Class != nvm.SRAM {
+			nvmOnly = append(nvmOnly, c)
+		}
+	}
+	return renderTableII(nvmOnly)
+}
+
+func printTableII() error {
+	return renderTableII(nvm.Corpus())
+}
+
+func renderTableII(corpus []*nvm.Cell) error {
+	headers := []string{"parameter"}
+	for _, c := range corpus {
+		headers = append(headers, c.Name)
+	}
+	t := tablefmt.New("Table II: NVM cell parameters († heuristic 1, * heuristics 2/3)", headers...)
+
+	meta := [][]string{
+		{"class"}, {"year"}, {"access device"}, {"cell levels"},
+	}
+	for _, c := range corpus {
+		meta[0] = append(meta[0], c.Class.String())
+		meta[1] = append(meta[1], fmt.Sprintf("%d", c.Year))
+		meta[2] = append(meta[2], c.AccessDevice)
+		meta[3] = append(meta[3], fmt.Sprintf("%d", c.CellLevels))
+	}
+	for _, row := range meta {
+		t.AddRow(row...)
+	}
+	for _, param := range nvm.ParamNames {
+		row := []string{param}
+		any := false
+		for _, c := range corpus {
+			p := c.Params()[param]
+			if !p.Known() {
+				row = append(row, "")
+				continue
+			}
+			any = true
+			mark := ""
+			switch p.Source {
+			case nvm.HeuristicElectrical:
+				mark = "†"
+			case nvm.HeuristicInterpolation, nvm.HeuristicSimilarity:
+				mark = "*"
+			}
+			row = append(row, tablefmt.FormatFloat(p.Value)+mark)
+		}
+		if any {
+			t.AddRow(row...)
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runDerive(name string) error {
+	cell, err := nvm.ByName(name)
+	if err != nil {
+		return err
+	}
+	stripped := nvm.Strip(cell)
+	fmt.Printf("Stripping %s to reported-only parameters; missing: %v\n\n",
+		cell.DisplayName(), stripped.MissingParams())
+	derivs, err := nvm.Complete(stripped, nvm.Corpus())
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Heuristic derivations", "parameter", "value", "heuristic", "derivation")
+	for _, d := range derivs {
+		t.AddRow(d.Param, tablefmt.FormatFloat(d.Value), d.Source.String(), d.Note)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	t2 := tablefmt.New("Re-derived vs released model", "parameter", "re-derived", "released")
+	for _, pn := range nvm.ParamNames {
+		a, b := stripped.Params()[pn], cell.Params()[pn]
+		if !b.Known() {
+			continue
+		}
+		t2.AddRow(pn, tablefmt.FormatFloat(a.Value), tablefmt.FormatFloat(b.Value))
+	}
+	return t2.Render(os.Stdout)
+}

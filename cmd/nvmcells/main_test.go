@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errc := make(chan error, 1)
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		_, cErr := io.Copy(&buf, r)
+		errc <- cErr
+		close(done)
+	}()
+	ferr := f()
+	w.Close()
+	<-done
+	if cErr := <-errc; cErr != nil {
+		t.Fatal(cErr)
+	}
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return buf.String()
+}
+
+func TestPrintTableII(t *testing.T) {
+	out := capture(t, printTableII)
+	for _, want := range []string{"Table II", "Chung", "Zhang", "†", "*", "reset pulse [ns]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDerive(t *testing.T) {
+	out := capture(t, func() error { return runDerive("Kang") })
+	for _, want := range []string{"Stripping Kang_P", "heuristic-3", "identical reset current"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derive output missing %q", want)
+		}
+	}
+}
+
+func TestRunDeriveUnknownCell(t *testing.T) {
+	if err := runDerive("nosuch"); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestExportAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	out := capture(t, func() error { return runExport(path) })
+	if !strings.Contains(out, "wrote 11 cell models") {
+		t.Errorf("export output: %q", out)
+	}
+	loaded := capture(t, func() error { return runLoad(path) })
+	for _, want := range []string{"Table II", "Zhang", "†"} {
+		if !strings.Contains(loaded, want) {
+			t.Errorf("loaded table missing %q", want)
+		}
+	}
+	if err := runLoad("/nonexistent.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := runExport("/nonexistent-dir/x.json"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmllc/internal/nvm"
+)
+
+func TestPrintBlockFixedCapacity(t *testing.T) {
+	out := capture(t, func() error { return printBlock(true) })
+	for _, want := range []string{"fixed-capacity", "Zhang_R", "SRAM", "geoErr", "worst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestPrintBlockFixedArea(t *testing.T) {
+	out := capture(t, func() error { return printBlock(false) })
+	if !strings.Contains(out, "fixed-area") {
+		t.Error("output missing fixed-area header")
+	}
+}
+
+func TestGenerateHelper(t *testing.T) {
+	m, err := generate(nvm.SRAMCell(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CapacityBytes != 2<<20 {
+		t.Errorf("fixed-capacity SRAM = %d bytes", m.CapacityBytes)
+	}
+	fa, err := generate(nvm.Zhang(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.CapacityBytes <= 2<<20 {
+		t.Errorf("fixed-area Zhang capacity = %dMB, want > 2MB", fa.CapacityBytes>>20)
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "llc.json")
+	out := capture(t, func() error { return runExport(path) })
+	if !strings.Contains(out, "11 fixed-capacity and 11 fixed-area") {
+		t.Errorf("export output: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models exportedModels
+	if err := json.Unmarshal(data, &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.FixedCapacity) != 11 || len(models.FixedArea) != 11 {
+		t.Errorf("model counts = %d/%d", len(models.FixedCapacity), len(models.FixedArea))
+	}
+	for _, m := range models.FixedCapacity {
+		if err := m.Validate(); err != nil {
+			t.Errorf("exported model invalid: %v", err)
+		}
+	}
+	if err := runExport("/nonexistent-dir/x.json"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

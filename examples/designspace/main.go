@@ -1,0 +1,87 @@
+// Designspace: sweep every Table III LLC technology for one workload and
+// pick the best, the design exercise the paper's Section V enables.
+//
+// For a chosen workload it simulates all eleven LLCs in both the
+// fixed-capacity and fixed-area configurations, prints normalized speedup,
+// energy and ED²P bar charts, and recommends the winner per objective —
+// demonstrating the paper's conclusion that the best NVM depends on the
+// use case.
+//
+// Run with: go run ./examples/designspace [workload]   (default: mg)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/sweep"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	name := "mg"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if _, err := workload.ByName(name); err != nil {
+		log.Fatal(err)
+	}
+	cfg := sweep.Config{Opts: workload.Options{Accesses: 500_000}}
+
+	for _, block := range []struct {
+		label  string
+		models func() (*sweep.FigureResult, error)
+	}{
+		{"fixed-capacity (2MB)", func() (*sweep.FigureResult, error) {
+			return sweep.RunFigure("fixed-capacity", reference.FixedCapacityModels(), []string{name}, cfg)
+		}},
+		{"fixed-area (6.55 mm²)", func() (*sweep.FigureResult, error) {
+			return sweep.RunFigure("fixed-area", reference.FixedAreaModels(), []string{name}, cfg)
+		}},
+	} {
+		fig, err := block.models()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s on %s ===\n\n", name, block.label)
+		charts := []struct {
+			title  string
+			values []float64
+			better string
+		}{
+			{"speedup over SRAM (higher is better)", fig.Speedup[0], "max"},
+			{"LLC energy vs SRAM (lower is better)", fig.Energy[0], "min"},
+			{"ED²P vs SRAM (lower is better)", fig.ED2P[0], "min"},
+		}
+		for _, c := range charts {
+			chart := &tablefmt.BarChart{
+				Title:    c.title,
+				Labels:   fig.LLCs,
+				Values:   c.values,
+				RefValue: 1.0,
+				MaxWidth: 40,
+			}
+			if err := chart.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			best, val := pick(fig.LLCs, c.values, c.better == "max")
+			fmt.Printf("  → best: %s (%.3f)\n\n", best, val)
+		}
+	}
+	fmt.Println("The winner changes with the objective and the configuration —")
+	fmt.Println("the paper's point: NVM selection must consider the use case.")
+}
+
+// pick returns the argmax or argmin label.
+func pick(labels []string, values []float64, max bool) (string, float64) {
+	bi := 0
+	for i, v := range values {
+		if (max && v > values[bi]) || (!max && v < values[bi]) {
+			bi = i
+		}
+	}
+	return labels[bi], values[bi]
+}

@@ -1,0 +1,107 @@
+// Memoryhierarchy: an all-NVM memory hierarchy study — the endpoint of the
+// trajectory the paper's Section II describes ("beginning decades ago as a
+// storage solution, NVMs have slowly made their way down the memory
+// hierarchy").
+//
+// It composes the library's three modeling layers into full-stack designs:
+//
+//  1. conventional:  SRAM LLC            + DRAM main memory
+//  2. paper's move:  STT-RAM LLC (Xue_S) + DRAM main memory
+//  3. dense 3D LLC:  Hayakawa RRAM stacked 4-high at the SRAM area
+//     budget              + DRAM main memory
+//  4. all-NVM:       STT-RAM LLC         + PCRAM main memory
+//
+// and compares performance, LLC energy and main-memory behavior on a
+// capacity-hungry workload.
+//
+// Run with: go run ./examples/memoryhierarchy [workload]   (default: mg)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nvmllc/internal/mainmem"
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/nvsim"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	name := "mg"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	profile, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := workload.Generate(profile, workload.Options{Accesses: 600_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the 3D-stacked RRAM LLC with the circuit model: 4 layers of
+	// Hayakawa's TaOx RRAM fitted to the SRAM baseline's 6.55 mm² budget.
+	org := nvsim.GainestownLLC()
+	org.Layers = 4
+	stacked, err := nvsim.FitCapacityToArea(nvm.Hayakawa(), org, reference.SRAMBaselineAreaMM2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D RRAM LLC from the circuit model: %d MB in %.2f mm² (4 layers), read %.2f ns\n\n",
+		stacked.CapacityBytes>>20, stacked.AreaMM2, stacked.ReadLatencyNS)
+
+	sramLLC := reference.SRAMBaseline()
+	xue, err := reference.ModelByName(reference.FixedAreaModels(), "Xue_S")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type design struct {
+		name    string
+		llc     nvsim.LLCModel
+		memTech mainmem.Tech
+	}
+	designs := []design{
+		{"SRAM LLC + DRAM", sramLLC, mainmem.DRAM},
+		{"Xue_S LLC + DRAM", xue, mainmem.DRAM},
+		{"3D Hayakawa LLC + DRAM", *stacked, mainmem.DRAM},
+		{"Xue_S LLC + PCRAM memory", xue, mainmem.PCRAMMem},
+	}
+
+	t := tablefmt.New(fmt.Sprintf("%s across full-stack designs", name),
+		"design", "time [ms]", "LLC energy [mJ]", "LLC MPKI", "mem row-hit", "mem energy [mJ]")
+	var baseTime float64
+	for i, d := range designs {
+		mem, err := mainmem.New(mainmem.Preset(d.memTech))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := system.Gainestown(d.llc)
+		cfg.Memory = mem
+		r, err := system.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseTime = r.TimeNS
+		}
+		ms := mem.Stats()
+		t.AddRowf(d.name, r.TimeNS/1e6, r.LLCEnergyJ()*1e3, r.LLCMPKI(),
+			ms.RowHitRate(), mem.EnergyJ(r.TimeNS)*1e3)
+		if i == len(designs)-1 {
+			fmt.Printf("all-NVM stack vs conventional: %.2f× execution time\n\n", r.TimeNS/baseTime)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDense NVM LLCs soak up the misses that would otherwise expose the")
+	fmt.Println("slow PCRAM main memory — capacity close to the processor is what the")
+	fmt.Println("paper argues emerging working sets need.")
+}

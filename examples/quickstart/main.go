@@ -1,0 +1,76 @@
+// Quickstart: model an NVM cell as an LLC and simulate a workload on it.
+//
+// This walks the library's three layers end to end:
+//
+//  1. take a published NVM cell from the Table II corpus and fill its
+//     unreported parameters with the paper's modeling heuristics,
+//  2. turn the cell into an LLC-level model (timing, energy, area) with
+//     the NVSim-style circuit model,
+//  3. run a synthetic workload through the Gainestown full-system
+//     simulator with that LLC and compare against the SRAM baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/nvsim"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	// 1. Start from the reported parameters of Zhang's 22nm RRAM and let
+	// the modeling heuristics complete the specification.
+	cell := nvm.Strip(nvm.Zhang())
+	derivs, err := nvm.Complete(cell, nvm.Corpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Completed %s with %d heuristic derivations:\n", cell.DisplayName(), len(derivs))
+	for _, d := range derivs {
+		fmt.Printf("  %-18s = %-8.3g  (%s)\n", d.Param, d.Value, d.Note)
+	}
+
+	// 2. Generate the 2MB LLC model (the paper's fixed-capacity setup).
+	model, err := nvsim.Generate(cell, nvsim.GainestownLLC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s as a 2MB LLC: area %.3f mm², read %.2f ns, write %.1f ns, "+
+		"E_write %.3f nJ, leakage %.3f W\n",
+		model.Name, model.AreaMM2, model.ReadLatencyNS, model.WriteLatencyNS(),
+		model.WriteEnergyNJ, model.LeakageW)
+
+	// 3. Simulate the cg workload (conjugate gradient, the paper's
+	// highest-MPKI NPB benchmark) on Gainestown with this LLC and with the
+	// SRAM baseline.
+	profile, err := workload.ByName("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := workload.Generate(profile, workload.Options{Accesses: 400_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nvmRes, err := system.Run(system.Gainestown(*model), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sramRes, err := system.Run(system.Gainestown(reference.SRAMBaseline()), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncg on %s vs SRAM:\n", model.Name)
+	fmt.Printf("  speedup over SRAM : %.3f\n", sramRes.TimeNS/nvmRes.TimeNS)
+	fmt.Printf("  LLC energy        : %.3f× SRAM (%.3f mJ vs %.3f mJ)\n",
+		nvmRes.LLCEnergyJ()/sramRes.LLCEnergyJ(),
+		nvmRes.LLCEnergyJ()*1e3, sramRes.LLCEnergyJ()*1e3)
+	fmt.Printf("  ED²P              : %.3f× SRAM\n", nvmRes.ED2P()/sramRes.ED2P())
+	fmt.Printf("  LLC MPKI          : %.1f\n", nvmRes.LLCMPKI())
+}

@@ -1,0 +1,118 @@
+// Writepolicies: evaluate the NVM write-mitigation techniques the paper
+// surveys, on a PCRAM LLC where writes are the problem.
+//
+// The paper's Section I categorizes prior NVM-LLC work into (1) adapted
+// architectural techniques like wear leveling, (2) novel techniques like
+// cache bypassing, and (3) device-level tradeoffs. This example runs a
+// write-heavy workload on the worst-case PCRAM LLC (Kang_P, 375 nJ/write,
+// 3·10⁷ endurance) and quantifies each lever this library models:
+//
+//   - dead-block write bypassing (category 2): LLC writes and energy saved;
+//   - intra-set wear leveling headroom (category 1): lifetime reclaimed;
+//   - replacement policy (LRU vs SRRIP vs Random): hit-rate interaction;
+//   - writes on/off the critical path: the simulator assumption ablation.
+//
+// Run with: go run ./examples/writepolicies [workload]   (default: bzip2)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/endurance"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func main() {
+	name := "bzip2"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	profile, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := workload.Generate(profile, workload.Options{Accesses: 500_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(mutate func(*system.Config)) *system.Result {
+		cfg := system.Gainestown(kang)
+		cfg.TrackWear = true
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := system.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	base := run(nil)
+	bypass := run(func(c *system.Config) { c.LLCBypass = system.BypassDeadBlock })
+	srrip := run(func(c *system.Config) { c.LLCPolicy = cache.SRRIP })
+	random := run(func(c *system.Config) { c.LLCPolicy = cache.Random })
+	contention := run(func(c *system.Config) { c.ModelWriteContention = true })
+	hybrid := run(func(c *system.Config) {
+		c.TrackWear = false
+		c.Hybrid = &system.HybridConfig{
+			SRAM: reference.SRAMBaseline(), NVM: kang, SRAMWays: 4,
+		}
+	})
+
+	t := tablefmt.New(fmt.Sprintf("%s on Kang_P (PCRAM, 2MB): write-mitigation levers", name),
+		"configuration", "time [ms]", "LLC writes", "bypassed", "dyn energy [mJ]", "LLC hits")
+	row := func(label string, r *system.Result) {
+		t.AddRowf(label, r.TimeNS/1e6, r.LLC.Writes,
+			r.LLC.BypassedFills+r.LLC.BypassedWritebacks, r.LLCDynamicJ*1e3, r.LLC.Hits)
+	}
+	row("baseline (paper config)", base)
+	row("dead-block bypass", bypass)
+	row("SRRIP replacement", srrip)
+	row("random replacement", random)
+	row("writes ON critical path", contention)
+	row("hybrid 4×SRAM + 12×PCRAM", hybrid)
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nHybrid placement absorbs %.1f%% of writes in SRAM (dynamic energy %.1f%% of pure PCRAM).\n",
+		float64(hybrid.Hybrid.SRAMWrites)/float64(hybrid.Hybrid.SRAMWrites+hybrid.Hybrid.NVMWrites)*100,
+		hybrid.LLCDynamicJ/base.LLCDynamicJ*100)
+	fmt.Printf("Bypass saves %.1f%% of LLC dynamic energy (%d of %d writes avoided).\n",
+		(1-bypass.LLCDynamicJ/base.LLCDynamicJ)*100,
+		bypass.LLC.BypassedFills+bypass.LLC.BypassedWritebacks,
+		base.LLC.Writes)
+	fmt.Printf("Write contention on the critical path costs %.1f%% execution time —\n"+
+		"the effect the paper notes its simulator hides.\n",
+		(contention.TimeNS/base.TimeNS-1)*100)
+
+	// Endurance: what wear leveling buys.
+	est, err := endurance.FromResult(base, kang.Class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	estBypass, err := endurance.FromResult(bypass, kang.Class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPCRAM lifetime at this wear rate: %.2g years raw, %.2g years with ideal\n"+
+		"intra-set wear leveling (%.1f× headroom); bypassing stretches the raw\n"+
+		"lifetime to %.2g years.\n",
+		est.RawYears, est.LeveledYears, est.ImbalanceFactor, estBypass.RawYears)
+
+	reads, writes, _ := tr.Counts()
+	fmt.Printf("\n(workload: %d reads, %d writes over %d-line footprint)\n",
+		reads, writes, profile.FootprintLines())
+}

@@ -1,0 +1,3 @@
+module nvmllc
+
+go 1.22

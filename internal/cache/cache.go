@@ -1,0 +1,303 @@
+// Package cache implements the set-associative, write-back caches of the
+// simulated Gainestown memory hierarchy (Table IV of the paper): private
+// L1I/L1D and L2 caches per core and a shared LLC.
+//
+// Cache models a single level with true-LRU replacement, write-back and
+// write-allocate policy, operating on line addresses (byte address >>
+// log2(block size) is performed by the caller or via the Line helper).
+package cache
+
+import "fmt"
+
+// Stats counts cache events.
+type Stats struct {
+	// Hits and Misses count lookups by outcome.
+	Hits, Misses uint64
+	// Writebacks counts dirty lines evicted (writes propagated downstream).
+	Writebacks uint64
+	// Fills counts lines installed (equals Misses for allocate-on-miss).
+	Fills uint64
+}
+
+// Accesses is hits plus misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// Add accumulates another stats block.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Writebacks += o.Writebacks
+	s.Fills += o.Fills
+}
+
+// line is one cache way.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	rrpv  uint8 // SRRIP re-reference prediction value
+}
+
+// Cache is a single-level set-associative write-back cache.
+type Cache struct {
+	name      string
+	ways      int
+	sets      int
+	setMask   uint64
+	lines     []line // sets × ways; LRU keeps index 0 = MRU
+	stats     Stats
+	blockBits uint
+	policy    Policy
+	rngState  uint64 // Random policy xorshift state
+}
+
+// Config describes a cache level.
+type Config struct {
+	// Name identifies the level in errors and dumps (e.g. "L1D").
+	Name string
+	// CapacityBytes is the total data capacity.
+	CapacityBytes int64
+	// BlockBytes is the line size.
+	BlockBytes int
+	// Ways is the associativity.
+	Ways int
+	// Policy is the replacement policy (zero value: LRU).
+	Policy Policy
+}
+
+// New builds a cache. Capacity must be a power-of-two multiple of
+// BlockBytes×Ways so the set count is a power of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: block size %d must be a positive power of two", cfg.Name, cfg.BlockBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways %d must be positive", cfg.Name, cfg.Ways)
+	}
+	if !cfg.Policy.Valid() {
+		return nil, fmt.Errorf("cache %s: unknown replacement policy %d", cfg.Name, int(cfg.Policy))
+	}
+	setBytes := int64(cfg.BlockBytes) * int64(cfg.Ways)
+	if cfg.CapacityBytes <= 0 || cfg.CapacityBytes%setBytes != 0 {
+		return nil, fmt.Errorf("cache %s: capacity %d not a positive multiple of set size %d", cfg.Name, cfg.CapacityBytes, setBytes)
+	}
+	sets := cfg.CapacityBytes / setBytes
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, sets)
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockBytes {
+		blockBits++
+	}
+	return &Cache{
+		name:      cfg.Name,
+		ways:      cfg.Ways,
+		sets:      int(sets),
+		setMask:   uint64(sets - 1),
+		lines:     make([]line, int(sets)*cfg.Ways),
+		blockBits: blockBits,
+		policy:    cfg.Policy,
+		rngState:  0x9E3779B97F4A7C15,
+	}, nil
+}
+
+// Line converts a byte address to this cache's line address.
+func (c *Cache) Line(addr uint64) uint64 { return addr >> c.blockBits }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Name returns the configured level name.
+func (c *Cache) Name() string { return c.name }
+
+// ReplacementPolicy returns the configured policy.
+func (c *Cache) ReplacementPolicy() Policy { return c.policy }
+
+// Stats returns the accumulated event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	// LineAddr is the evicted line address.
+	LineAddr uint64
+	// Dirty reports whether the line must be written downstream.
+	Dirty bool
+	// Valid is false when the fill used an empty way (no eviction).
+	Valid bool
+}
+
+// Access performs a lookup for a line address, allocating on miss.
+// isWrite marks the line dirty on hit or after the allocate (write-back,
+// write-allocate). It returns whether the lookup hit and the eviction, if
+// any, caused by the allocation.
+func (c *Cache) Access(lineAddr uint64, isWrite bool) (hit bool, ev Eviction) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.stats.Hits++
+			if isWrite {
+				set[i].dirty = true
+			}
+			c.onHit(set, i)
+			return true, Eviction{}
+		}
+	}
+	c.stats.Misses++
+	ev = c.fill(set, lineAddr, isWrite)
+	return false, ev
+}
+
+// Touch performs a non-allocating lookup: a hit updates replacement
+// state (and optionally dirtiness) and returns true; a miss changes
+// nothing. Statistics are counted like Access.
+func (c *Cache) Touch(lineAddr uint64, isWrite bool) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.stats.Hits++
+			if isWrite {
+				set[i].dirty = true
+			}
+			c.onHit(set, i)
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Probe checks residency without updating LRU state or statistics.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Install inserts a line (e.g. a fill from below in a non-lookup path)
+// and returns any eviction. The line is installed clean unless dirty.
+func (c *Cache) Install(lineAddr uint64, dirty bool) Eviction {
+	set := c.set(lineAddr)
+	// If already present, just update dirtiness and recency.
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = set[i].dirty || dirty
+			c.onHit(set, i)
+			return Eviction{}
+		}
+	}
+	return c.fill(set, lineAddr, dirty)
+}
+
+// WritebackTo marks a resident line dirty (a writeback arriving from an
+// upper level). If the line is absent it is installed dirty
+// (write-allocate) and the displaced line is returned.
+func (c *Cache) WritebackTo(lineAddr uint64) (wasPresent bool, ev Eviction) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			c.onHit(set, i)
+			return true, Eviction{}
+		}
+	}
+	return false, c.fill(set, lineAddr, true)
+}
+
+// Clean clears a resident line's dirty bit without evicting it (a
+// coherence downgrade: Modified -> Shared). It reports residency and
+// whether the line had been dirty.
+func (c *Cache) Clean(lineAddr uint64) (present, wasDirty bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			wasDirty = set[i].dirty
+			set[i].dirty = false
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// Invalidate drops a line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			present, dirty = true, set[i].dirty
+			if c.policy == LRU {
+				// Keep LRU sets compacted: valid lines first.
+				copy(set[i:], set[i+1:])
+				set[len(set)-1] = line{}
+			} else {
+				set[i] = line{}
+			}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// fill installs a tag, evicting the policy's victim if the set is full.
+func (c *Cache) fill(set []line, tag uint64, dirty bool) Eviction {
+	c.stats.Fills++
+	vi := emptyWayIndex(set)
+	ev := Eviction{}
+	if vi < 0 {
+		vi = c.victimIndex(set)
+		victim := set[vi]
+		ev = Eviction{LineAddr: victim.tag, Dirty: victim.dirty, Valid: true}
+		if victim.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.place(set, vi, line{tag: tag, valid: true, dirty: dirty})
+	return ev
+}
+
+// set returns the ways of the set holding lineAddr, MRU first.
+func (c *Cache) set(lineAddr uint64) []line {
+	idx := int(lineAddr&c.setMask) * c.ways
+	return c.lines[idx : idx+c.ways]
+}
+
+// OccupiedLines counts currently valid lines (for tests and capacity
+// diagnostics).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for _, l := range c.lines {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyLines counts currently dirty lines.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, l := range c.lines {
+		if l.valid && l.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,346 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cache {
+	// 4 sets × 2 ways × 64B = 512B.
+	return mustNew(t, Config{Name: "t", CapacityBytes: 512, BlockBytes: 64, Ways: 2})
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "b", CapacityBytes: 512, BlockBytes: 0, Ways: 2},
+		{Name: "b", CapacityBytes: 512, BlockBytes: 48, Ways: 2},
+		{Name: "b", CapacityBytes: 512, BlockBytes: 64, Ways: 0},
+		{Name: "b", CapacityBytes: 0, BlockBytes: 64, Ways: 2},
+		{Name: "b", CapacityBytes: 100, BlockBytes: 64, Ways: 2},
+		{Name: "b", CapacityBytes: 64 * 2 * 3, BlockBytes: 64, Ways: 2}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := small(t)
+	if hit, _ := c.Access(1, false); hit {
+		t.Error("first access hit an empty cache")
+	}
+	if hit, _ := c.Access(1, false); !hit {
+		t.Error("second access to same line missed")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 fill", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t)
+	// Lines 0, 4, 8 map to set 0 (4 sets). 2 ways.
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false)          // 0 becomes MRU, 4 is LRU
+	_, ev := c.Access(8, false) // evicts 4
+	if !ev.Valid || ev.LineAddr != 4 {
+		t.Errorf("eviction = %+v, want line 4", ev)
+	}
+	if !c.Probe(0) || !c.Probe(8) || c.Probe(4) {
+		t.Error("post-eviction residency wrong")
+	}
+}
+
+func TestDirtyEvictionAndWritebackCount(t *testing.T) {
+	c := small(t)
+	c.Access(0, true) // dirty
+	c.Access(4, false)
+	_, ev := c.Access(8, false) // evicts dirty 0
+	if !ev.Valid || ev.LineAddr != 0 || !ev.Dirty {
+		t.Errorf("eviction = %+v, want dirty line 0", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+	// Clean eviction does not count.
+	_, ev = c.Access(12, false) // evicts clean 4
+	if !ev.Valid || ev.Dirty {
+		t.Errorf("eviction = %+v, want clean line 4", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d after clean evict, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := small(t)
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // write hit dirties
+	if c.DirtyLines() != 1 {
+		t.Errorf("dirty lines = %d, want 1", c.DirtyLines())
+	}
+	c.Access(4, false)
+	_, ev := c.Access(8, false)
+	if !ev.Dirty {
+		t.Error("write-hit dirtiness lost on eviction")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small(t)
+	c.Access(0, false)
+	c.Access(4, false) // LRU: 0
+	c.Probe(0)         // must NOT touch recency
+	_, ev := c.Access(8, false)
+	if ev.LineAddr != 0 {
+		t.Errorf("Probe perturbed LRU: evicted %d, want 0", ev.LineAddr)
+	}
+	if c.Stats().Accesses() != 3 {
+		t.Errorf("Probe counted as access: %d", c.Stats().Accesses())
+	}
+}
+
+func TestInstallAndInvalidate(t *testing.T) {
+	c := small(t)
+	ev := c.Install(0, false)
+	if ev.Valid {
+		t.Errorf("Install into empty set evicted %+v", ev)
+	}
+	if !c.Probe(0) {
+		t.Error("installed line absent")
+	}
+	// Install of a present line must not duplicate.
+	c.Install(0, true)
+	if c.OccupiedLines() != 1 {
+		t.Errorf("occupied = %d after re-install, want 1", c.OccupiedLines())
+	}
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v,%v, want present dirty", present, dirty)
+	}
+	if c.Probe(0) {
+		t.Error("line survives Invalidate")
+	}
+	present, _ = c.Invalidate(0)
+	if present {
+		t.Error("double Invalidate reports present")
+	}
+}
+
+func TestWritebackTo(t *testing.T) {
+	c := small(t)
+	c.Access(0, false)
+	present, _ := c.WritebackTo(0)
+	if !present {
+		t.Error("WritebackTo missed resident line")
+	}
+	if c.DirtyLines() != 1 {
+		t.Error("WritebackTo did not dirty the line")
+	}
+	present, _ = c.WritebackTo(4)
+	if present {
+		t.Error("WritebackTo found absent line")
+	}
+	if !c.Probe(4) {
+		t.Error("WritebackTo did not allocate")
+	}
+}
+
+func TestHitsPlusMissesEqualsAccessesProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		c, err := New(Config{Name: "p", CapacityBytes: 4096, BlockBytes: 64, Ways: 4})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		count := uint64(n%2000) + 1
+		for i := uint64(0); i < count; i++ {
+			c.Access(rng.Uint64()%256, rng.Intn(2) == 0)
+		}
+		s := c.Stats()
+		return s.Accesses() == count && s.Fills == s.Misses &&
+			c.OccupiedLines() <= c.Sets()*c.Ways()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	// Compare against a straightforward per-set reference LRU.
+	c := mustNew(t, Config{Name: "ref", CapacityBytes: 2048, BlockBytes: 64, Ways: 4})
+	sets := c.Sets()
+	type refSet []uint64 // MRU first
+	ref := make([]refSet, sets)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() % 64
+		si := int(addr) % sets
+		hit, _ := c.Access(addr, false)
+		// Reference.
+		rs := ref[si]
+		refHit := false
+		for j, tag := range rs {
+			if tag == addr {
+				refHit = true
+				copy(rs[1:j+1], rs[:j])
+				rs[0] = addr
+				break
+			}
+		}
+		if !refHit {
+			if len(rs) < 4 {
+				rs = append(rs, 0)
+			}
+			copy(rs[1:], rs[:len(rs)-1])
+			rs[0] = addr
+			ref[si] = rs
+		}
+		if hit != refHit {
+			t.Fatalf("access %d (line %d): hit=%v, reference=%v", i, addr, hit, refHit)
+		}
+	}
+}
+
+func TestWorkingSetFitsMeansNoCapacityMisses(t *testing.T) {
+	c := mustNew(t, Config{Name: "fit", CapacityBytes: 8192, BlockBytes: 64, Ways: 4})
+	// 128 lines exactly fill the cache; loop over 64 (half).
+	for pass := 0; pass < 4; pass++ {
+		for l := uint64(0); l < 64; l++ {
+			c.Access(l, false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 64 {
+		t.Errorf("misses = %d, want 64 (cold only)", s.Misses)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// Working set 2× capacity with LRU round-robin = 100% miss.
+	c := mustNew(t, Config{Name: "thrash", CapacityBytes: 4096, BlockBytes: 64, Ways: 4})
+	// 64-line cache; cycle 128 distinct lines mapping evenly.
+	for pass := 0; pass < 3; pass++ {
+		for l := uint64(0); l < 128; l++ {
+			c.Access(l, false)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("hits = %d, want 0 under LRU thrash", s.Hits)
+	}
+}
+
+func TestLineAddressing(t *testing.T) {
+	c := mustNew(t, Config{Name: "line", CapacityBytes: 4096, BlockBytes: 64, Ways: 4})
+	if c.Line(0x1000) != 0x40 {
+		t.Errorf("Line(0x1000) = %#x, want 0x40", c.Line(0x1000))
+	}
+	// Two addresses in one block are the same line.
+	if c.Line(0x1000) != c.Line(0x103F) {
+		t.Error("same-block addresses map to different lines")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Errorf("stats after reset = %+v", c.Stats())
+	}
+	if !c.Probe(0) {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+func TestStatsAddAndMissRate(t *testing.T) {
+	a := Stats{Hits: 3, Misses: 1, Writebacks: 2, Fills: 1}
+	b := Stats{Hits: 1, Misses: 3, Writebacks: 1, Fills: 3}
+	a.Add(b)
+	if a.Hits != 4 || a.Misses != 4 || a.Writebacks != 3 || a.Fills != 4 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.MissRate() != 0.5 {
+		t.Errorf("MissRate = %g, want 0.5", a.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty MissRate not 0")
+	}
+}
+
+func TestNameAccessor(t *testing.T) {
+	c := small(t)
+	if c.Name() != "t" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestTouch(t *testing.T) {
+	c := small(t)
+	if c.Touch(0, false) {
+		t.Error("Touch hit an empty cache")
+	}
+	// Touch must not allocate.
+	if c.Probe(0) {
+		t.Error("Touch allocated")
+	}
+	c.Access(0, false)
+	c.Access(4, false) // LRU: 0
+	if !c.Touch(0, false) {
+		t.Error("Touch missed a resident line")
+	}
+	// Touch promotes: the next conflict must evict 4, not 0.
+	_, ev := c.Access(8, false)
+	if ev.LineAddr != 4 {
+		t.Errorf("Touch did not promote: evicted %d, want 4", ev.LineAddr)
+	}
+	// Touch with isWrite dirties.
+	c.Touch(0, true)
+	if c.DirtyLines() != 1 {
+		t.Error("Touch(write) did not dirty")
+	}
+	// Touch counts stats like Access.
+	before := c.Stats().Accesses()
+	c.Touch(0, false)
+	c.Touch(12345, false)
+	if c.Stats().Accesses() != before+2 {
+		t.Error("Touch not counted in stats")
+	}
+}
+
+func TestClean(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	present, wasDirty := c.Clean(0)
+	if !present || !wasDirty {
+		t.Errorf("Clean = %v,%v, want true,true", present, wasDirty)
+	}
+	if c.DirtyLines() != 0 {
+		t.Error("Clean left the line dirty")
+	}
+	if !c.Probe(0) {
+		t.Error("Clean evicted the line")
+	}
+	present, wasDirty = c.Clean(0)
+	if !present || wasDirty {
+		t.Errorf("second Clean = %v,%v, want true,false", present, wasDirty)
+	}
+	if present, _ := c.Clean(999); present {
+		t.Error("Clean found an absent line")
+	}
+}

@@ -1,0 +1,113 @@
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy of a cache level. The paper's
+// configuration uses true LRU at every level; SRRIP and Random are
+// provided for the replacement-policy ablation (the LLC-management
+// related work the paper surveys in Section I builds on exactly these
+// baselines).
+type Policy int
+
+const (
+	// LRU is true least-recently-used replacement (the default).
+	LRU Policy = iota
+	// SRRIP is 2-bit static re-reference interval prediction (Jaleel et
+	// al.): lines insert at "long" re-reference, promote to "immediate"
+	// on hit, and the victim is the first line predicted "distant".
+	SRRIP
+	// Random evicts a pseudo-random way (xorshift, deterministic per
+	// cache instance).
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case SRRIP:
+		return "SRRIP"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool { return p == LRU || p == SRRIP || p == Random }
+
+// rrpv constants for SRRIP (2-bit).
+const (
+	rrpvMax    = 3 // distant re-reference: eviction candidate
+	rrpvInsert = 2 // long re-reference: insertion value
+)
+
+// onHit updates replacement state for a hit at index i of the set and
+// returns the (possibly moved) index of the line afterwards.
+func (c *Cache) onHit(set []line, i int) int {
+	switch c.policy {
+	case LRU:
+		l := set[i]
+		copy(set[1:i+1], set[:i])
+		set[0] = l
+		return 0
+	case SRRIP:
+		set[i].rrpv = 0
+		return i
+	default: // Random: no state
+		return i
+	}
+}
+
+// victimIndex picks the way to evict from a full set.
+func (c *Cache) victimIndex(set []line) int {
+	switch c.policy {
+	case LRU:
+		return len(set) - 1
+	case SRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= rrpvMax {
+					return i
+				}
+			}
+			for i := range set {
+				if set[i].rrpv < rrpvMax {
+					set[i].rrpv++
+				}
+			}
+		}
+	default: // Random
+		c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+		return int((c.rngState >> 33) % uint64(len(set)))
+	}
+}
+
+// place installs a new line over the victim at index vi, maintaining
+// policy state.
+func (c *Cache) place(set []line, vi int, l line) {
+	switch c.policy {
+	case LRU:
+		copy(set[1:vi+1], set[:vi])
+		l.rrpv = 0
+		set[0] = l
+	case SRRIP:
+		l.rrpv = rrpvInsert
+		set[vi] = l
+	default:
+		set[vi] = l
+	}
+}
+
+// emptyWayIndex returns the index of an invalid way, or -1 if the set is
+// full.
+func emptyWayIndex(set []line) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,213 @@
+// Package charfw implements the paper's workload-characterization
+// framework (Section VI, Figure 3): it compiles an array of
+// architecture-agnostic features per workload (the Table VI metrics),
+// pairs it with the measured energy and speedup of an NVM-based LLC
+// system, and computes the per-feature linear correlation used to learn
+// which workload behaviors predict NVM-based LLC outcomes (Figure 4).
+package charfw
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmllc/internal/prism"
+	"nvmllc/internal/stats"
+	"nvmllc/internal/tablefmt"
+)
+
+// Framework holds the feature table: one feature vector per workload, in
+// prism.FeatureNames order.
+type Framework struct {
+	featureNames []string
+	features     map[string][]float64
+}
+
+// New creates an empty framework with the standard Table VI feature names.
+func New() *Framework {
+	return &Framework{
+		featureNames: append([]string(nil), prism.FeatureNames...),
+		features:     make(map[string][]float64),
+	}
+}
+
+// AddWorkload registers a workload's features.
+func (f *Framework) AddWorkload(name string, feat prism.Features) {
+	f.features[name] = feat.Vector()
+}
+
+// AddWorkloadVector registers a raw feature vector (must match the
+// framework's feature count).
+func (f *Framework) AddWorkloadVector(name string, v []float64) error {
+	if len(v) != len(f.featureNames) {
+		return fmt.Errorf("charfw: workload %s has %d features, want %d", name, len(v), len(f.featureNames))
+	}
+	f.features[name] = append([]float64(nil), v...)
+	return nil
+}
+
+// FromFeatureMap builds a framework from a features-by-workload map (e.g.
+// reference.PaperFeatures or a prism characterization run).
+func FromFeatureMap(m map[string]prism.Features) *Framework {
+	f := New()
+	for name, feat := range m {
+		f.AddWorkload(name, feat)
+	}
+	return f
+}
+
+// Workloads lists the registered workloads, sorted.
+func (f *Framework) Workloads() []string {
+	out := make([]string, 0, len(f.features))
+	for name := range f.features {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FeatureNames returns the feature column names.
+func (f *Framework) FeatureNames() []string {
+	return append([]string(nil), f.featureNames...)
+}
+
+// Targets holds one system configuration's measured outcomes keyed by
+// workload: the LLC energy and the speedup over the SRAM baseline
+// (the outputs of Section V feeding Figure 3's correlation stage).
+type Targets struct {
+	// Name identifies the LLC and configuration, e.g. "Jan_S
+	// fixed-capacity".
+	Name string
+	// Energy is the (normalized or absolute) LLC energy per workload.
+	Energy map[string]float64
+	// Speedup is the speedup over SRAM per workload.
+	Speedup map[string]float64
+}
+
+// Correlation is the per-feature |Pearson r| between one target metric and
+// each feature.
+type Correlation struct {
+	// Metric is "energy" or "speedup".
+	Metric string
+	// R holds |r| per feature, aligned with FeatureNames; undefined
+	// correlations (constant series) are reported as 0.
+	R []float64
+}
+
+// Correlate computes the per-feature correlation of one target metric over
+// the given workloads. Every workload must have both a feature vector and
+// a target value.
+func (f *Framework) Correlate(workloads []string, metric string, values map[string]float64) (Correlation, error) {
+	if len(workloads) < 2 {
+		return Correlation{}, fmt.Errorf("charfw: need ≥ 2 workloads to correlate, have %d", len(workloads))
+	}
+	y := make([]float64, 0, len(workloads))
+	xs := make([][]float64, len(f.featureNames))
+	for _, w := range workloads {
+		feat, ok := f.features[w]
+		if !ok {
+			return Correlation{}, fmt.Errorf("charfw: no features for workload %q", w)
+		}
+		v, ok := values[w]
+		if !ok {
+			return Correlation{}, fmt.Errorf("charfw: no %s value for workload %q", metric, w)
+		}
+		y = append(y, v)
+		for i := range f.featureNames {
+			xs[i] = append(xs[i], feat[i])
+		}
+	}
+	c := Correlation{Metric: metric, R: make([]float64, len(f.featureNames))}
+	for i := range f.featureNames {
+		r, ok, err := stats.AbsPearson(xs[i], y)
+		if err != nil {
+			return Correlation{}, err
+		}
+		if ok {
+			c.R[i] = r
+		}
+	}
+	return c, nil
+}
+
+// Panel is one Figure 4 panel: energy and speedup correlations for one
+// LLC/configuration over a workload set.
+type Panel struct {
+	// Name labels the panel, e.g. "Jan_S fixed-capacity".
+	Name string
+	// Energy and Speedup are per-feature |r| rows.
+	Energy, Speedup Correlation
+	featureNames    []string
+}
+
+// PanelFor computes a Figure 4 panel for one target set.
+func (f *Framework) PanelFor(workloads []string, t Targets) (*Panel, error) {
+	e, err := f.Correlate(workloads, "energy", t.Energy)
+	if err != nil {
+		return nil, fmt.Errorf("charfw: panel %s: %w", t.Name, err)
+	}
+	s, err := f.Correlate(workloads, "speedup", t.Speedup)
+	if err != nil {
+		return nil, fmt.Errorf("charfw: panel %s: %w", t.Name, err)
+	}
+	return &Panel{Name: t.Name, Energy: e, Speedup: s, featureNames: f.FeatureNames()}, nil
+}
+
+// Heatmap converts the panel to a renderable two-row heatmap
+// (energy, speedup) × features.
+func (p *Panel) Heatmap() *tablefmt.Heatmap {
+	return &tablefmt.Heatmap{
+		Title:    p.Name,
+		RowNames: []string{"energy", "speedup"},
+		ColNames: p.featureNames,
+		Cells:    [][]float64{p.Energy.R, p.Speedup.R},
+	}
+}
+
+// TopFeatures returns the feature names whose |r| with the metric row
+// ("energy" or "speedup") is at least threshold, strongest first.
+func (p *Panel) TopFeatures(metric string, threshold float64) ([]string, error) {
+	var row []float64
+	switch metric {
+	case "energy":
+		row = p.Energy.R
+	case "speedup":
+		row = p.Speedup.R
+	default:
+		return nil, fmt.Errorf("charfw: unknown metric %q", metric)
+	}
+	type fr struct {
+		name string
+		r    float64
+	}
+	var sel []fr
+	for i, r := range row {
+		if r >= threshold {
+			sel = append(sel, fr{p.featureNames[i], r})
+		}
+	}
+	sort.Slice(sel, func(a, b int) bool { return sel[a].r > sel[b].r })
+	out := make([]string, len(sel))
+	for i, s := range sel {
+		out[i] = s.name
+	}
+	return out, nil
+}
+
+// FeatureR returns the metric row's |r| for a named feature.
+func (p *Panel) FeatureR(metric, feature string) (float64, error) {
+	var row []float64
+	switch metric {
+	case "energy":
+		row = p.Energy.R
+	case "speedup":
+		row = p.Speedup.R
+	default:
+		return 0, fmt.Errorf("charfw: unknown metric %q", metric)
+	}
+	for i, n := range p.featureNames {
+		if n == feature {
+			return row[i], nil
+		}
+	}
+	return 0, fmt.Errorf("charfw: unknown feature %q", feature)
+}

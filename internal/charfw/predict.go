@@ -1,0 +1,120 @@
+package charfw
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmllc/internal/prism"
+	"nvmllc/internal/stats"
+)
+
+// Predictor realizes the "learning" half of the paper's framework: having
+// found which architecture-agnostic feature correlates most with a
+// target metric (Section VI), it fits a linear model on that feature and
+// predicts the metric for unseen workloads from their characterization
+// alone — the designer's what-if tool ("given my application's write
+// entropy, what LLC energy should I expect on Jan_S?").
+type Predictor struct {
+	// Metric is what the model predicts ("energy" or "speedup").
+	Metric string
+	// Feature is the selected predictor feature name.
+	Feature string
+	// featureIdx is its index in the framework's feature order.
+	featureIdx int
+	// Fit is the underlying least-squares model.
+	Fit stats.Linear
+}
+
+// TrainPredictor learns a single-feature linear model over the given
+// workloads: it picks the feature with the strongest |Pearson r| against
+// the target values, then fits target ≈ a·feature + b.
+func (f *Framework) TrainPredictor(workloads []string, metric string, values map[string]float64) (*Predictor, error) {
+	corr, err := f.Correlate(workloads, metric, values)
+	if err != nil {
+		return nil, err
+	}
+	best, bestR := -1, -1.0
+	for i, r := range corr.R {
+		if r > bestR {
+			best, bestR = i, r
+		}
+	}
+	if best < 0 || bestR == 0 {
+		return nil, fmt.Errorf("charfw: no feature correlates with %s", metric)
+	}
+	xs := make([]float64, 0, len(workloads))
+	ys := make([]float64, 0, len(workloads))
+	for _, w := range workloads {
+		xs = append(xs, f.features[w][best])
+		ys = append(ys, values[w])
+	}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		Metric:     metric,
+		Feature:    f.featureNames[best],
+		featureIdx: best,
+		Fit:        fit,
+	}, nil
+}
+
+// Predict estimates the metric for a workload characterized by feat.
+func (p *Predictor) Predict(feat prism.Features) float64 {
+	return p.Fit.Predict(feat.Vector()[p.featureIdx])
+}
+
+// PredictVector estimates from a raw feature vector in prism.FeatureNames
+// order.
+func (p *Predictor) PredictVector(v []float64) (float64, error) {
+	if p.featureIdx >= len(v) {
+		return 0, fmt.Errorf("charfw: feature vector too short (%d)", len(v))
+	}
+	return p.Fit.Predict(v[p.featureIdx]), nil
+}
+
+// LeaveOneOut reports the predictor family's generalization: for each
+// workload, a model is trained on the others and evaluated on it. It
+// returns the per-workload absolute relative errors, sorted worst-first,
+// keyed by workload name.
+func (f *Framework) LeaveOneOut(workloads []string, metric string, values map[string]float64) (map[string]float64, error) {
+	if len(workloads) < 3 {
+		return nil, fmt.Errorf("charfw: leave-one-out needs ≥ 3 workloads, have %d", len(workloads))
+	}
+	errs := make(map[string]float64, len(workloads))
+	for i, holdout := range workloads {
+		train := make([]string, 0, len(workloads)-1)
+		train = append(train, workloads[:i]...)
+		train = append(train, workloads[i+1:]...)
+		p, err := f.TrainPredictor(train, metric, values)
+		if err != nil {
+			return nil, fmt.Errorf("charfw: holdout %s: %w", holdout, err)
+		}
+		got, err := p.PredictVector(f.features[holdout])
+		if err != nil {
+			return nil, err
+		}
+		want := values[holdout]
+		if want == 0 {
+			errs[holdout] = 0
+			continue
+		}
+		e := (got - want) / want
+		if e < 0 {
+			e = -e
+		}
+		errs[holdout] = e
+	}
+	return errs, nil
+}
+
+// WorstHoldouts orders leave-one-out errors worst-first.
+func WorstHoldouts(errs map[string]float64) []string {
+	names := make([]string, 0, len(errs))
+	for n := range errs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool { return errs[names[a]] > errs[names[b]] })
+	return names
+}

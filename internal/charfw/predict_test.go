@@ -1,0 +1,121 @@
+package charfw
+
+import (
+	"math"
+	"testing"
+
+	"nvmllc/internal/prism"
+	"nvmllc/internal/reference"
+)
+
+// syntheticFramework builds workloads whose energy is exactly linear in
+// global write entropy.
+func syntheticFramework() (*Framework, []string, map[string]float64) {
+	f := New()
+	ws := []string{"a", "b", "c", "d", "e"}
+	values := map[string]float64{}
+	for i, w := range ws {
+		hwg := float64(i + 1)
+		f.AddWorkload(w, prism.Features{
+			GlobalWriteEntropy: hwg,
+			GlobalReadEntropy:  float64((i * 7) % 5), // noise
+			TotalReads:         uint64(100 + i),
+		})
+		values[w] = 3*hwg + 2
+	}
+	return f, ws, values
+}
+
+func TestTrainPredictorSelectsRightFeature(t *testing.T) {
+	f, ws, values := syntheticFramework()
+	p, err := f.TrainPredictor(ws, "energy", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feature != "H_wg" {
+		t.Errorf("selected feature %q, want H_wg", p.Feature)
+	}
+	if math.Abs(p.Fit.Slope-3) > 1e-9 || math.Abs(p.Fit.Intercept-2) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 3 intercept 2", p.Fit)
+	}
+	if p.Fit.R2 < 0.999 {
+		t.Errorf("R² = %g, want ≈1", p.Fit.R2)
+	}
+	// Prediction on a new workload.
+	got := p.Predict(prism.Features{GlobalWriteEntropy: 10})
+	if math.Abs(got-32) > 1e-9 {
+		t.Errorf("Predict = %g, want 32", got)
+	}
+}
+
+func TestPredictVectorErrors(t *testing.T) {
+	f, ws, values := syntheticFramework()
+	p, err := f.TrainPredictor(ws, "energy", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictVector([]float64{1}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestLeaveOneOutPerfectModel(t *testing.T) {
+	f, ws, values := syntheticFramework()
+	errs, err := f.LeaveOneOut(ws, "energy", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, e := range errs {
+		if e > 1e-9 {
+			t.Errorf("%s: LOO error %g on a perfectly linear target", w, e)
+		}
+	}
+	if _, err := f.LeaveOneOut(ws[:2], "energy", values); err == nil {
+		t.Error("LOO with 2 workloads accepted")
+	}
+}
+
+func TestWorstHoldoutsOrdering(t *testing.T) {
+	order := WorstHoldouts(map[string]float64{"x": 0.1, "y": 0.9, "z": 0.5})
+	if order[0] != "y" || order[2] != "x" {
+		t.Errorf("ordering = %v", order)
+	}
+}
+
+func TestPredictorOnPaperFeatures(t *testing.T) {
+	// Train an energy predictor on the paper's 16 characterized workloads
+	// with energies proportional to unique writes; it must recover the
+	// relationship and generalize under leave-one-out.
+	f := FromFeatureMap(reference.PaperFeatures())
+	ws := f.Workloads()
+	values := map[string]float64{}
+	for name, feat := range reference.PaperFeatures() {
+		values[name] = 0.5 + float64(feat.UniqueWrites)*1e-8
+	}
+	p, err := f.TrainPredictor(ws, "energy", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feature != "w_uniq" {
+		t.Errorf("selected %q, want w_uniq", p.Feature)
+	}
+	errs, err := f.LeaveOneOut(ws, "energy", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, e := range errs {
+		if e > 0.01 {
+			t.Errorf("%s: LOO relative error %g", w, e)
+		}
+	}
+}
+
+func TestTrainPredictorDegenerate(t *testing.T) {
+	f := New()
+	f.AddWorkload("a", prism.Features{})
+	f.AddWorkload("b", prism.Features{})
+	values := map[string]float64{"a": 1, "b": 2}
+	if _, err := f.TrainPredictor([]string{"a", "b"}, "energy", values); err == nil {
+		t.Error("all-constant features accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package cpu provides the interval-style out-of-order core timing model
+// used in place of Sniper's detailed Gainestown core. Each core retires
+// instructions at a base CPI and stalls on long-latency loads, with
+// memory-level parallelism (MLP) overlapping a window of outstanding
+// misses, bounded by the 48-entry load queue of the modeled Xeon x5550.
+// Stores retire through the store queue off the critical path, matching the
+// paper's observation that LLC writes do not appear in execution time.
+package cpu
+
+import "fmt"
+
+// Params configures a core.
+type Params struct {
+	// ClockGHz is the core frequency (Gainestown: 2.66).
+	ClockGHz float64
+	// BaseCPI is the no-miss cycles per instruction of the OoO pipeline.
+	BaseCPI float64
+	// MLP is the effective number of overlapped outstanding misses; long
+	// load latencies are divided by it.
+	MLP float64
+	// ROBEntries, LoadQueue, StoreQueue document the modeled window
+	// (128/48/32 for Gainestown); LoadQueue caps MLP.
+	ROBEntries, LoadQueue, StoreQueue int
+}
+
+// Gainestown returns the paper's core parameters (Table IV).
+func Gainestown() Params {
+	return Params{
+		ClockGHz:   2.66,
+		BaseCPI:    1.0,
+		MLP:        4,
+		ROBEntries: 128,
+		LoadQueue:  48,
+		StoreQueue: 32,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.ClockGHz <= 0 {
+		return fmt.Errorf("cpu: clock %g GHz must be positive", p.ClockGHz)
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("cpu: base CPI %g must be positive", p.BaseCPI)
+	}
+	if p.MLP < 1 {
+		return fmt.Errorf("cpu: MLP %g must be ≥ 1", p.MLP)
+	}
+	if p.ROBEntries <= 0 || p.LoadQueue <= 0 || p.StoreQueue <= 0 {
+		return fmt.Errorf("cpu: ROB/LQ/SQ must be positive")
+	}
+	return nil
+}
+
+// CycleNS returns the cycle time in ns.
+func (p Params) CycleNS() float64 { return 1.0 / p.ClockGHz }
+
+// EffectiveMLP is the overlap factor, bounded by the load queue.
+func (p Params) EffectiveMLP() float64 {
+	if lq := float64(p.LoadQueue); p.MLP > lq {
+		return lq
+	}
+	return p.MLP
+}
+
+// Core tracks one core's local time and retirement statistics.
+type Core struct {
+	params Params
+	// TimeNS is the core-local clock.
+	timeNS float64
+	// instructions retired so far.
+	instructions uint64
+	// memStallNS accumulates load-stall time.
+	memStallNS float64
+}
+
+// NewCore builds a core at time zero.
+func NewCore(p Params) (*Core, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{params: p}, nil
+}
+
+// Params returns the core's configuration.
+func (c *Core) Params() Params { return c.params }
+
+// TimeNS returns the core-local clock.
+func (c *Core) TimeNS() float64 { return c.timeNS }
+
+// Instructions returns retired instructions.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// MemStallNS returns accumulated load-stall time.
+func (c *Core) MemStallNS() float64 { return c.memStallNS }
+
+// Retire advances the core by n instructions of pipelined work.
+func (c *Core) Retire(n uint64) {
+	c.instructions += n
+	c.timeNS += float64(n) * c.params.BaseCPI * c.params.CycleNS()
+}
+
+// StallLoad charges a load that completes at completeNS on the core. The
+// exposed stall is the remaining latency divided by the MLP overlap
+// factor. Loads completing in the past cost nothing.
+func (c *Core) StallLoad(completeNS float64) {
+	if completeNS <= c.timeNS {
+		return
+	}
+	stall := (completeNS - c.timeNS) / c.params.EffectiveMLP()
+	c.timeNS += stall
+	c.memStallNS += stall
+}
+
+// CPI returns the realized cycles per instruction.
+func (c *Core) CPI() float64 {
+	if c.instructions == 0 {
+		return 0
+	}
+	return c.timeNS / c.params.CycleNS() / float64(c.instructions)
+}

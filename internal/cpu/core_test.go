@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGainestownParams(t *testing.T) {
+	p := Gainestown()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.ClockGHz != 2.66 || p.ROBEntries != 128 || p.LoadQueue != 48 || p.StoreQueue != 32 {
+		t.Errorf("Gainestown = %+v, want Table IV values", p)
+	}
+	if math.Abs(p.CycleNS()-1/2.66) > 1e-12 {
+		t.Errorf("CycleNS = %g", p.CycleNS())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{ClockGHz: 0, BaseCPI: 1, MLP: 4, ROBEntries: 1, LoadQueue: 1, StoreQueue: 1},
+		{ClockGHz: 1, BaseCPI: 0, MLP: 4, ROBEntries: 1, LoadQueue: 1, StoreQueue: 1},
+		{ClockGHz: 1, BaseCPI: 1, MLP: 0.5, ROBEntries: 1, LoadQueue: 1, StoreQueue: 1},
+		{ClockGHz: 1, BaseCPI: 1, MLP: 4, ROBEntries: 0, LoadQueue: 1, StoreQueue: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestEffectiveMLPBoundedByLoadQueue(t *testing.T) {
+	p := Gainestown()
+	p.MLP = 1000
+	if got := p.EffectiveMLP(); got != 48 {
+		t.Errorf("EffectiveMLP = %g, want load-queue bound 48", got)
+	}
+	p.MLP = 4
+	if got := p.EffectiveMLP(); got != 4 {
+		t.Errorf("EffectiveMLP = %g, want 4", got)
+	}
+}
+
+func TestRetireAdvancesTime(t *testing.T) {
+	c, err := NewCore(Gainestown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Retire(1000)
+	wantNS := 1000 * 1.0 / 2.66
+	if math.Abs(c.TimeNS()-wantNS) > 1e-9 {
+		t.Errorf("TimeNS = %g, want %g", c.TimeNS(), wantNS)
+	}
+	if c.Instructions() != 1000 {
+		t.Errorf("Instructions = %d", c.Instructions())
+	}
+	if math.Abs(c.CPI()-1.0) > 1e-9 {
+		t.Errorf("CPI = %g, want 1.0", c.CPI())
+	}
+}
+
+func TestStallLoadDividesByMLP(t *testing.T) {
+	p := Gainestown() // MLP 4
+	c, _ := NewCore(p)
+	c.StallLoad(100) // 100 ns remaining latency / 4
+	if math.Abs(c.TimeNS()-25) > 1e-9 {
+		t.Errorf("TimeNS after stall = %g, want 25", c.TimeNS())
+	}
+	if math.Abs(c.MemStallNS()-25) > 1e-9 {
+		t.Errorf("MemStallNS = %g, want 25", c.MemStallNS())
+	}
+}
+
+func TestStallLoadInPastIsFree(t *testing.T) {
+	c, _ := NewCore(Gainestown())
+	c.Retire(1000)
+	before := c.TimeNS()
+	c.StallLoad(before - 50)
+	if c.TimeNS() != before {
+		t.Errorf("past completion advanced time from %g to %g", before, c.TimeNS())
+	}
+	if c.MemStallNS() != 0 {
+		t.Error("past completion charged stall time")
+	}
+}
+
+func TestCPIIncludesStalls(t *testing.T) {
+	c, _ := NewCore(Gainestown())
+	c.Retire(100)
+	c.StallLoad(c.TimeNS() + 400) // +100ns at MLP 4
+	if c.CPI() <= 1.0 {
+		t.Errorf("CPI with stalls = %g, want > base 1.0", c.CPI())
+	}
+}
+
+func TestCPIZeroInstructions(t *testing.T) {
+	c, _ := NewCore(Gainestown())
+	if c.CPI() != 0 {
+		t.Errorf("CPI of idle core = %g", c.CPI())
+	}
+}
+
+func TestNewCoreRejectsBadParams(t *testing.T) {
+	if _, err := NewCore(Params{}); err == nil {
+		t.Error("NewCore accepted zero params")
+	}
+}

@@ -1,0 +1,124 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Controllers: 0, BandwidthGBps: 7.6, LatencyNS: 65, BlockBytes: 64},
+		{Controllers: 4, BandwidthGBps: 0, LatencyNS: 65, BlockBytes: 64},
+		{Controllers: 4, BandwidthGBps: 7.6, LatencyNS: 0, BlockBytes: 64},
+		{Controllers: 4, BandwidthGBps: 7.6, LatencyNS: 65, BlockBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+	if _, err := New(Gainestown()); err != nil {
+		t.Fatalf("New(Gainestown): %v", err)
+	}
+}
+
+func TestGainestownConfig(t *testing.T) {
+	cfg := Gainestown()
+	if cfg.Controllers != 4 || cfg.BandwidthGBps != 7.6 {
+		t.Errorf("Gainestown = %+v, want 4 controllers at 7.6 GB/s", cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64B / 7.6 GB/s ≈ 8.42 ns occupancy.
+	if math.Abs(m.ServiceNS()-64.0/7.6) > 1e-9 {
+		t.Errorf("ServiceNS = %g, want %g", m.ServiceNS(), 64.0/7.6)
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	m, _ := New(Gainestown())
+	done := m.Read(100, 0)
+	if done != 165 {
+		t.Errorf("unloaded read completes at %g, want 165", done)
+	}
+	if m.AvgWaitNS() != 0 {
+		t.Errorf("unloaded wait = %g, want 0", m.AvgWaitNS())
+	}
+}
+
+func TestQueueingOnSameController(t *testing.T) {
+	m, _ := New(Gainestown())
+	first := m.Read(0, 0)
+	second := m.Read(0, 4) // line 4 maps to controller 0 as well (4 % 4)
+	if second <= first {
+		t.Errorf("queued request completes at %g, not after %g", second, first)
+	}
+	if m.AvgWaitNS() <= 0 {
+		t.Error("no queueing delay recorded")
+	}
+}
+
+func TestControllersAreIndependent(t *testing.T) {
+	m, _ := New(Gainestown())
+	a := m.Read(0, 0) // controller 0
+	b := m.Read(0, 1) // controller 1
+	if a != b {
+		t.Errorf("independent controllers interfered: %g vs %g", a, b)
+	}
+}
+
+func TestWritesConsumesBandwidth(t *testing.T) {
+	m, _ := New(Gainestown())
+	m.Write(0, 0)
+	readDone := m.Read(0, 4) // behind the write on controller 0
+	if readDone <= 65 {
+		t.Errorf("read behind write completes at %g, want > 65", readDone)
+	}
+	st := m.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSaturationThroughputBound(t *testing.T) {
+	// Hammer one controller: completion times must advance by at least the
+	// service time per request.
+	m, _ := New(Gainestown())
+	var last float64
+	for i := 0; i < 1000; i++ {
+		last = m.Read(0, 0)
+	}
+	minTime := 999 * m.ServiceNS()
+	if last < minTime {
+		t.Errorf("1000 back-to-back reads complete at %g, want ≥ %g", last, minTime)
+	}
+}
+
+func TestCompletionMonotoneProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		m, err := New(Gainestown())
+		if err != nil {
+			return false
+		}
+		perCtl := map[int]float64{}
+		for i, l := range lines {
+			now := float64(i) // non-decreasing arrivals
+			done := m.Read(now, uint64(l))
+			if done < now+65 {
+				return false // can never beat unloaded latency
+			}
+			c := int(uint64(l) % 4)
+			if done < perCtl[c] {
+				return false // per-controller completions must be ordered
+			}
+			perCtl[c] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

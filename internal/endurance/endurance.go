@@ -1,0 +1,103 @@
+// Package endurance estimates NVM-based LLC lifetime from simulated write
+// wear, the study the paper's Section VII names as future work: "Future
+// work will characterize the extent to which architecture-agnostic
+// features ... will affect the lifetime of different NVMs."
+//
+// The model is the standard first-cell-failure estimate used by the
+// wear-leveling literature the paper cites (WriteSmoothing [20],
+// EqualWrites [39]): a cache dies when its most-written physical line
+// reaches the technology's write endurance, so
+//
+//	lifetime = endurance / (writes to the hottest line per second).
+//
+// Two estimates are produced: raw (the hottest logical line keeps mapping
+// to one physical line) and ideally wear-leveled (the hottest set's writes
+// spread evenly across its ways — an upper bound for intra-set schemes
+// like WriteSmoothing).
+package endurance
+
+import (
+	"fmt"
+	"math"
+
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/system"
+)
+
+// WriteEndurance returns the per-cell write endurance for a technology
+// class, from the paper's Table I and Section II discussion: PCRAM suffers
+// stuck-at faults after 10⁷–10⁸ writes (we use the geometric middle),
+// RRAM at 10¹⁰; STTRAM endurance is effectively unbounded for cache
+// lifetimes (10¹⁵ is the figure commonly used), and SRAM does not wear.
+func WriteEndurance(class nvm.Class) float64 {
+	switch class {
+	case nvm.PCRAM:
+		return 3e7
+	case nvm.RRAM:
+		return 1e10
+	case nvm.STTRAM:
+		return 1e15
+	default: // SRAM
+		return math.Inf(1)
+	}
+}
+
+// SecondsPerYear converts write rates to calendar lifetimes.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Estimate is a lifetime projection for one (workload, LLC) run.
+type Estimate struct {
+	// Workload and LLC identify the run.
+	Workload, LLC string
+	// Class is the LLC's technology class.
+	Class nvm.Class
+	// HottestLineWritesPerSec is the raw wear rate of the most-written
+	// line.
+	HottestLineWritesPerSec float64
+	// LeveledWritesPerSec is the wear rate under ideal intra-set leveling.
+	LeveledWritesPerSec float64
+	// RawYears and LeveledYears are the projected lifetimes; +Inf for
+	// non-wearing technologies or idle caches.
+	RawYears, LeveledYears float64
+	// ImbalanceFactor is the lifetime a wear-leveling scheme could
+	// recover (LeveledYears / RawYears, ≥ 1).
+	ImbalanceFactor float64
+}
+
+// FromResult derives the lifetime estimate from a simulation run that was
+// executed with system.Config.TrackWear set.
+func FromResult(r *system.Result, class nvm.Class) (Estimate, error) {
+	if r.Wear == nil {
+		return Estimate{}, fmt.Errorf("endurance: result for %s/%s has no wear data (set Config.TrackWear)", r.Workload, r.LLCName)
+	}
+	secs := r.Seconds()
+	if secs <= 0 {
+		return Estimate{}, fmt.Errorf("endurance: result for %s/%s has no execution time", r.Workload, r.LLCName)
+	}
+	e := Estimate{
+		Workload:                r.Workload,
+		LLC:                     r.LLCName,
+		Class:                   class,
+		HottestLineWritesPerSec: float64(r.Wear.MaxLineWrites) / secs,
+		LeveledWritesPerSec:     float64(r.Wear.LeveledMaxLineWrites()) / secs,
+		ImbalanceFactor:         r.Wear.ImbalanceFactor(),
+	}
+	end := WriteEndurance(class)
+	e.RawYears = years(end, e.HottestLineWritesPerSec)
+	e.LeveledYears = years(end, e.LeveledWritesPerSec)
+	return e, nil
+}
+
+// years converts an endurance budget and a wear rate to calendar years.
+func years(enduranceWrites, writesPerSec float64) float64 {
+	if writesPerSec <= 0 || math.IsInf(enduranceWrites, 1) {
+		return math.Inf(1)
+	}
+	return enduranceWrites / writesPerSec / SecondsPerYear
+}
+
+// Viable reports whether the raw lifetime clears a deployment threshold
+// (the 5-year server-lifetime bar common in the endurance literature).
+func (e Estimate) Viable(yearsRequired float64) bool {
+	return e.RawYears >= yearsRequired
+}

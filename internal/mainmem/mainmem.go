@@ -1,0 +1,255 @@
+// Package mainmem is an NVMain-style architectural main-memory model
+// (Poremba & Xie, ISVLSI 2012) — the second of the three NVM simulators
+// the paper's Section III discusses (NVSim, NVMain, DESTINY). Where
+// internal/dram models main memory as fixed-latency bandwidth-limited
+// controllers (sufficient for the paper's LLC study), this package models
+// the banked, row-buffered organization that matters when the main memory
+// itself is an NVM: per-bank open rows, asymmetric read/write timing, and
+// per-technology activation/burst energies, letting the system compare a
+// PCRAM or RRAM main memory against DRAM below any of the LLCs — the
+// "NVMs have slowly made their way down the memory hierarchy" trajectory
+// of the paper's Section II.
+package mainmem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech selects the main-memory technology preset.
+type Tech int
+
+const (
+	// DRAM is the DDR3-class baseline (the paper's main memory).
+	DRAM Tech = iota
+	// PCRAMMem is a phase-change main memory (slow asymmetric writes, no
+	// refresh, negligible standby power).
+	PCRAMMem
+	// STTRAMMem is a spin-torque main memory.
+	STTRAMMem
+	// RRAMMem is a resistive main memory.
+	RRAMMem
+)
+
+// String names the technology.
+func (t Tech) String() string {
+	switch t {
+	case DRAM:
+		return "DRAM"
+	case PCRAMMem:
+		return "PCRAM"
+	case STTRAMMem:
+		return "STTRAM"
+	case RRAMMem:
+		return "RRAM"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Timing holds the device timing parameters in ns.
+type Timing struct {
+	// RowHitNS is the column access time (tCAS) for an open-row hit.
+	RowHitNS float64
+	// ActivateNS is row activation (tRCD): added on a row miss.
+	ActivateNS float64
+	// PrechargeNS is row precharge (tRP): added when a different row is
+	// open.
+	PrechargeNS float64
+	// WriteExtraNS is the additional array-write time over a read
+	// (asymmetric writes; large for PCRAM).
+	WriteExtraNS float64
+}
+
+// Energy holds per-operation energies in nJ and standby power in W.
+type Energy struct {
+	// ActivateNJ is per row activation.
+	ActivateNJ float64
+	// ReadNJ and WriteNJ are per 64B burst.
+	ReadNJ, WriteNJ float64
+	// BackgroundW is standby/refresh power for the whole memory.
+	BackgroundW float64
+}
+
+// Params configures a memory.
+type Params struct {
+	Tech Tech
+	// Channels and BanksPerChannel set the parallelism (paper: 4
+	// controllers; 8 banks is DDR3-typical).
+	Channels, BanksPerChannel int
+	// RowBytes is the row-buffer size.
+	RowBytes int
+	// BlockBytes is the transfer granularity (LLC line).
+	BlockBytes int
+	// BurstNS is the data-bus occupancy per transfer.
+	BurstNS float64
+	Timing  Timing
+	Energy  Energy
+}
+
+// Preset returns the technology's default parameters with the paper's
+// 4-channel organization. Timing/energy values follow the NVMain
+// configuration files and the PCM main-memory literature (Lee et al.,
+// ISCA'09 class numbers).
+func Preset(t Tech) Params {
+	p := Params{
+		Tech:            t,
+		Channels:        4,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		BlockBytes:      64,
+		BurstNS:         8.4, // 64B at 7.6 GB/s per channel
+	}
+	switch t {
+	case DRAM:
+		p.Timing = Timing{RowHitNS: 13.75, ActivateNS: 13.75, PrechargeNS: 13.75, WriteExtraNS: 0}
+		p.Energy = Energy{ActivateNJ: 2.0, ReadNJ: 1.2, WriteNJ: 1.2, BackgroundW: 1.0}
+	case PCRAMMem:
+		p.Timing = Timing{RowHitNS: 13.75, ActivateNS: 55, PrechargeNS: 0, WriteExtraNS: 250}
+		p.Energy = Energy{ActivateNJ: 4.0, ReadNJ: 1.0, WriteNJ: 16.0, BackgroundW: 0.1}
+	case STTRAMMem:
+		p.Timing = Timing{RowHitNS: 13.75, ActivateNS: 20, PrechargeNS: 0, WriteExtraNS: 12}
+		p.Energy = Energy{ActivateNJ: 2.5, ReadNJ: 1.0, WriteNJ: 3.0, BackgroundW: 0.15}
+	case RRAMMem:
+		p.Timing = Timing{RowHitNS: 13.75, ActivateNS: 25, PrechargeNS: 0, WriteExtraNS: 80}
+		p.Energy = Energy{ActivateNJ: 3.0, ReadNJ: 1.0, WriteNJ: 5.0, BackgroundW: 0.12}
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Channels <= 0 || p.BanksPerChannel <= 0 {
+		return fmt.Errorf("mainmem: channels %d × banks %d must be positive", p.Channels, p.BanksPerChannel)
+	}
+	if p.RowBytes <= 0 || p.BlockBytes <= 0 || p.RowBytes < p.BlockBytes {
+		return fmt.Errorf("mainmem: row %dB must hold at least one %dB block", p.RowBytes, p.BlockBytes)
+	}
+	if p.BurstNS <= 0 {
+		return fmt.Errorf("mainmem: burst time must be positive")
+	}
+	if p.Timing.RowHitNS <= 0 {
+		return fmt.Errorf("mainmem: row-hit time must be positive")
+	}
+	return nil
+}
+
+// Stats counts memory activity.
+type Stats struct {
+	Reads, Writes        uint64
+	RowHits, RowMisses   uint64
+	Activations          uint64
+	TotalWaitNS          float64
+	lastCompleteNS       float64
+	dynamicEnergyNJTotal float64
+}
+
+// RowHitRate is row-buffer hits over all accesses.
+func (s Stats) RowHitRate() float64 {
+	n := s.RowHits + s.RowMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(n)
+}
+
+// bank is one row-buffered bank.
+type bank struct {
+	openRow     int64 // -1: closed
+	busyUntilNS float64
+}
+
+// Memory is the simulated main memory. It satisfies the system
+// simulator's MainMemory interface.
+type Memory struct {
+	p     Params
+	banks []bank
+	stats Stats
+	// address decomposition shifts
+	blockBits, rowBlocks uint64
+}
+
+// New builds a memory.
+func New(p Params) (*Memory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Channels * p.BanksPerChannel
+	m := &Memory{p: p, banks: make([]bank, n)}
+	for i := range m.banks {
+		m.banks[i].openRow = -1
+	}
+	m.rowBlocks = uint64(p.RowBytes / p.BlockBytes)
+	return m, nil
+}
+
+// decompose maps a line address to (bank, row): consecutive lines fill a
+// row, rows interleave across banks.
+func (m *Memory) decompose(lineAddr uint64) (bankIdx int, row int64) {
+	rowID := lineAddr / m.rowBlocks
+	return int(rowID % uint64(len(m.banks))), int64(rowID / uint64(len(m.banks)))
+}
+
+// Read issues a 64B read and returns its completion time.
+func (m *Memory) Read(nowNS float64, lineAddr uint64) float64 {
+	m.stats.Reads++
+	return m.access(nowNS, lineAddr, false)
+}
+
+// Write issues a 64B write (posted) and returns its completion time.
+func (m *Memory) Write(nowNS float64, lineAddr uint64) float64 {
+	m.stats.Writes++
+	return m.access(nowNS, lineAddr, true)
+}
+
+func (m *Memory) access(nowNS float64, lineAddr uint64, isWrite bool) float64 {
+	bi, row := m.decompose(lineAddr)
+	b := &m.banks[bi]
+
+	start := math.Max(nowNS, b.busyUntilNS)
+	m.stats.TotalWaitNS += start - nowNS
+
+	lat := m.p.Timing.RowHitNS
+	energy := m.p.Energy.ReadNJ
+	if isWrite {
+		energy = m.p.Energy.WriteNJ
+	}
+	if b.openRow == row {
+		m.stats.RowHits++
+	} else {
+		m.stats.RowMisses++
+		m.stats.Activations++
+		if b.openRow >= 0 {
+			lat += m.p.Timing.PrechargeNS
+		}
+		lat += m.p.Timing.ActivateNS
+		energy += m.p.Energy.ActivateNJ
+		b.openRow = row
+	}
+	occupancy := lat + m.p.BurstNS
+	if isWrite {
+		occupancy += m.p.Timing.WriteExtraNS
+	}
+	b.busyUntilNS = start + occupancy
+	complete := start + lat + m.p.BurstNS
+	if isWrite {
+		complete = b.busyUntilNS
+	}
+	m.stats.dynamicEnergyNJTotal += energy
+	if complete > m.stats.lastCompleteNS {
+		m.stats.lastCompleteNS = complete
+	}
+	return complete
+}
+
+// Stats returns the accumulated counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// EnergyJ returns total memory energy over an elapsed wall-clock time:
+// dynamic plus background (refresh/standby) power.
+func (m *Memory) EnergyJ(elapsedNS float64) float64 {
+	return m.stats.dynamicEnergyNJTotal*1e-9 + m.p.Energy.BackgroundW*elapsedNS*1e-9
+}
+
+// Tech returns the configured technology.
+func (m *Memory) Tech() Tech { return m.p.Tech }

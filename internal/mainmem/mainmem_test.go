@@ -1,0 +1,191 @@
+package mainmem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, tech := range []Tech{DRAM, PCRAMMem, STTRAMMem, RRAMMem} {
+		p := Preset(tech)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", tech, err)
+		}
+		if p.Tech != tech {
+			t.Errorf("%v: preset tech mismatch", tech)
+		}
+		if tech.String() == "" {
+			t.Errorf("%v: empty name", tech)
+		}
+	}
+	if Tech(9).String() == "" {
+		t.Error("unknown tech name empty")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{Channels: 0, BanksPerChannel: 8, RowBytes: 8192, BlockBytes: 64, BurstNS: 8, Timing: Timing{RowHitNS: 13}},
+		{Channels: 4, BanksPerChannel: 0, RowBytes: 8192, BlockBytes: 64, BurstNS: 8, Timing: Timing{RowHitNS: 13}},
+		{Channels: 4, BanksPerChannel: 8, RowBytes: 32, BlockBytes: 64, BurstNS: 8, Timing: Timing{RowHitNS: 13}},
+		{Channels: 4, BanksPerChannel: 8, RowBytes: 8192, BlockBytes: 64, BurstNS: 0, Timing: Timing{RowHitNS: 13}},
+		{Channels: 4, BanksPerChannel: 8, RowBytes: 8192, BlockBytes: 64, BurstNS: 8},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRowBufferHitsAndMisses(t *testing.T) {
+	m, err := New(Preset(DRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential lines in the same 8KB row: first access activates, the
+	// next 127 hit the open row.
+	var last float64
+	for l := uint64(0); l < 128; l++ {
+		last = m.Read(last, l)
+	}
+	s := m.Stats()
+	if s.RowMisses != 1 || s.RowHits != 127 {
+		t.Errorf("row hits/misses = %d/%d, want 127/1", s.RowHits, s.RowMisses)
+	}
+	if s.Activations != 1 {
+		t.Errorf("activations = %d, want 1", s.Activations)
+	}
+	if s.RowHitRate() < 0.99 {
+		t.Errorf("row hit rate = %g", s.RowHitRate())
+	}
+}
+
+func TestRowConflictCostsMore(t *testing.T) {
+	p := Preset(DRAM)
+	m, _ := New(p)
+	// Activate row 0 of bank 0, then hit it, then conflict with row 1 of
+	// the same bank.
+	done0 := m.Read(0, 0)
+	hitStart := done0
+	hitDone := m.Read(hitStart, 1)
+	hitLat := hitDone - hitStart
+	banks := uint64(len(m.banks))
+	conflictLine := m.rowBlocks * banks // same bank (0), next row
+	confStart := hitDone
+	confDone := m.Read(confStart, conflictLine)
+	confLat := confDone - confStart
+	wantExtra := p.Timing.PrechargeNS + p.Timing.ActivateNS
+	if confLat < hitLat+wantExtra-1e-9 {
+		t.Errorf("conflict latency %g not ≥ hit %g + precharge+activate %g", confLat, hitLat, wantExtra)
+	}
+	if m.Stats().RowMisses != 2 {
+		t.Errorf("row misses = %d, want 2", m.Stats().RowMisses)
+	}
+}
+
+func TestPCRAMWriteAsymmetry(t *testing.T) {
+	d, _ := New(Preset(DRAM))
+	pcm, _ := New(Preset(PCRAMMem))
+	dRead := d.Read(0, 0)
+	pRead := pcm.Read(0, 0)
+	// PCM reads are somewhat slower (longer activation)…
+	if pRead < dRead {
+		t.Errorf("PCM read %g faster than DRAM %g", pRead, dRead)
+	}
+	// …but writes are drastically slower.
+	dW := d.Write(1e6, 0) - 1e6
+	pW := pcm.Write(1e6, 0) - 1e6
+	if pW < dW+200 {
+		t.Errorf("PCM write %g not ≫ DRAM write %g", pW, dW)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m, _ := New(Preset(PCRAMMem))
+	base := m.EnergyJ(0)
+	if base != 0 {
+		t.Errorf("zero-time energy = %g", base)
+	}
+	m.Read(0, 0)
+	e1 := m.EnergyJ(1000)
+	m.Write(1000, 0)
+	e2 := m.EnergyJ(1000)
+	if e2 <= e1 {
+		t.Error("write added no energy")
+	}
+	// Background power integrates over time.
+	if m.EnergyJ(2000) <= m.EnergyJ(1000) {
+		t.Error("background energy not growing with time")
+	}
+	// PCM writes cost far more than reads.
+	mm, _ := New(Preset(PCRAMMem))
+	mm.Read(0, 0)
+	readE := mm.EnergyJ(0)
+	mm2, _ := New(Preset(PCRAMMem))
+	mm2.Write(0, 0)
+	writeE := mm2.EnergyJ(0)
+	if writeE < 3*readE {
+		t.Errorf("PCM write energy %g not ≫ read %g", writeE, readE)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	m, _ := New(Preset(DRAM))
+	banks := uint64(len(m.banks))
+	// Two accesses to different banks at t=0 complete at the same time.
+	a := m.Read(0, 0)
+	b := m.Read(0, m.rowBlocks) // next row ID → next bank
+	if a != b {
+		t.Errorf("independent banks interfered: %g vs %g", a, b)
+	}
+	// Same bank back-to-back queues.
+	c := m.Read(0, 0)
+	if c <= a {
+		t.Errorf("same-bank access %g did not queue behind %g", c, a)
+	}
+	_ = banks
+}
+
+func TestCompletionNeverBeforeArrivalProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		m, err := New(Preset(RRAMMem))
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for i, l := range lines {
+			done := m.Read(now, uint64(l))
+			if done < now {
+				return false
+			}
+			if i%3 == 0 {
+				now = done
+			} else {
+				now += 1
+			}
+		}
+		s := m.Stats()
+		return s.RowHits+s.RowMisses == uint64(len(lines))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechAccessor(t *testing.T) {
+	m, _ := New(Preset(STTRAMMem))
+	if m.Tech() != STTRAMMem {
+		t.Error("Tech accessor wrong")
+	}
+}
+
+func TestStatsZeroRowHitRate(t *testing.T) {
+	if (Stats{}).RowHitRate() != 0 {
+		t.Error("empty row hit rate not 0")
+	}
+	if math.IsNaN((Stats{}).RowHitRate()) {
+		t.Error("NaN hit rate")
+	}
+}

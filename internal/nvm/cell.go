@@ -1,0 +1,336 @@
+// Package nvm provides cell-level models of emerging non-volatile memory
+// (NVM) technologies and the modeling heuristics described in Section III of
+// Hankin et al., "Evaluation of Non-Volatile Memory Based Last Level Cache
+// Given Modern Use Case Behavior" (IISWC 2019).
+//
+// A Cell describes a single NVM (or SRAM) bit cell by the parameters a
+// circuit-level cache simulator needs: process node, cell size, levels per
+// cell, and the read/set/reset electrical characteristics. Published VLSI
+// papers rarely report every parameter, so each parameter carries a
+// provenance Source recording whether the value was reported in the cited
+// paper or derived by one of the paper's three heuristics:
+//
+//  1. Electrical properties — derive unknown parameters from known ones
+//     using equations (1)-(3) of the paper (P = I*V, E = I*V*t, A = l*w/s²).
+//  2. Interpolation — fit a trend over same-class technologies and
+//     interpolate the missing value.
+//  3. Similarity — copy the parameter from the most similar technology in
+//     the same class.
+//
+// The ten cells of Table II are available via Corpus and by name (Oh, Chen,
+// Kang, Close, Chung, Jan, Umeki, Xue, Hayakawa, Zhang), with exactly the
+// reported/derived provenance of the paper's † and * annotations.
+package nvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is the NVM technology class of a cell.
+type Class int
+
+const (
+	// SRAM is the conventional volatile baseline technology.
+	SRAM Class = iota
+	// PCRAM is Phase Change RAM: heat-driven SET (crystallize) and RESET
+	// (melt) pulses; small cell, poor write endurance.
+	PCRAM
+	// STTRAM is Spin-Torque Transfer RAM: magnetic tunnel junction storage;
+	// efficient reads, highly asymmetric write energy.
+	STTRAM
+	// RRAM is metal-oxide Resistive RAM: low-energy writes, very dense,
+	// limited write endurance.
+	RRAM
+)
+
+// String returns the conventional acronym for the class.
+func (c Class) String() string {
+	switch c {
+	case SRAM:
+		return "SRAM"
+	case PCRAM:
+		return "PCRAM"
+	case STTRAM:
+		return "STTRAM"
+	case RRAM:
+		return "RRAM"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Subscript returns the single-letter class subscript used in the paper to
+// tag LLC names, e.g. "Zhang_R" for an RRAM technology.
+func (c Class) Subscript() string {
+	switch c {
+	case PCRAM:
+		return "P"
+	case STTRAM:
+		return "S"
+	case RRAM:
+		return "R"
+	default:
+		return ""
+	}
+}
+
+// ParseClass converts a class acronym (case-insensitive) to a Class.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SRAM":
+		return SRAM, nil
+	case "PCRAM", "PCM":
+		return PCRAM, nil
+	case "STTRAM", "STT-RAM", "MRAM":
+		return STTRAM, nil
+	case "RRAM", "RERAM":
+		return RRAM, nil
+	}
+	return 0, fmt.Errorf("nvm: unknown class %q", s)
+}
+
+// Source records how a parameter value was obtained.
+type Source int
+
+const (
+	// Missing marks a parameter with no value: either not applicable to the
+	// class or not yet filled in by Complete.
+	Missing Source = iota
+	// Reported marks a value taken directly from the cited VLSI paper.
+	Reported
+	// HeuristicElectrical marks a value derived with heuristic 1
+	// (equations (1)-(3)); the paper's † annotation.
+	HeuristicElectrical
+	// HeuristicInterpolation marks a value derived with heuristic 2; part of
+	// the paper's * annotation.
+	HeuristicInterpolation
+	// HeuristicSimilarity marks a value copied from a same-class technology
+	// with heuristic 3; part of the paper's * annotation.
+	HeuristicSimilarity
+)
+
+// String identifies the source in the notation of the paper's Table II:
+// reported values are unmarked, heuristic 1 is "†", heuristics 2 and 3 are
+// "*".
+func (s Source) String() string {
+	switch s {
+	case Missing:
+		return "missing"
+	case Reported:
+		return "reported"
+	case HeuristicElectrical:
+		return "heuristic-1(†)"
+	case HeuristicInterpolation:
+		return "heuristic-2(*)"
+	case HeuristicSimilarity:
+		return "heuristic-3(*)"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Derived reports whether the source is one of the three modeling
+// heuristics rather than a directly reported value.
+func (s Source) Derived() bool {
+	return s == HeuristicElectrical || s == HeuristicInterpolation || s == HeuristicSimilarity
+}
+
+// Param is a single cell parameter with provenance. The zero value is a
+// missing parameter.
+type Param struct {
+	Value  float64
+	Source Source
+}
+
+// Known reports whether the parameter has a value (from any source).
+func (p Param) Known() bool { return p.Source != Missing }
+
+// Rep constructs a parameter reported directly by the cited paper.
+func Rep(v float64) Param { return Param{Value: v, Source: Reported} }
+
+// derived constructs a parameter produced by a heuristic.
+func derived(v float64, s Source) Param { return Param{Value: v, Source: s} }
+
+// Cell is a cell-level NVM (or SRAM) model: one column of the paper's
+// Table II. Units follow Table II: process in nm, cell size in F², currents
+// in µA, voltages in V, power in µW, energy in pJ, pulses in ns.
+//
+// Parameters that do not apply to a class (for example set/reset voltage for
+// PCRAM, which is current-programmed in NVSim's parameterization) are left
+// Missing, mirroring the grayed-out cells of Table II.
+type Cell struct {
+	// Name is the citation name used throughout the paper, e.g. "Zhang".
+	Name string
+	// Class is the technology class.
+	Class Class
+	// Year is the publication year of the cited VLSI paper.
+	Year int
+	// AccessDevice is the access transistor type (CMOS for all Table II
+	// cells).
+	AccessDevice string
+
+	// ProcessNM is the process node in nanometers.
+	ProcessNM Param
+	// CellSizeF2 is the cell area in F² (feature-size-squared).
+	CellSizeF2 Param
+	// CellLevels is the number of levels per cell (1 = SLC, 2 = MLC).
+	CellLevels int
+
+	// ReadCurrentUA is the read current in µA (PCRAM parameterization).
+	ReadCurrentUA Param
+	// ReadVoltage is the read voltage in V (STTRAM/RRAM parameterization).
+	ReadVoltage Param
+	// ReadPowerUW is the read power in µW (STTRAM/RRAM parameterization).
+	ReadPowerUW Param
+	// ReadEnergyPJ is the per-access read energy in pJ (PCRAM
+	// parameterization).
+	ReadEnergyPJ Param
+
+	// ResetCurrentUA is the RESET programming current in µA.
+	ResetCurrentUA Param
+	// ResetVoltage is the RESET programming voltage in V (RRAM).
+	ResetVoltage Param
+	// ResetPulseNS is the RESET pulse width in ns.
+	ResetPulseNS Param
+	// ResetEnergyPJ is the RESET energy in pJ.
+	ResetEnergyPJ Param
+
+	// SetCurrentUA is the SET programming current in µA.
+	SetCurrentUA Param
+	// SetVoltage is the SET programming voltage in V (RRAM).
+	SetVoltage Param
+	// SetPulseNS is the SET pulse width in ns.
+	SetPulseNS Param
+	// SetEnergyPJ is the SET energy in pJ.
+	SetEnergyPJ Param
+}
+
+// DisplayName returns the paper's LLC naming convention: citation name plus
+// a class subscript, e.g. "Zhang_R"; SRAM is just "SRAM".
+func (c *Cell) DisplayName() string {
+	if c.Class == SRAM {
+		return c.Name
+	}
+	return c.Name + "_" + c.Class.Subscript()
+}
+
+// ParamNames lists the Table II parameter row names in table order.
+var ParamNames = []string{
+	"process [nm]",
+	"cell size [F2]",
+	"read current [uA]",
+	"read voltage [V]",
+	"read power [uW]",
+	"read energy [pJ]",
+	"reset current [uA]",
+	"reset voltage [V]",
+	"reset pulse [ns]",
+	"reset energy [pJ]",
+	"set current [uA]",
+	"set voltage [V]",
+	"set pulse [ns]",
+	"set energy [pJ]",
+}
+
+// Params returns the cell's parameters keyed by the Table II row name, in
+// the same units as the table. Only rows relevant to the cell's class carry
+// values; the rest are Missing.
+func (c *Cell) Params() map[string]Param {
+	return map[string]Param{
+		"process [nm]":       c.ProcessNM,
+		"cell size [F2]":     c.CellSizeF2,
+		"read current [uA]":  c.ReadCurrentUA,
+		"read voltage [V]":   c.ReadVoltage,
+		"read power [uW]":    c.ReadPowerUW,
+		"read energy [pJ]":   c.ReadEnergyPJ,
+		"reset current [uA]": c.ResetCurrentUA,
+		"reset voltage [V]":  c.ResetVoltage,
+		"reset pulse [ns]":   c.ResetPulseNS,
+		"reset energy [pJ]":  c.ResetEnergyPJ,
+		"set current [uA]":   c.SetCurrentUA,
+		"set voltage [V]":    c.SetVoltage,
+		"set pulse [ns]":     c.SetPulseNS,
+		"set energy [pJ]":    c.SetEnergyPJ,
+	}
+}
+
+// requiredParams maps each class to the NVSim-style parameter set that a
+// circuit simulator needs for that class (Section III of the paper).
+var requiredParams = map[Class][]string{
+	PCRAM: {
+		"process [nm]", "cell size [F2]",
+		"read current [uA]", "read energy [pJ]",
+		"reset current [uA]", "reset pulse [ns]",
+		"set current [uA]", "set pulse [ns]",
+	},
+	STTRAM: {
+		"process [nm]", "cell size [F2]",
+		"read voltage [V]", "read power [uW]",
+		"reset current [uA]", "reset pulse [ns]", "reset energy [pJ]",
+		"set current [uA]", "set pulse [ns]", "set energy [pJ]",
+	},
+	RRAM: {
+		"process [nm]", "cell size [F2]",
+		"read voltage [V]", "read power [uW]",
+		"reset voltage [V]", "reset pulse [ns]", "reset energy [pJ]",
+		"set voltage [V]", "set pulse [ns]", "set energy [pJ]",
+	},
+	SRAM: {
+		"process [nm]", "cell size [F2]",
+	},
+}
+
+// RequiredParams returns the names of the parameters a circuit-level
+// simulator requires for the given class, per Section III.
+func RequiredParams(class Class) []string {
+	req := requiredParams[class]
+	out := make([]string, len(req))
+	copy(out, req)
+	return out
+}
+
+// MissingParams returns the required parameters of the cell that have no
+// value yet, in table order.
+func (c *Cell) MissingParams() []string {
+	params := c.Params()
+	var missing []string
+	for _, name := range requiredParams[c.Class] {
+		if !params[name].Known() {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// IsComplete reports whether every parameter required for the cell's class
+// has a value.
+func (c *Cell) IsComplete() bool { return len(c.MissingParams()) == 0 }
+
+// Validate checks structural invariants: positive reported values, a known
+// class, and levels of 1 or 2.
+func (c *Cell) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("nvm: cell has no name")
+	}
+	switch c.Class {
+	case SRAM, PCRAM, STTRAM, RRAM:
+	default:
+		return fmt.Errorf("nvm: cell %s: invalid class %d", c.Name, int(c.Class))
+	}
+	if c.CellLevels != 1 && c.CellLevels != 2 {
+		return fmt.Errorf("nvm: cell %s: cell levels must be 1 or 2, got %d", c.Name, c.CellLevels)
+	}
+	for name, p := range c.Params() {
+		if p.Known() && p.Value <= 0 {
+			return fmt.Errorf("nvm: cell %s: parameter %s must be positive, got %g", c.Name, name, p.Value)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the cell.
+func (c *Cell) Clone() *Cell {
+	cp := *c
+	return &cp
+}

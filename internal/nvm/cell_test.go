@@ -1,0 +1,235 @@
+package nvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorpusMatchesTableII(t *testing.T) {
+	// One spot-check row per cell against the published Table II values.
+	cases := []struct {
+		cell  *Cell
+		class Class
+		year  int
+		proc  float64
+		size  float64
+	}{
+		{Oh(), PCRAM, 2005, 120, 16.6},
+		{Chen(), PCRAM, 2006, 60, 10},
+		{Kang(), PCRAM, 2006, 100, 16.6},
+		{Close(), PCRAM, 2013, 90, 25},
+		{Chung(), STTRAM, 2010, 54, 14},
+		{Jan(), STTRAM, 2014, 90, 50},
+		{Umeki(), STTRAM, 2015, 65, 48},
+		{Xue(), STTRAM, 2016, 45, 63},
+		{Hayakawa(), RRAM, 2015, 40, 4},
+		{Zhang(), RRAM, 2016, 22, 4},
+	}
+	for _, tc := range cases {
+		c := tc.cell
+		if c.Class != tc.class {
+			t.Errorf("%s: class = %v, want %v", c.Name, c.Class, tc.class)
+		}
+		if c.Year != tc.year {
+			t.Errorf("%s: year = %d, want %d", c.Name, c.Year, tc.year)
+		}
+		if c.ProcessNM.Value != tc.proc {
+			t.Errorf("%s: process = %g, want %g", c.Name, c.ProcessNM.Value, tc.proc)
+		}
+		if c.CellSizeF2.Value != tc.size {
+			t.Errorf("%s: cell size = %g, want %g", c.Name, c.CellSizeF2.Value, tc.size)
+		}
+	}
+}
+
+func TestCorpusCompleteAndValid(t *testing.T) {
+	for _, c := range CorpusWithSRAM() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", c.Name, err)
+		}
+		if !c.IsComplete() {
+			t.Errorf("%s is incomplete: missing %v", c.Name, c.MissingParams())
+		}
+	}
+}
+
+func TestCorpusProvenanceMatchesPaperAnnotations(t *testing.T) {
+	// Table II marks specific values with † (heuristic 1) and * (heuristics
+	// 2/3). Verify provenance for the annotated parameters.
+	type want struct {
+		cell   string
+		param  string
+		source Source
+	}
+	cases := []want{
+		{"Oh", "cell size [F2]", HeuristicSimilarity},
+		{"Chen", "process [nm]", HeuristicInterpolation},
+		{"Chen", "cell size [F2]", HeuristicInterpolation},
+		{"Oh", "read current [uA]", HeuristicSimilarity},
+		{"Chen", "read current [uA]", HeuristicSimilarity},
+		{"Kang", "read current [uA]", HeuristicSimilarity},
+		{"Close", "read current [uA]", HeuristicSimilarity},
+		{"Oh", "read energy [pJ]", HeuristicSimilarity},
+		{"Kang", "set current [uA]", HeuristicSimilarity},
+		{"Chung", "read power [uW]", HeuristicElectrical},
+		{"Chung", "reset energy [pJ]", HeuristicElectrical},
+		{"Chung", "set current [uA]", HeuristicElectrical},
+		{"Chung", "set energy [pJ]", HeuristicElectrical},
+		{"Jan", "read power [uW]", HeuristicSimilarity},
+		{"Jan", "reset energy [pJ]", HeuristicSimilarity},
+		{"Jan", "set energy [pJ]", HeuristicSimilarity},
+		{"Umeki", "cell size [F2]", HeuristicElectrical},
+		{"Umeki", "reset current [uA]", HeuristicElectrical},
+		{"Umeki", "set current [uA]", HeuristicElectrical},
+		{"Hayakawa", "cell size [F2]", HeuristicSimilarity},
+		{"Hayakawa", "read voltage [V]", HeuristicSimilarity},
+		{"Hayakawa", "reset voltage [V]", HeuristicSimilarity},
+		{"Zhang", "cell size [F2]", HeuristicSimilarity},
+		{"Xue", "read voltage [V]", Reported},
+		{"Zhang", "reset pulse [ns]", Reported},
+	}
+	for _, tc := range cases {
+		c, err := ByName(tc.cell)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.cell, err)
+		}
+		got := c.Params()[tc.param].Source
+		if got != tc.source {
+			t.Errorf("%s %s: source = %v, want %v", tc.cell, tc.param, got, tc.source)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Zhang", "zhang", "ZHANG", "Zhang_R"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name != "Zhang" {
+			t.Errorf("ByName(%q).Name = %q, want Zhang", name, c.Name)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("ByName(nonexistent) succeeded, want error")
+	}
+	if c, err := ByName("SRAM"); err != nil || c.Class != SRAM {
+		t.Errorf("ByName(SRAM) = %v, %v; want SRAM cell", c, err)
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	cases := map[string]string{
+		"Oh":       "Oh_P",
+		"Chung":    "Chung_S",
+		"Zhang":    "Zhang_R",
+		"Hayakawa": "Hayakawa_R",
+		"SRAM":     "SRAM",
+	}
+	for name, want := range cases {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.DisplayName(); got != want {
+			t.Errorf("DisplayName(%s) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{SRAM: "SRAM", PCRAM: "PCRAM", STTRAM: "STTRAM", RRAM: "RRAM"} {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	ok := map[string]Class{
+		"sram": SRAM, "PCRAM": PCRAM, "pcm": PCRAM,
+		"STT-RAM": STTRAM, "mram": STTRAM, "ReRAM": RRAM, " rram ": RRAM,
+	}
+	for s, want := range ok {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseClass("DRAM"); err == nil {
+		t.Error("ParseClass(DRAM) succeeded, want error")
+	}
+}
+
+func TestValidateRejectsBadCells(t *testing.T) {
+	bad := []*Cell{
+		{Name: "", Class: PCRAM, CellLevels: 1},
+		{Name: "x", Class: Class(7), CellLevels: 1},
+		{Name: "x", Class: PCRAM, CellLevels: 0},
+		{Name: "x", Class: PCRAM, CellLevels: 1, ProcessNM: Rep(-5)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid cell %+v", i, c)
+		}
+	}
+}
+
+func TestMissingParams(t *testing.T) {
+	c := &Cell{Name: "x", Class: RRAM, CellLevels: 1, ProcessNM: Rep(22)}
+	missing := c.MissingParams()
+	if len(missing) != len(RequiredParams(RRAM))-1 {
+		t.Errorf("MissingParams len = %d, want %d", len(missing), len(RequiredParams(RRAM))-1)
+	}
+	for _, m := range missing {
+		if m == "process [nm]" {
+			t.Error("process reported but listed missing")
+		}
+	}
+}
+
+func TestRequiredParamsIsACopy(t *testing.T) {
+	a := RequiredParams(PCRAM)
+	a[0] = "mutated"
+	b := RequiredParams(PCRAM)
+	if b[0] == "mutated" {
+		t.Error("RequiredParams returned shared backing array")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Zhang()
+	cp := c.Clone()
+	cp.ProcessNM = Rep(99)
+	cp.Name = "other"
+	if c.ProcessNM.Value == 99 || c.Name == "other" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if Reported.String() != "reported" {
+		t.Errorf("Reported.String() = %q", Reported.String())
+	}
+	if !HeuristicElectrical.Derived() || Reported.Derived() || Missing.Derived() {
+		t.Error("Derived() classification wrong")
+	}
+	if !strings.Contains(HeuristicElectrical.String(), "†") {
+		t.Errorf("heuristic 1 should render with †, got %q", HeuristicElectrical.String())
+	}
+}
+
+func TestEffectiveBitsPerCell(t *testing.T) {
+	if got := Xue().EffectiveBitsPerCell(); got != 2 {
+		t.Errorf("Xue bits/cell = %g, want 2", got)
+	}
+	if got := Chung().EffectiveBitsPerCell(); got != 1 {
+		t.Errorf("Chung bits/cell = %g, want 1", got)
+	}
+	if got := Close().EffectiveBitsPerCell(); got != 2 {
+		t.Errorf("Close bits/cell = %g, want 2", got)
+	}
+}

@@ -1,0 +1,35 @@
+package nvm_test
+
+import (
+	"fmt"
+
+	"nvmllc/internal/nvm"
+)
+
+// ExampleComplete shows the paper's modeling heuristics filling in a
+// cell's unreported parameters, including the worked example from Section
+// III-A: Kang's set current copied from Oh because their reset currents
+// are identical.
+func ExampleComplete() {
+	kang := nvm.Strip(nvm.Kang()) // reported parameters only
+	derivations, err := nvm.Complete(kang, nvm.Corpus())
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range derivations {
+		if d.Param == "set current [uA]" {
+			fmt.Printf("%s = %g (%s)\n", d.Param, d.Value, d.Source)
+		}
+	}
+	// Output:
+	// set current [uA] = 200 (heuristic-3(*))
+}
+
+// ExampleProgramEnergyPJ reproduces the paper's † derivation of Chung's
+// RESET energy with equation (2).
+func ExampleProgramEnergyPJ() {
+	e := nvm.ProgramEnergyPJ(80, 0.65, 10) // 80 µA × 0.65 V × 10 ns
+	fmt.Printf("%.2f pJ\n", e)
+	// Output:
+	// 0.52 pJ
+}

@@ -1,0 +1,325 @@
+package nvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den <= relTol
+}
+
+func TestEquation1ReadPower(t *testing.T) {
+	// 40 µA at 0.65 V = 26 µW.
+	if got := ReadPowerUW(40, 0.65); !approxEqual(got, 26, 1e-12) {
+		t.Errorf("ReadPowerUW = %g, want 26", got)
+	}
+}
+
+func TestEquation2ReproducesChungResetEnergy(t *testing.T) {
+	// The paper's † for Chung's reset energy: 80 µA × 0.65 V × 10 ns =
+	// 0.52 pJ exactly.
+	got := ProgramEnergyPJ(80, 0.65, 10)
+	if !approxEqual(got, 0.52, 1e-9) {
+		t.Errorf("Chung reset energy = %g pJ, want 0.52", got)
+	}
+}
+
+func TestEquation2InverseRoundTrip(t *testing.T) {
+	f := func(iRaw, vRaw, tRaw uint16) bool {
+		i := 1 + float64(iRaw%1000)
+		v := 0.1 + float64(vRaw%30)/10
+		tt := 1 + float64(tRaw%500)
+		e := ProgramEnergyPJ(i, v, tt)
+		back := ProgramCurrentUA(e, v, tt)
+		return approxEqual(back, i, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquation3CellSize(t *testing.T) {
+	// A 270nm × 270nm cell at 45nm is 36 F².
+	if got := CellSizeF2(270, 270, 45); !approxEqual(got, 36, 1e-12) {
+		t.Errorf("CellSizeF2 = %g, want 36", got)
+	}
+}
+
+func TestNominalVDDMonotone(t *testing.T) {
+	nodes := []float64{130, 120, 90, 65, 45, 40, 32, 22}
+	prev := math.Inf(1)
+	for _, n := range nodes {
+		v := NominalVDD(n)
+		if v <= 0 {
+			t.Fatalf("NominalVDD(%g) = %g, want positive", n, v)
+		}
+		if v > prev {
+			t.Errorf("NominalVDD not monotone: VDD(%g)=%g > previous %g", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestInterpolateTwoPointsIsLine(t *testing.T) {
+	v, err := Interpolate(50, []float64{0, 100}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(v, 15, 1e-9) {
+		t.Errorf("Interpolate midpoint = %g, want 15", v)
+	}
+}
+
+func TestInterpolateClampsExtrapolation(t *testing.T) {
+	// Steep trend extrapolated far out must clamp to 1.5× donor max.
+	v, err := Interpolate(1000, []float64{0, 10}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 3.0001 {
+		t.Errorf("Interpolate unclamped extrapolation: %g", v)
+	}
+	// And to 0.5× donor min on the low side.
+	v, err = Interpolate(-1000, []float64{0, 10}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.49999 {
+		t.Errorf("Interpolate below clamp floor: %g", v)
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	if _, err := Interpolate(1, []float64{1}, []float64{1}); err == nil {
+		t.Error("single donor accepted")
+	}
+	if _, err := Interpolate(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestInterpolateSameXDonorsUsesMean(t *testing.T) {
+	v, err := Interpolate(5, []float64{3, 3}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(v, 15, 1e-9) {
+		t.Errorf("degenerate interpolation = %g, want mean 15", v)
+	}
+}
+
+func TestSimilarDonorKangExample(t *testing.T) {
+	// The paper's worked example: Kang's set current comes from Oh because
+	// they share an identical 600 µA reset current.
+	kang := Strip(Kang())
+	donor, err := SimilarDonor(kang, Corpus(), "set current [uA]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if donor.Name != "Oh" {
+		t.Errorf("Kang set-current donor = %s, want Oh", donor.Name)
+	}
+}
+
+func TestSimilarDonorRejectsCrossClass(t *testing.T) {
+	z := Strip(Zhang())
+	donor, err := SimilarDonor(z, Corpus(), "read voltage [V]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if donor.Class != RRAM {
+		t.Errorf("Zhang donor class = %v, want RRAM", donor.Class)
+	}
+}
+
+func TestSimilarDonorNoCandidates(t *testing.T) {
+	lone := &Cell{Name: "lone", Class: RRAM, CellLevels: 1}
+	if _, err := SimilarDonor(lone, []*Cell{lone, Oh()}, "read voltage [V]"); err == nil {
+		t.Error("expected error when no same-class donor exists")
+	}
+}
+
+func TestCompleteFillsAllRequiredParams(t *testing.T) {
+	for _, orig := range Corpus() {
+		stripped := Strip(orig)
+		derivs, err := Complete(stripped, Corpus())
+		if err != nil {
+			t.Errorf("Complete(%s): %v", orig.Name, err)
+			continue
+		}
+		if !stripped.IsComplete() {
+			t.Errorf("%s still incomplete after Complete: %v", orig.Name, stripped.MissingParams())
+		}
+		for _, d := range derivs {
+			if !d.Source.Derived() {
+				t.Errorf("%s %s: derivation source %v not a heuristic", orig.Name, d.Param, d.Source)
+			}
+			if d.Value <= 0 {
+				t.Errorf("%s %s: non-positive derived value %g", orig.Name, d.Param, d.Value)
+			}
+			if d.Note == "" {
+				t.Errorf("%s %s: empty derivation note", orig.Name, d.Param)
+			}
+		}
+	}
+}
+
+func TestCompleteElectricalDerivationsMatchPaper(t *testing.T) {
+	// Chung's † values re-derive exactly (reset energy) or within modeling
+	// tolerance (set energy depends on the already-derived set current, and
+	// Umeki's currents invert eq. 2 with an approximated access voltage).
+	chung := Strip(Chung())
+	if _, err := Complete(chung, Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	if got := chung.ResetEnergyPJ; got.Source != HeuristicElectrical || !approxEqual(got.Value, 0.52, 0.01) {
+		t.Errorf("Chung reset energy re-derived = %g (%v), want 0.52 via heuristic 1", got.Value, got.Source)
+	}
+
+	umeki := Strip(Umeki())
+	if _, err := Complete(umeki, Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	// Paper value 255 µA; eq. 2 inversion with V_access = V_read gives
+	// 1.12 pJ / (0.38 V × 10 ns) ≈ 295 µA. Accept within 30%.
+	if got := umeki.ResetCurrentUA; got.Source != HeuristicElectrical || !approxEqual(got.Value, 255, 0.30) {
+		t.Errorf("Umeki reset current re-derived = %g (%v), want ≈255 via heuristic 1", got.Value, got.Source)
+	}
+}
+
+func TestCompleteSimilarityDerivationsMatchPaper(t *testing.T) {
+	kang := Strip(Kang())
+	if _, err := Complete(kang, Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	if got := kang.SetCurrentUA; got.Source != HeuristicSimilarity || got.Value != 200 {
+		t.Errorf("Kang set current = %g (%v), want 200 via heuristic 3", got.Value, got.Source)
+	}
+}
+
+func TestCompleteIsIdempotent(t *testing.T) {
+	c := Strip(Chung())
+	if _, err := Complete(c, Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := *c
+	derivs, err := Complete(c, Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derivs) != 0 {
+		t.Errorf("second Complete produced %d derivations, want 0", len(derivs))
+	}
+	if *c != snapshot {
+		t.Error("second Complete mutated the cell")
+	}
+}
+
+func TestCompleteErrorsWithoutDonors(t *testing.T) {
+	lone := &Cell{
+		Name: "lone", Class: PCRAM, CellLevels: 1,
+		ProcessNM: Rep(90), CellSizeF2: Rep(10),
+	}
+	if _, err := Complete(lone, nil); err == nil {
+		t.Error("Complete with empty corpus succeeded, want error")
+	}
+}
+
+func TestStripRemovesOnlyDerived(t *testing.T) {
+	c := Chung()
+	s := Strip(c)
+	if s.ResetEnergyPJ.Known() {
+		t.Error("Strip kept derived reset energy")
+	}
+	if !s.ResetCurrentUA.Known() || s.ResetCurrentUA.Source != Reported {
+		t.Error("Strip removed reported reset current")
+	}
+	// Original untouched.
+	if !c.ResetEnergyPJ.Known() {
+		t.Error("Strip mutated its argument")
+	}
+}
+
+func TestBitEnergiesAllCells(t *testing.T) {
+	for _, c := range Corpus() {
+		set, err := c.BitSetEnergyPJ()
+		if err != nil || set <= 0 {
+			t.Errorf("%s BitSetEnergyPJ = %g, %v", c.Name, set, err)
+		}
+		reset, err := c.BitResetEnergyPJ()
+		if err != nil || reset <= 0 {
+			t.Errorf("%s BitResetEnergyPJ = %g, %v", c.Name, reset, err)
+		}
+		w, err := c.BitWriteEnergyPJ()
+		if err != nil {
+			t.Errorf("%s BitWriteEnergyPJ: %v", c.Name, err)
+		}
+		if !approxEqual(w, (set+reset)/2, 1e-12) {
+			t.Errorf("%s write energy %g != mean(set,reset) %g", c.Name, w, (set+reset)/2)
+		}
+		r, err := c.BitReadEnergyPJ(1.0)
+		if err != nil || r <= 0 {
+			t.Errorf("%s BitReadEnergyPJ = %g, %v", c.Name, r, err)
+		}
+	}
+}
+
+func TestBitEnergyErrors(t *testing.T) {
+	empty := &Cell{Name: "e", Class: STTRAM, CellLevels: 1}
+	if _, err := empty.BitSetEnergyPJ(); err == nil {
+		t.Error("BitSetEnergyPJ on empty cell succeeded")
+	}
+	if _, err := empty.BitResetEnergyPJ(); err == nil {
+		t.Error("BitResetEnergyPJ on empty cell succeeded")
+	}
+	if _, err := empty.BitWriteEnergyPJ(); err == nil {
+		t.Error("BitWriteEnergyPJ on empty cell succeeded")
+	}
+	if _, err := empty.BitReadEnergyPJ(1); err == nil {
+		t.Error("BitReadEnergyPJ on empty cell succeeded")
+	}
+}
+
+func TestMaxWritePulse(t *testing.T) {
+	oh := Oh()
+	if got := oh.MaxWritePulse(); got != 180 {
+		t.Errorf("Oh MaxWritePulse = %g, want 180 (set pulse)", got)
+	}
+	if got := SRAMCell().MaxWritePulse(); got != 0 {
+		t.Errorf("SRAM MaxWritePulse = %g, want 0", got)
+	}
+}
+
+func TestWriteEnergyOrderingPCRAMvsRRAM(t *testing.T) {
+	// The paper's qualitative comparison: PCRAM writes are far more
+	// expensive than RRAM writes. Verify the corpus reflects it.
+	ohW, err := Oh().BitWriteEnergyPJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zhangW, err := Zhang().BitWriteEnergyPJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ohW <= zhangW {
+		t.Errorf("Oh (PCRAM) write energy %g pJ should exceed Zhang (RRAM) %g pJ", ohW, zhangW)
+	}
+}
+
+func TestProgramEnergyPositiveProperty(t *testing.T) {
+	f := func(i, v, p uint8) bool {
+		cur := 1 + float64(i)
+		vol := 0.1 + float64(v)/100
+		pul := 1 + float64(p)
+		return ProgramEnergyPJ(cur, vol, pul) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package nvm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON model release — the paper's published artifact ("we release our NVM
+// cell models and make them publicly available online"). The schema keeps
+// the Table II structure: every parameter carries its value and
+// provenance, so a downstream user sees exactly which numbers were
+// reported and which were derived, and by which heuristic.
+
+// paramJSON is the serialized form of a Param.
+type paramJSON struct {
+	Value  float64 `json:"value"`
+	Source string  `json:"source"`
+}
+
+// cellJSON is the serialized form of a Cell.
+type cellJSON struct {
+	Name         string               `json:"name"`
+	Class        string               `json:"class"`
+	Year         int                  `json:"year"`
+	AccessDevice string               `json:"access_device"`
+	CellLevels   int                  `json:"cell_levels"`
+	Params       map[string]paramJSON `json:"params"`
+}
+
+// sourceNames maps Source values to stable JSON strings.
+var sourceNames = map[Source]string{
+	Reported:               "reported",
+	HeuristicElectrical:    "heuristic-electrical",
+	HeuristicInterpolation: "heuristic-interpolation",
+	HeuristicSimilarity:    "heuristic-similarity",
+}
+
+func sourceFromName(s string) (Source, error) {
+	for src, name := range sourceNames {
+		if name == s {
+			return src, nil
+		}
+	}
+	return Missing, fmt.Errorf("nvm: unknown parameter source %q", s)
+}
+
+// ExportJSON writes the cells as an indented JSON array — the
+// downloadable model-release file.
+func ExportJSON(w io.Writer, cells []*Cell) error {
+	out := make([]cellJSON, 0, len(cells))
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		cj := cellJSON{
+			Name:         c.Name,
+			Class:        c.Class.String(),
+			Year:         c.Year,
+			AccessDevice: c.AccessDevice,
+			CellLevels:   c.CellLevels,
+			Params:       make(map[string]paramJSON),
+		}
+		for name, p := range c.Params() {
+			if !p.Known() {
+				continue
+			}
+			cj.Params[name] = paramJSON{Value: p.Value, Source: sourceNames[p.Source]}
+		}
+		out = append(out, cj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ImportJSON reads a model-release file back into cells.
+func ImportJSON(r io.Reader) ([]*Cell, error) {
+	var in []cellJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("nvm: decoding model file: %w", err)
+	}
+	cells := make([]*Cell, 0, len(in))
+	for _, cj := range in {
+		class, err := ParseClass(cj.Class)
+		if err != nil {
+			return nil, fmt.Errorf("nvm: cell %q: %w", cj.Name, err)
+		}
+		c := &Cell{
+			Name:         cj.Name,
+			Class:        class,
+			Year:         cj.Year,
+			AccessDevice: cj.AccessDevice,
+			CellLevels:   cj.CellLevels,
+		}
+		for name, pj := range cj.Params {
+			src, err := sourceFromName(pj.Source)
+			if err != nil {
+				return nil, fmt.Errorf("nvm: cell %q, param %q: %w", cj.Name, name, err)
+			}
+			if !validParamName(name) {
+				return nil, fmt.Errorf("nvm: cell %q: unknown parameter %q", cj.Name, name)
+			}
+			setParam(c, name, Param{Value: pj.Value, Source: src})
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// validParamName reports whether name is a Table II row.
+func validParamName(name string) bool {
+	for _, n := range ParamNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

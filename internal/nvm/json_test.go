@@ -1,0 +1,97 @@
+package nvm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, CorpusWithSRAM()); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 11 {
+		t.Fatalf("imported %d cells, want 11", len(cells))
+	}
+	orig := CorpusWithSRAM()
+	for i, c := range cells {
+		o := orig[i]
+		if c.Name != o.Name || c.Class != o.Class || c.Year != o.Year || c.CellLevels != o.CellLevels {
+			t.Errorf("cell %d metadata: %+v vs %+v", i, c, o)
+		}
+		op, cp := o.Params(), c.Params()
+		for _, name := range ParamNames {
+			if op[name] != cp[name] {
+				t.Errorf("%s %s: %+v vs %+v", c.Name, name, cp[name], op[name])
+			}
+		}
+	}
+}
+
+func TestJSONProvenancePreserved(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, []*Cell{Chung()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"heuristic-electrical", "reported", "\"class\": \"STTRAM\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	cells, err := ImportJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].ReadPowerUW.Source != HeuristicElectrical {
+		t.Error("provenance lost through round trip")
+	}
+}
+
+func TestImportJSONErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"name":"x","class":"FLASH","cell_levels":1,"params":{}}]`,
+		`[{"name":"x","class":"RRAM","cell_levels":1,"params":{"bogus row":{"value":1,"source":"reported"}}}]`,
+		`[{"name":"x","class":"RRAM","cell_levels":1,"params":{"process [nm]":{"value":1,"source":"guessed"}}}]`,
+		`[{"name":"x","class":"RRAM","cell_levels":0,"params":{}}]`,
+		`[{"name":"x","class":"RRAM","cell_levels":1,"params":{"process [nm]":{"value":-5,"source":"reported"}}}]`,
+	}
+	for i, in := range bad {
+		if _, err := ImportJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestExportJSONRejectsInvalidCell(t *testing.T) {
+	bad := &Cell{Name: "", Class: RRAM, CellLevels: 1}
+	if err := ExportJSON(&bytes.Buffer{}, []*Cell{bad}); err == nil {
+		t.Error("invalid cell exported")
+	}
+}
+
+func TestImportedModelsDriveThePipeline(t *testing.T) {
+	// The released file is not just data: imported cells must work with
+	// Complete and downstream modeling.
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := Strip(cells[9]) // Zhang
+	if _, err := Complete(stripped, cells); err != nil {
+		t.Fatalf("Complete on imported corpus: %v", err)
+	}
+	if !stripped.IsComplete() {
+		t.Error("imported corpus could not complete a stripped cell")
+	}
+}

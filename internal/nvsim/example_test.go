@@ -1,0 +1,32 @@
+package nvsim_test
+
+import (
+	"fmt"
+
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/nvsim"
+)
+
+// ExampleGenerate turns a Table II cell into a Table III LLC model.
+func ExampleGenerate() {
+	model, err := nvsim.Generate(nvm.Zhang(), nvsim.GainestownLLC())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.0f MB, area %.2f mm², write %.0f ns\n",
+		model.Name, model.CapacityMB(), model.AreaMM2, model.WriteLatencyNS())
+	// Output:
+	// Zhang_R: 2 MB, area 0.29 mm², write 301 ns
+}
+
+// ExampleFitCapacityToArea performs the paper's fixed-area inversion: the
+// largest RRAM LLC fitting the 6.55 mm² SRAM budget.
+func ExampleFitCapacityToArea() {
+	model, err := nvsim.FitCapacityToArea(nvm.Zhang(), nvsim.GainestownLLC(), 6.55)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s fixed-area capacity: %.0f MB\n", model.Name, model.CapacityMB())
+	// Output:
+	// Zhang_R fixed-area capacity: 32 MB
+}

@@ -1,0 +1,91 @@
+package nvsim
+
+import (
+	"testing"
+
+	"nvmllc/internal/nvm"
+)
+
+func TestLayersValidation(t *testing.T) {
+	org := GainestownLLC()
+	org.Layers = -1
+	if err := org.Validate(); err == nil {
+		t.Error("negative layers accepted")
+	}
+	org.Layers = 9
+	if err := org.Validate(); err == nil {
+		t.Error("9 layers accepted")
+	}
+	org.Layers = 8
+	if err := org.Validate(); err != nil {
+		t.Errorf("8 layers rejected: %v", err)
+	}
+}
+
+func TestStackingShrinksFootprint(t *testing.T) {
+	planar, err := Generate(nvm.Jan(), GainestownLLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := GainestownLLC()
+	org.Layers = 4
+	stacked, err := Generate(nvm.Jan(), org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 layers ≈ quarter footprint plus TSV tax.
+	ratio := planar.AreaMM2 / stacked.AreaMM2
+	if ratio < 3 || ratio > 4.1 {
+		t.Errorf("4-layer footprint ratio = %.2f, want ≈3.8", ratio)
+	}
+}
+
+func TestStackingLatencyTradeoff(t *testing.T) {
+	// For a big planar cache (Jan at 2MB is 9+ mm²), stacking shortens the
+	// H-tree more than the TSV hops cost, so reads get faster.
+	planar, err := Generate(nvm.Jan(), GainestownLLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := GainestownLLC()
+	org.Layers = 4
+	stacked, err := Generate(nvm.Jan(), org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.ReadLatencyNS >= planar.ReadLatencyNS {
+		t.Errorf("4-layer read %.3f ns not below planar %.3f ns", stacked.ReadLatencyNS, planar.ReadLatencyNS)
+	}
+	// For a tiny cache (Zhang 0.3 mm²) the TSV hops dominate: stacking
+	// must not be free.
+	pz, err := Generate(nvm.Zhang(), GainestownLLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oz := GainestownLLC()
+	oz.Layers = 8
+	sz, err := Generate(nvm.Zhang(), oz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.ReadLatencyNS <= pz.ReadLatencyNS-0.2 {
+		t.Errorf("tiny-cache stacking too beneficial: %.3f vs %.3f", sz.ReadLatencyNS, pz.ReadLatencyNS)
+	}
+}
+
+func TestStackingIncreasesFixedAreaCapacity(t *testing.T) {
+	org := GainestownLLC()
+	planar, err := FitCapacityToArea(nvm.Hayakawa(), org, 6.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org.Layers = 4
+	stacked, err := FitCapacityToArea(nvm.Hayakawa(), org, 6.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.CapacityBytes < 2*planar.CapacityBytes {
+		t.Errorf("4-layer fixed-area capacity %dMB not ≥ 2× planar %dMB",
+			stacked.CapacityBytes>>20, planar.CapacityBytes>>20)
+	}
+}

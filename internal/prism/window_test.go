@@ -1,0 +1,94 @@
+package prism
+
+import (
+	"testing"
+
+	"nvmllc/internal/trace"
+)
+
+// phaseTrace alternates a small phase and a large phase.
+func phaseTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "phases", Threads: 1}
+	add := func(line uint64, k trace.Kind) {
+		tr.Accesses = append(tr.Accesses, trace.Access{Addr: line * 64, Kind: k})
+	}
+	// Phase 1: 1000 accesses over 10 lines, all reads.
+	for i := 0; i < 1000; i++ {
+		add(uint64(i%10), trace.Read)
+	}
+	// Phase 2: 1000 accesses over 800 lines, all writes.
+	for i := 0; i < 1000; i++ {
+		add(uint64(1000+i%800), trace.Write)
+	}
+	tr.InstrCount = uint64(len(tr.Accesses))
+	return tr
+}
+
+func TestWindowProfilePhases(t *testing.T) {
+	ws, err := WindowProfile(phaseTrace(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].UniqueLines != 10 || ws[1].UniqueLines != 800 {
+		t.Errorf("unique lines = %d, %d; want 10, 800", ws[0].UniqueLines, ws[1].UniqueLines)
+	}
+	if ws[0].WriteFrac != 0 || ws[1].WriteFrac != 1 {
+		t.Errorf("write fracs = %g, %g; want 0, 1", ws[0].WriteFrac, ws[1].WriteFrac)
+	}
+	if ws[1].GlobalEntropy <= ws[0].GlobalEntropy {
+		t.Errorf("phase-2 entropy %g not above phase-1 %g", ws[1].GlobalEntropy, ws[0].GlobalEntropy)
+	}
+	if ws[0].StartAccess != 0 || ws[1].StartAccess != 1000 {
+		t.Errorf("window starts = %d, %d", ws[0].StartAccess, ws[1].StartAccess)
+	}
+}
+
+func TestWorkingSetCurveAndPeak(t *testing.T) {
+	tr := phaseTrace()
+	curve, err := WorkingSetCurve(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 || curve[1] != 800 {
+		t.Errorf("curve = %v", curve)
+	}
+	peak, err := PeakWorkingSetBytes(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 800*64 {
+		t.Errorf("peak = %d bytes, want %d", peak, 800*64)
+	}
+}
+
+func TestWindowProfileErrorsAndEdges(t *testing.T) {
+	if _, err := WindowProfile(phaseTrace(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	// Ifetches are excluded from data-footprint windows.
+	tr := &trace.Trace{Name: "if", Threads: 1, InstrCount: 100}
+	for i := 0; i < 100; i++ {
+		tr.Accesses = append(tr.Accesses, trace.Access{Addr: uint64(i) * 64, Kind: trace.Ifetch})
+	}
+	ws, err := WindowProfile(tr, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.UniqueLines != 0 {
+			t.Errorf("ifetch counted in data working set: %+v", w)
+		}
+	}
+	// Tiny trailing window is dropped.
+	tr2 := phaseTrace()
+	ws2, err := WindowProfile(tr2, 1999) // second window would be 1 access
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws2) != 1 {
+		t.Errorf("windows = %d, want 1 (trailing sliver dropped)", len(ws2))
+	}
+}

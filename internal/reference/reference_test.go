@@ -1,0 +1,224 @@
+package reference
+
+import (
+	"testing"
+
+	"nvmllc/internal/nvm"
+)
+
+func TestFixedCapacityModelsValid(t *testing.T) {
+	models := FixedCapacityModels()
+	if len(models) != 11 {
+		t.Fatalf("fixed-capacity models = %d, want 11", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.CapacityBytes != 2*MB {
+			t.Errorf("%s: fixed-capacity capacity = %d, want 2MB", m.Name, m.CapacityBytes)
+		}
+	}
+}
+
+func TestFixedAreaModelsValid(t *testing.T) {
+	models := FixedAreaModels()
+	if len(models) != 11 {
+		t.Fatalf("fixed-area models = %d, want 11", len(models))
+	}
+	wantCapMB := map[string]int64{
+		"Oh_P": 2, "Chen_P": 4, "Kang_P": 2, "Close_P": 4,
+		"Chung_S": 8, "Jan_S": 1, "Umeki_S": 2, "Xue_S": 8,
+		"Hayakawa_R": 32, "Zhang_R": 128, "SRAM": 2,
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if want := wantCapMB[m.Name] * MB; m.CapacityBytes != want {
+			t.Errorf("%s: fixed-area capacity = %d, want %d", m.Name, m.CapacityBytes, want)
+		}
+	}
+}
+
+func TestTableIIISpotChecks(t *testing.T) {
+	fc := FixedCapacityModels()
+	kang, err := ModelByName(fc, "Kang_P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kang.WriteSetNS != 301.018 || kang.WriteResetNS != 51.018 {
+		t.Errorf("Kang_P write latencies = %g/%g, want 301.018/51.018", kang.WriteSetNS, kang.WriteResetNS)
+	}
+	if kang.WriteLatencyNS() != 301.018 {
+		t.Errorf("Kang_P WriteLatencyNS = %g, want worst-case 301.018", kang.WriteLatencyNS())
+	}
+	zhang, err := ModelByName(FixedAreaModels(), "Zhang_R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zhang.CapacityMB() != 128 {
+		t.Errorf("Zhang_R fixed-area capacity = %g MB, want 128", zhang.CapacityMB())
+	}
+	if zhang.LeakageW != 9.0 {
+		t.Errorf("Zhang_R fixed-area leakage = %g, want 9.0", zhang.LeakageW)
+	}
+}
+
+func TestPaperHeadlineRelationsHold(t *testing.T) {
+	fc := FixedCapacityModels()
+	sram := SRAMBaseline()
+	jan, _ := ModelByName(fc, "Jan_S")
+	xue, _ := ModelByName(fc, "Xue_S")
+	hay, _ := ModelByName(fc, "Hayakawa_R")
+	umeki, _ := ModelByName(fc, "Umeki_S")
+	kang, _ := ModelByName(fc, "Kang_P")
+
+	// Section V-C: Jan_S leakage far below the dense NVMs (paper: 32× less
+	// than Xue_S at fixed-area... at fixed-capacity it is simply lowest).
+	for _, m := range []struct {
+		name string
+		leak float64
+	}{{"Xue_S", xue.LeakageW}, {"Hayakawa_R", hay.LeakageW}, {"Umeki_S", umeki.LeakageW}} {
+		if jan.LeakageW >= m.leak {
+			t.Errorf("Jan_S leakage %g not below %s %g", jan.LeakageW, m.name, m.leak)
+		}
+	}
+	// SRAM leaks dramatically more than every NVM.
+	for _, m := range NVMModels(fc) {
+		if m.LeakageW >= sram.LeakageW {
+			t.Errorf("%s leakage %g not below SRAM %g", m.Name, m.LeakageW, sram.LeakageW)
+		}
+	}
+	// PCRAM write energy is orders of magnitude above SRAM (Kang worst).
+	if kang.WriteEnergyNJ < 100*sram.WriteEnergyNJ {
+		t.Errorf("Kang_P write energy %g not ≫ SRAM %g", kang.WriteEnergyNJ, sram.WriteEnergyNJ)
+	}
+}
+
+func TestFixedAreaZhangVsHayakawaWriteLatency(t *testing.T) {
+	// Section V-C: Zhang_R has "nearly 15× worse write latency than
+	// Hayakawa_R".
+	fa := FixedAreaModels()
+	zhang, _ := ModelByName(fa, "Zhang_R")
+	hay, _ := ModelByName(fa, "Hayakawa_R")
+	ratio := zhang.WriteLatencyNS() / hay.WriteLatencyNS()
+	if ratio < 13 || ratio > 16 {
+		t.Errorf("Zhang/Hayakawa write latency ratio = %.2f, want ≈15", ratio)
+	}
+}
+
+func TestModelByNameErrors(t *testing.T) {
+	if _, err := ModelByName(FixedCapacityModels(), "nope"); err == nil {
+		t.Error("ModelByName(nope) succeeded")
+	}
+}
+
+func TestNVMModelsExcludesSRAM(t *testing.T) {
+	nvms := NVMModels(FixedCapacityModels())
+	if len(nvms) != 10 {
+		t.Fatalf("NVM models = %d, want 10", len(nvms))
+	}
+	for _, m := range nvms {
+		if m.Class == nvm.SRAM {
+			t.Errorf("%s is SRAM", m.Name)
+		}
+	}
+}
+
+func TestWorkloadsTableV(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 20 {
+		t.Fatalf("workloads = %d, want 20", len(ws))
+	}
+	if len(SingleThreaded()) != 11 {
+		t.Errorf("single-threaded = %d, want 11", len(SingleThreaded()))
+	}
+	if len(MultiThreaded()) != 9 {
+		t.Errorf("multi-threaded = %d, want 9", len(MultiThreaded()))
+	}
+	ai := AIWorkloads()
+	if len(ai) != 3 {
+		t.Fatalf("AI workloads = %d, want 3", len(ai))
+	}
+	wantAI := map[string]bool{"deepsjeng": true, "leela": true, "exchange2": true}
+	for _, w := range ai {
+		if !wantAI[w.Name] {
+			t.Errorf("unexpected AI workload %s", w.Name)
+		}
+	}
+	// All workloads pass the paper's MPKI > 5 selection threshold.
+	for _, w := range ws {
+		if w.LLCMPKI <= 5 {
+			t.Errorf("%s MPKI %g fails the paper's >5 selection rule", w.Name, w.LLCMPKI)
+		}
+	}
+}
+
+func TestCharacterizedWorkloadsMatchTableVI(t *testing.T) {
+	cw := CharacterizedWorkloads()
+	if len(cw) != 16 {
+		t.Fatalf("characterized workloads = %d, want 16", len(cw))
+	}
+	features := PaperFeatures()
+	if len(features) != 16 {
+		t.Fatalf("paper features = %d entries, want 16", len(features))
+	}
+	excluded := map[string]bool{"gamess": true, "gobmk": true, "milc": true, "perlbench": true}
+	for _, w := range cw {
+		if excluded[w.Name] {
+			t.Errorf("%s should be excluded from characterization", w.Name)
+		}
+		if _, ok := features[w.Name]; !ok {
+			t.Errorf("no Table VI features for %s", w.Name)
+		}
+	}
+}
+
+func TestPaperFeatureSpotChecks(t *testing.T) {
+	f := PaperFeatures()
+	ex := f["exchange2"]
+	// exchange2: largest totals, smallest uniques (Section VI).
+	for name, other := range f {
+		if name == "exchange2" {
+			continue
+		}
+		if other.TotalReads >= ex.TotalReads {
+			t.Errorf("%s total reads %d ≥ exchange2 %d", name, other.TotalReads, ex.TotalReads)
+		}
+		if other.UniqueWrites <= ex.UniqueWrites {
+			t.Errorf("%s unique writes %d ≤ exchange2 %d", name, other.UniqueWrites, ex.UniqueWrites)
+		}
+	}
+	// GemsFDTD: 90% footprints two orders of magnitude above the rest.
+	gems := f["GemsFDTD"]
+	for name, other := range f {
+		if name == "GemsFDTD" {
+			continue
+		}
+		if other.Footprint90Writes >= gems.Footprint90Writes {
+			t.Errorf("%s 90%% write footprint %d ≥ GemsFDTD %d", name, other.Footprint90Writes, gems.Footprint90Writes)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("cg")
+	if err != nil || w.Suite != "NPB3.3.1" || !w.MultiThreaded {
+		t.Errorf("WorkloadByName(cg) = %+v, %v", w, err)
+	}
+	if _, err := WorkloadByName("quake"); err == nil {
+		t.Error("WorkloadByName(quake) succeeded")
+	}
+}
+
+func TestBestNVMsPresentInBothConfigs(t *testing.T) {
+	for _, name := range BestNVMs {
+		if _, err := ModelByName(FixedCapacityModels(), name); err != nil {
+			t.Errorf("fixed-capacity: %v", err)
+		}
+		if _, err := ModelByName(FixedAreaModels(), name); err != nil {
+			t.Errorf("fixed-area: %v", err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package reference
+
+import (
+	"fmt"
+
+	"nvmllc/internal/prism"
+)
+
+// Workload is one row of the paper's Table V.
+type Workload struct {
+	// Name is the benchmark name as used throughout the paper.
+	Name string
+	// Suite is the benchmark suite ("cpu2006", "PARSEC3.0", "NPB3.3.1",
+	// "cpu2017").
+	Suite string
+	// LLCMPKI is the LLC misses per kilo-instruction the paper measured.
+	LLCMPKI float64
+	// MultiThreaded is true for the m.t. workloads (simulated on 4 cores).
+	MultiThreaded bool
+	// AI marks the cpu2017 statistical-inference workloads used for the
+	// specialized-system correlation study.
+	AI bool
+	// PRISMCompatible is false for the four cpu2006 workloads the paper
+	// excludes from characterization (gamess, gobmk, milc, perlbench).
+	PRISMCompatible bool
+	// Description is the Table V summary.
+	Description string
+}
+
+// Workloads returns the paper's 20 benchmarks in Table V order.
+func Workloads() []Workload {
+	return []Workload{
+		{"bzip2", "cpu2006", 142.69, false, false, true, "Compression/Decompression, s.t."},
+		{"gamess", "cpu2006", 12.83, false, false, false, "Quantum computations, s.t."},
+		{"GemsFDTD", "cpu2006", 12.56, false, false, true, "Maxwell solver 3D, s.t."},
+		{"gobmk", "cpu2006", 38.08, false, false, false, "Plays Go and analyzes, s.t."},
+		{"milc", "cpu2006", 16.46, false, false, false, "Lattice gauge theory, s.t., MIMD"},
+		{"perlbench", "cpu2006", 7.57, false, false, false, "Perl interpreter, s.t."},
+		{"tonto", "cpu2006", 12.39, false, false, true, "Quantum package, s.t."},
+		{"x264", "PARSEC3.0", 17.81, false, false, true, "MPEG-4 encoding, s.t."},
+		{"vips", "PARSEC3.0", 5.43, true, false, true, "Image transformation, m.t."},
+		{"cg", "NPB3.3.1", 80.89, true, false, true, "Conjugate gradient, m.t."},
+		{"ep", "NPB3.3.1", 9.31, true, false, true, "Embarrassingly parallel, m.t."},
+		{"ft", "NPB3.3.1", 15.39, true, false, true, "Discrete 3D FFT, m.t."},
+		{"is", "NPB3.3.1", 35.63, true, false, true, "Integer sort, m.t."},
+		{"lu", "NPB3.3.1", 14.42, true, false, true, "LU Gauss-Seidel solver, m.t."},
+		{"mg", "NPB3.3.1", 65.09, true, false, true, "Multigrid on meshes, m.t."},
+		{"sp", "NPB3.3.1", 44.35, true, false, true, "Scalar penta-diagonal solver, m.t."},
+		{"ua", "NPB3.3.1", 39.08, true, false, true, "Unstructured adaptive mesh, m.t."},
+		{"deepsjeng", "cpu2017", 159.58, false, true, true, "AI: alpha-beta tree search, s.t."},
+		{"leela", "cpu2017", 24.05, false, true, true, "AI: Monte Carlo tree search, s.t."},
+		{"exchange2", "cpu2017", 13.50, false, true, true, "AI: recursive solution generator, s.t."},
+	}
+}
+
+// WorkloadByName finds a Table V workload.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("reference: no workload named %q", name)
+}
+
+// SingleThreaded returns the s.t. workloads in table order.
+func SingleThreaded() []Workload {
+	return filterWorkloads(func(w Workload) bool { return !w.MultiThreaded })
+}
+
+// MultiThreaded returns the m.t. workloads in table order.
+func MultiThreaded() []Workload {
+	return filterWorkloads(func(w Workload) bool { return w.MultiThreaded })
+}
+
+// AIWorkloads returns the cpu2017 statistical-inference workloads.
+func AIWorkloads() []Workload { return filterWorkloads(func(w Workload) bool { return w.AI }) }
+
+// CharacterizedWorkloads returns the 16 workloads included in the paper's
+// Table VI characterization (the PRISM-incompatible four are excluded).
+func CharacterizedWorkloads() []Workload {
+	return filterWorkloads(func(w Workload) bool { return w.PRISMCompatible })
+}
+
+func filterWorkloads(keep func(Workload) bool) []Workload {
+	var out []Workload
+	for _, w := range Workloads() {
+		if keep(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PaperFeatures returns the paper's Table VI feature measurements, keyed by
+// workload name. Entropies are in bits; footprints and totals are absolute
+// counts (the table's 10⁶/10³/10⁹ scalings are applied).
+func PaperFeatures() map[string]prism.Features {
+	f := func(hrg, hrl, hwg, hwl, runiqM, wuniqM, ft90rK, ft90wK, rtotG, wtotG float64) prism.Features {
+		return prism.Features{
+			GlobalReadEntropy:  hrg,
+			LocalReadEntropy:   hrl,
+			GlobalWriteEntropy: hwg,
+			LocalWriteEntropy:  hwl,
+			UniqueReads:        uint64(runiqM * 1e6),
+			UniqueWrites:       uint64(wuniqM * 1e6),
+			Footprint90Reads:   uint64(ft90rK * 1e3),
+			Footprint90Writes:  uint64(ft90wK * 1e3),
+			TotalReads:         uint64(rtotG * 1e9),
+			TotalWrites:        uint64(wtotG * 1e9),
+		}
+	}
+	return map[string]prism.Features{
+		"bzip2":     f(18.03, 10.23, 11.72, 5.90, 5.99, 5.88, 2505.38, 750.86, 4.30, 1.47),
+		"GemsFDTD":  f(19.92, 13.62, 22.27, 14.99, 116.88, 143.63, 76576.59, 113183.50, 1.30, 0.70),
+		"tonto":     f(10.97, 5.15, 10.25, 3.72, 0.30, 0.29, 5.59, 1.74, 1.10, 0.47),
+		"leela":     f(10.13, 4.07, 8.95, 3.01, 2.26, 5.06, 1.59, 1.29, 6.01, 2.35),
+		"exchange2": f(8.79, 3.52, 8.61, 3.47, 0.03, 0.02, 0.64, 0.58, 62.28, 42.89),
+		"deepsjeng": f(11.31, 5.69, 11.86, 5.93, 58.89, 68.28, 4.79, 4.33, 9.36, 4.43),
+		"vips":      f(15.17, 10.26, 17.79, 11.61, 12.02, 6.32, 1107.19, 1325.34, 1.91, 0.68),
+		"x264":      f(16.14, 7.43, 11.84, 4.04, 11.40, 9.28, 1585.49, 3.56, 18.07, 2.84),
+		"cg":        f(19.01, 11.71, 18.88, 11.96, 2.30, 2.36, 1015.43, 819.15, 0.73, 0.04),
+		"ep":        f(8.00, 4.81, 8.05, 4.74, 0.563, 1.47, 0.84, 113.18, 1.25, 0.54),
+		"ft":        f(16.47, 9.93, 17.07, 10.28, 2.73, 2.72, 342.64, 611.66, 0.28, 0.27),
+		"is":        f(15.23, 8.96, 15.65, 8.69, 2.20, 2.19, 1228.86, 794.26, 0.12, 0.06),
+		"lu":        f(9.57, 6.01, 16.02, 9.63, 0.844, 0.84, 289.46, 259.75, 17.84, 3.99),
+		"mg":        f(17.97, 11.80, 16.93, 10.18, 7.20, 7.29, 4249.78, 4767.97, 0.76, 0.16),
+		"sp":        f(18.69, 12.02, 18.21, 11.35, 1.14, 1.28, 556.75, 256.73, 9.23, 4.12),
+		"ua":        f(13.95, 8.17, 11.23, 5.69, 1.32, 1.57, 362.45, 106.25, 9.97, 5.85),
+	}
+}

@@ -1,0 +1,21 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"nvmllc/internal/stats"
+)
+
+// ExamplePearson computes the linear correlation the paper's framework
+// uses to rank workload features.
+func ExamplePearson() {
+	entropy := []float64{11.86, 8.95, 8.61} // H_wg of the AI workloads
+	energy := []float64{0.10, 0.055, 0.048}
+	r, ok, err := stats.Pearson(entropy, energy)
+	if err != nil || !ok {
+		panic("correlation undefined")
+	}
+	fmt.Printf("r = %.2f\n", r)
+	// Output:
+	// r = 1.00
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear holds a simple least-squares linear fit y ≈ Slope·x + Intercept.
+type Linear struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// N is the number of samples fitted.
+	N int
+}
+
+// FitLinear computes the least-squares line through (x, y).
+// It needs at least two samples and a non-constant x.
+func FitLinear(x, y []float64) (Linear, error) {
+	if len(x) != len(y) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Linear{}, fmt.Errorf("stats: need at least 2 samples, have %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("stats: constant predictor")
+	}
+	l := Linear{N: len(x)}
+	l.Slope = sxy / sxx
+	l.Intercept = my - l.Slope*mx
+	if syy == 0 {
+		l.R2 = 1 // constant target perfectly "explained"
+	} else {
+		l.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return l, nil
+}
+
+// Predict evaluates the fit at x.
+func (l Linear) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// Residuals returns y - ŷ for each sample.
+func (l Linear) Residuals(x, y []float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = y[i] - l.Predict(x[i])
+	}
+	return out, nil
+}
+
+// RMSE is the root-mean-square error of the fit over the samples.
+func (l Linear) RMSE(x, y []float64) (float64, error) {
+	res, err := l.Residuals(x, y)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, r := range res {
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(res))), nil
+}

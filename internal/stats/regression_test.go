@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	l, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Slope, 2) || !almost(l.Intercept, 3) {
+		t.Errorf("fit = %+v, want 2x+3", l)
+	}
+	if !almost(l.R2, 1) {
+		t.Errorf("R² = %g, want 1", l.R2)
+	}
+	if !almost(l.Predict(10), 23) {
+		t.Errorf("Predict(10) = %g", l.Predict(10))
+	}
+	rmse, err := l.RMSE(x, y)
+	if err != nil || !almost(rmse, 0) {
+		t.Errorf("RMSE = %g, %v", rmse, err)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitLinear([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("constant predictor accepted")
+	}
+}
+
+func TestFitLinearConstantTarget(t *testing.T) {
+	l, err := FitLinear([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Slope, 0) || !almost(l.Intercept, 7) || !almost(l.R2, 1) {
+		t.Errorf("constant-target fit = %+v", l)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	l := Linear{Slope: 1, Intercept: 0}
+	res, err := l.Residuals([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res[0], 1) || !almost(res[1], 0) {
+		t.Errorf("residuals = %v", res)
+	}
+	if _, err := l.Residuals([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched residuals accepted")
+	}
+}
+
+func TestFitLinearR2BoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = 2*x[i] + rng.NormFloat64()
+		}
+		l, err := FitLinear(x, y)
+		if err != nil {
+			return true // degenerate draw
+		}
+		if math.IsNaN(l.R2) || l.R2 < -1e-9 || l.R2 > 1+1e-9 {
+			return false
+		}
+		// Least squares: residuals sum ≈ 0.
+		res, err := l.Residuals(x, y)
+		if err != nil {
+			return false
+		}
+		var s float64
+		for _, r := range res {
+			s += r
+		}
+		return math.Abs(s) < 1e-6*float64(n)*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package stats provides the small statistical toolkit behind the paper's
+// workload-characterization framework (Section VI): Pearson linear
+// correlation between architecture-agnostic feature vectors and measured
+// performance/energy, plus normalization and summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pearson computes the linear correlation coefficient between two equal-
+// length samples. It returns an error for mismatched or too-short inputs;
+// if either sample is constant the correlation is undefined and 0 is
+// returned with ok=false.
+func Pearson(x, y []float64) (r float64, ok bool, err error) {
+	if len(x) != len(y) {
+		return 0, false, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, false, fmt.Errorf("stats: need at least 2 samples, have %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, false, nil
+	}
+	r = sxy / math.Sqrt(sxx*syy)
+	// Clamp rounding spill.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, true, nil
+}
+
+// AbsPearson returns |r| from Pearson, the magnitude the paper's heatmaps
+// display.
+func AbsPearson(x, y []float64) (float64, bool, error) {
+	r, ok, err := Pearson(x, y)
+	return math.Abs(r), ok, err
+}
+
+// Spearman computes the rank correlation coefficient: Pearson over ranks,
+// with average ranks for ties. Used by the reproduction experiments to
+// compare orderings against the paper's tables.
+func Spearman(x, y []float64) (float64, bool, error) {
+	if len(x) != len(y) {
+		return 0, false, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks converts values to 1-based ranks, assigning tied values their
+// average rank.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Normalize divides every element by base, the paper's
+// "normalized-to-SRAM" presentation. It returns an error if base is zero.
+func Normalize(xs []float64, base float64) ([]float64, error) {
+	if base == 0 {
+		return nil, fmt.Errorf("stats: normalization base is zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of positive values; it returns an
+// error if any value is non-positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean needs positive values, got %g", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// MinMax returns the extrema of a non-empty slice.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Errorf("Mean = %g", Mean([]float64{1, 2, 3, 4}))
+	}
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("StdDev of constant != 0")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Errorf("StdDev = %g, want 1", StdDev([]float64{1, 3}))
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, ok, err := Pearson(x, y)
+	if err != nil || !ok || !almost(r, 1) {
+		t.Errorf("Pearson = %g, %v, %v; want 1", r, ok, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, ok, err = Pearson(x, neg)
+	if err != nil || !ok || !almost(r, -1) {
+		t.Errorf("Pearson = %g, %v, %v; want -1", r, ok, err)
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, -1, -1, 1} // orthogonal to linear trend
+	r, ok, err := Pearson(x, y)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.01 {
+		t.Errorf("Pearson = %g, want ≈0", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if _, _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	r, ok, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if err != nil || ok || r != 0 {
+		t.Errorf("constant sample: r=%g ok=%v err=%v, want 0,false,nil", r, ok, err)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r, ok, err := Pearson(x, y)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return r >= -1 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonInvariantToAffineTransforms(t *testing.T) {
+	x := []float64{1, 5, 2, 8, 3}
+	y := []float64{2, 3, 9, 1, 4}
+	r1, _, _ := Pearson(x, y)
+	scaled := make([]float64, len(x))
+	for i := range x {
+		scaled[i] = 3*x[i] + 7
+	}
+	r2, _, _ := Pearson(scaled, y)
+	if !almost(r1, r2) {
+		t.Errorf("affine transform changed r: %g vs %g", r1, r2)
+	}
+}
+
+func TestAbsPearson(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{3, 2, 1}
+	a, ok, err := AbsPearson(x, y)
+	if err != nil || !ok || !almost(a, 1) {
+		t.Errorf("AbsPearson = %g, want 1", a)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Ties share an average rank.
+	got = Ranks([]float64{5, 1, 5})
+	if got[1] != 1 || got[0] != 2.5 || got[2] != 2.5 {
+		t.Errorf("tied ranks = %v", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A nonlinear but monotone relation has Spearman 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	rho, ok, err := Spearman(x, y)
+	if err != nil || !ok || !almost(rho, 1) {
+		t.Errorf("Spearman = %g, want 1", rho)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if out[i] != want {
+			t.Errorf("Normalize[%d] = %g", i, out[i])
+		}
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || !almost(g, 2) {
+		t.Errorf("GeoMean = %g, %v; want 2", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty GeoMean accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative GeoMean accepted")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g, %g, %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("empty MinMax accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"testing"
+
+	"nvmllc/internal/workload"
+)
+
+func TestAblationSuite(t *testing.T) {
+	// Multi-pass trace: the dead-block predictor needs completed
+	// residencies before it can bypass.
+	cfg := Config{Opts: workload.Options{Accesses: 500000, Seed: 3}}
+	rows, err := AblationSuite("is", "Kang_P", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.TimeMS <= 0 || r.TotalEnergyMJ <= 0 {
+			t.Errorf("%s: non-positive measurements %+v", r.Name, r)
+		}
+		byName[r.Name] = r
+	}
+	base := byName["baseline (paper config)"]
+	// Write contention on a write-heavy workload with 301ns writes slows
+	// the system.
+	if byName["writes on critical path"].TimeMS <= base.TimeMS {
+		t.Error("write contention did not slow the system")
+	}
+	// Bypass cuts LLC writes.
+	if byName["dead-block bypass"].LLCWrites >= base.LLCWrites {
+		t.Error("bypass did not cut LLC writes")
+	}
+	// Hybrid cuts dynamic energy on the PCRAM part.
+	if byName["hybrid 4×SRAM ways"].DynEnergyMJ >= base.DynEnergyMJ {
+		t.Error("hybrid did not cut dynamic energy")
+	}
+}
+
+func TestAblationSuiteErrors(t *testing.T) {
+	if _, err := AblationSuite("nosuch", "Kang_P", testCfg()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := AblationSuite("is", "nosuch", testCfg()); err == nil {
+		t.Error("unknown LLC accepted")
+	}
+}

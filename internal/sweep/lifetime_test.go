@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"nvmllc/internal/nvm"
+)
+
+func TestLifetimeStudy(t *testing.T) {
+	study, err := Lifetime(testCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 characterized workloads × 3 representative LLCs.
+	if len(study.Rows) != 48 {
+		t.Fatalf("rows = %d, want 48", len(study.Rows))
+	}
+	if len(study.Panels) != 3 {
+		t.Fatalf("panels = %d, want 3", len(study.Panels))
+	}
+
+	byKey := map[string]LifetimeRow{}
+	for _, r := range study.Rows {
+		byKey[r.Workload+"/"+r.LLC] = r
+		if r.ImbalanceFactor < 1 {
+			t.Errorf("%s/%s: imbalance %g < 1", r.Workload, r.LLC, r.ImbalanceFactor)
+		}
+		if r.LeveledYears < r.RawYears {
+			t.Errorf("%s/%s: leveling shortened lifetime %g -> %g", r.Workload, r.LLC, r.RawYears, r.LeveledYears)
+		}
+	}
+	// Class endurance ordering must show up per workload: PCRAM dies first,
+	// STTRAM lasts longest.
+	for _, w := range []string{"bzip2", "cg", "deepsjeng"} {
+		kang := byKey[w+"/Kang_P"]
+		chung := byKey[w+"/Chung_S"]
+		zhang := byKey[w+"/Zhang_R"]
+		if !(kang.RawYears < zhang.RawYears && zhang.RawYears < chung.RawYears) {
+			t.Errorf("%s: lifetime ordering PCRAM<RRAM<STTRAM broken: %g, %g, %g",
+				w, kang.RawYears, zhang.RawYears, chung.RawYears)
+		}
+	}
+	// LLC-stressing workloads must wear faster than cache-resident ones:
+	// exchange2's 30KB working set lives in L1, so its LLC barely wears,
+	// while tonto's L2-overflowing hot set hammers a few LLC lines.
+	if byKey["tonto/Kang_P"].RawYears >= byKey["exchange2/Kang_P"].RawYears {
+		t.Errorf("tonto lifetime %g not below exchange2 %g on PCRAM",
+			byKey["tonto/Kang_P"].RawYears, byKey["exchange2/Kang_P"].RawYears)
+	}
+}
+
+func TestLifetimeCorrelatesWithWriteFeatures(t *testing.T) {
+	study, err := Lifetime(testCfg(), []string{"Kang_P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := study.Panels[0]
+	// Wear rate should track write-side behavior across the 16 workloads
+	// more than read entropy alone — the Section VII hypothesis.
+	wuniq, err := p.FeatureR("energy", "w_uniq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft90w, err := p.FeatureR("energy", "90%ft_w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(wuniq) || math.IsNaN(ft90w) {
+		t.Fatal("NaN correlations")
+	}
+	if wuniq <= 0.1 && ft90w <= 0.1 {
+		t.Errorf("wear rate uncorrelated with write footprints (w_uniq %.2f, 90%%ft_w %.2f)", wuniq, ft90w)
+	}
+}
+
+func TestLifetimeUnknownLLC(t *testing.T) {
+	if _, err := Lifetime(testCfg(), []string{"nope"}); err == nil {
+		t.Error("unknown LLC accepted")
+	}
+}
+
+func TestLifetimeClassesCovered(t *testing.T) {
+	study, err := Lifetime(testCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[nvm.Class]bool{}
+	for _, r := range study.Rows {
+		classes[r.Class] = true
+	}
+	for _, c := range []nvm.Class{nvm.PCRAM, nvm.STTRAM, nvm.RRAM} {
+		if !classes[c] {
+			t.Errorf("class %v missing from default study", c)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"fmt"
+
+	"nvmllc/internal/charfw"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/workload"
+)
+
+// PredictionRow compares a learned model's estimate against simulation for
+// one (NVM, workload) pair.
+type PredictionRow struct {
+	LLC, Workload string
+	// Feature is the predictor feature the model selected for this NVM.
+	Feature string
+	// Predicted and Simulated are SRAM-normalized LLC energies.
+	Predicted, Simulated float64
+	// RelErr is |predicted-simulated|/simulated.
+	RelErr float64
+}
+
+// PredictionStudy is the framework-as-a-designer's-tool exercise: learn
+// energy models on the 13 non-AI characterized workloads, then predict the
+// three AI workloads sight-unseen — emulating the paper's Section VI
+// scenario of choosing an LLC technology for a statistical-inference
+// architecture before porting its workloads to the simulator.
+type PredictionStudy struct {
+	Rows []PredictionRow
+	// MeanRelErr aggregates prediction quality.
+	MeanRelErr float64
+}
+
+// Predict runs the study over the paper's best NVMs at fixed capacity.
+func Predict(cfg Config) (*PredictionStudy, error) {
+	all := workload.CharacterizedNames()
+	ai := map[string]bool{}
+	for _, n := range workload.AINames() {
+		ai[n] = true
+	}
+	var train, test []string
+	for _, n := range all {
+		if ai[n] {
+			test = append(test, n)
+		} else {
+			train = append(train, n)
+		}
+	}
+	if len(test) == 0 || len(train) < 3 {
+		return nil, fmt.Errorf("sweep: bad train/test split (%d/%d)", len(train), len(test))
+	}
+
+	// One sweep over all characterized workloads provides both training
+	// targets and test ground truth.
+	fig, err := RunFigure("predict", reference.FixedCapacityModels(), all, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fw := charfw.FromFeatureMap(reference.PaperFeatures())
+
+	study := &PredictionStudy{}
+	var sumErr float64
+	for _, nvmName := range reference.BestNVMs {
+		values := map[string]float64{}
+		for _, w := range all {
+			_, en, _, err := fig.Cell(w, nvmName)
+			if err != nil {
+				return nil, err
+			}
+			values[w] = en
+		}
+		p, err := fw.TrainPredictor(train, "energy", values)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: training %s: %w", nvmName, err)
+		}
+		paper := reference.PaperFeatures()
+		for _, w := range test {
+			pred := p.Predict(paper[w])
+			sim := values[w]
+			relErr := 0.0
+			if sim != 0 {
+				relErr = abs(pred-sim) / sim
+			}
+			study.Rows = append(study.Rows, PredictionRow{
+				LLC: nvmName, Workload: w, Feature: p.Feature,
+				Predicted: pred, Simulated: sim, RelErr: relErr,
+			})
+			sumErr += relErr
+		}
+	}
+	if n := len(study.Rows); n > 0 {
+		study.MeanRelErr = sumErr / float64(n)
+	}
+	return study, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,34 @@
+package sweep
+
+import "testing"
+
+func TestPredictionStudy(t *testing.T) {
+	study, err := Predict(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 NVMs × 3 AI workloads.
+	if len(study.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(study.Rows))
+	}
+	for _, r := range study.Rows {
+		if r.Feature == "" {
+			t.Errorf("%s/%s: no feature selected", r.LLC, r.Workload)
+		}
+		if r.Simulated <= 0 {
+			t.Errorf("%s/%s: non-positive simulated energy", r.LLC, r.Workload)
+		}
+		if r.RelErr < 0 {
+			t.Errorf("%s/%s: negative error", r.LLC, r.Workload)
+		}
+	}
+	if study.MeanRelErr <= 0 {
+		t.Error("zero mean error is implausible for cross-domain prediction")
+	}
+	// The learned models should land in the right order of magnitude: a
+	// mean relative error under 300% still tells a designer which NVMs are
+	// in contention before any AI workload is ported.
+	if study.MeanRelErr > 3 {
+		t.Errorf("mean relative error %.2f, want ≤ 3", study.MeanRelErr)
+	}
+}

@@ -1,0 +1,219 @@
+// Package sweep is the experiment harness that regenerates the paper's
+// evaluation artifacts: it generates each benchmark's trace, simulates it
+// against every LLC model in both the fixed-capacity and fixed-area
+// configurations (Section V), normalizes to the SRAM baseline, sweeps core
+// counts (Section V-C), and feeds the results through the correlation
+// framework (Section VI, Figure 4).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nvmllc/internal/nvsim"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// Config controls a sweep run.
+type Config struct {
+	// Opts shapes trace generation (length, seed). Threads is set by the
+	// harness per experiment.
+	Opts workload.Options
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+	// WriteContention turns on LLC bank write contention (the ablation of
+	// the paper's writes-off-critical-path assumption).
+	WriteContention bool
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// FigureResult holds one of the paper's bar-chart figures: per-workload,
+// per-NVM speedup, LLC energy and ED²P, all normalized to the SRAM
+// baseline (value 1.0 = SRAM).
+type FigureResult struct {
+	// Title labels the figure (e.g. "Figure 1a: fixed-capacity,
+	// single-threaded").
+	Title string
+	// Workloads are the row labels in Table V order.
+	Workloads []string
+	// LLCs are the column labels (the ten NVM LLC names).
+	LLCs []string
+	// Speedup, Energy and ED2P are indexed [workload][llc].
+	Speedup, Energy, ED2P [][]float64
+	// Raw holds every simulation result keyed by workload then LLC name
+	// (including "SRAM").
+	Raw map[string]map[string]*system.Result
+}
+
+// Cell returns the normalized triple for a workload/LLC pair.
+func (f *FigureResult) Cell(workloadName, llc string) (speedup, energy, ed2p float64, err error) {
+	wi, li := -1, -1
+	for i, w := range f.Workloads {
+		if w == workloadName {
+			wi = i
+		}
+	}
+	for i, l := range f.LLCs {
+		if l == llc {
+			li = i
+		}
+	}
+	if wi < 0 || li < 0 {
+		return 0, 0, 0, fmt.Errorf("sweep: no cell for %s/%s", workloadName, llc)
+	}
+	return f.Speedup[wi][li], f.Energy[wi][li], f.ED2P[wi][li], nil
+}
+
+// RunFigure simulates the named workloads against the model set (which
+// must include the SRAM baseline) and returns SRAM-normalized results.
+func RunFigure(title string, models []nvsim.LLCModel, names []string, cfg Config) (*FigureResult, error) {
+	var sramIdx = -1
+	for i, m := range models {
+		if m.Name == "SRAM" {
+			sramIdx = i
+		}
+	}
+	if sramIdx < 0 {
+		return nil, fmt.Errorf("sweep: model set lacks the SRAM baseline")
+	}
+
+	// Generate traces serially (cheap) so simulations can share them.
+	traces := make(map[string]*trace.Trace, len(names))
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := workload.Generate(p, cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		traces[name] = tr
+	}
+
+	raw, err := runAll(models, names, traces, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &FigureResult{Title: title, Workloads: names, Raw: raw}
+	for _, m := range models {
+		if m.Name != "SRAM" {
+			fig.LLCs = append(fig.LLCs, m.Name)
+		}
+	}
+	for _, w := range names {
+		base := raw[w]["SRAM"]
+		if base == nil {
+			return nil, fmt.Errorf("sweep: missing SRAM baseline result for %s", w)
+		}
+		var sp, en, ed []float64
+		for _, llc := range fig.LLCs {
+			r := raw[w][llc]
+			sp = append(sp, base.TimeNS/r.TimeNS)
+			en = append(en, r.LLCEnergyJ()/base.LLCEnergyJ())
+			ed = append(ed, r.ED2P()/base.ED2P())
+		}
+		fig.Speedup = append(fig.Speedup, sp)
+		fig.Energy = append(fig.Energy, en)
+		fig.ED2P = append(fig.ED2P, ed)
+	}
+	return fig, nil
+}
+
+// runAll simulates every (workload, model) pair with a bounded worker
+// pool. coresOverride > 0 forces the core count (core sweep); otherwise
+// the Gainestown quad-core is used.
+func runAll(models []nvsim.LLCModel, names []string, traces map[string]*trace.Trace, cfg Config, coresOverride int) (map[string]map[string]*system.Result, error) {
+	type job struct {
+		workload string
+		model    nvsim.LLCModel
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	raw := make(map[string]map[string]*system.Result, len(names))
+	for _, n := range names {
+		raw[n] = make(map[string]*system.Result, len(models))
+	}
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sysCfg := system.Gainestown(j.model)
+				sysCfg.ModelWriteContention = cfg.WriteContention
+				if coresOverride > 0 {
+					sysCfg = sysCfg.WithCores(coresOverride)
+				}
+				r, err := system.Run(sysCfg, traces[j.workload])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: %s on %s: %w", j.workload, j.model.Name, err)
+					}
+				} else {
+					raw[j.workload][j.model.Name] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, n := range names {
+		for _, m := range models {
+			jobs <- job{workload: n, model: m}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return raw, nil
+}
+
+// workloadNames splits Table V's workloads by threading.
+func workloadNames(multiThreaded bool) []string {
+	var out []string
+	for _, w := range reference.Workloads() {
+		if w.MultiThreaded == multiThreaded {
+			out = append(out, w.Name)
+		}
+	}
+	return out
+}
+
+// Figure1a regenerates Figure 1a: fixed-capacity, single-threaded.
+func Figure1a(cfg Config) (*FigureResult, error) {
+	return RunFigure("Figure 1a: fixed-capacity LLC, single-threaded workloads",
+		reference.FixedCapacityModels(), workloadNames(false), cfg)
+}
+
+// Figure1b regenerates Figure 1b: fixed-capacity, multi-threaded.
+func Figure1b(cfg Config) (*FigureResult, error) {
+	return RunFigure("Figure 1b: fixed-capacity LLC, multi-threaded workloads",
+		reference.FixedCapacityModels(), workloadNames(true), cfg)
+}
+
+// Figure2a regenerates Figure 2a: fixed-area, single-threaded.
+func Figure2a(cfg Config) (*FigureResult, error) {
+	return RunFigure("Figure 2a: fixed-area LLC, single-threaded workloads",
+		reference.FixedAreaModels(), workloadNames(false), cfg)
+}
+
+// Figure2b regenerates Figure 2b: fixed-area, multi-threaded.
+func Figure2b(cfg Config) (*FigureResult, error) {
+	return RunFigure("Figure 2b: fixed-area LLC, multi-threaded workloads",
+		reference.FixedAreaModels(), workloadNames(true), cfg)
+}

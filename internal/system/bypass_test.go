@@ -1,0 +1,135 @@
+package system
+
+import (
+	"testing"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/reference"
+)
+
+func TestBypassPolicyString(t *testing.T) {
+	if BypassNone.String() != "none" || BypassDeadBlock.String() != "dead-block" {
+		t.Error("bypass names wrong")
+	}
+	if BypassPolicy(9).String() == "" {
+		t.Error("unknown bypass name empty")
+	}
+}
+
+func TestDeadBlockPredictorLifecycle(t *testing.T) {
+	d := newDeadBlockPredictor()
+	line := uint64(0x1234)
+	if d.predictDead(line) {
+		t.Error("never-seen line predicted dead")
+	}
+	// Residency with no reuse → dead.
+	d.onFill(line)
+	d.onEvict(line)
+	if !d.predictDead(line) {
+		t.Error("dead residency not learned")
+	}
+	// Residency with reuse → alive again.
+	d.onFill(line)
+	d.onHit(line)
+	d.onEvict(line)
+	if d.predictDead(line) {
+		t.Error("reused residency still predicted dead")
+	}
+}
+
+func TestBypassReducesNVMWriteEnergyOnThrash(t *testing.T) {
+	// A streaming working set 2× the LLC: every line dies without reuse,
+	// so from the second pass on the dead-block policy bypasses fills.
+	lines := (4 << 20) / 64
+	tr := streamTrace("bypass", lines, 6*lines, 0, 1)
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := Run(Gainestown(kang), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Gainestown(kang)
+	cfg.LLCBypass = BypassDeadBlock
+	byp, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if byp.LLC.BypassedFills == 0 {
+		t.Fatal("no fills bypassed on a thrashing stream")
+	}
+	if base.LLC.BypassedFills != 0 {
+		t.Error("baseline counted bypasses")
+	}
+	if byp.LLC.Writes >= base.LLC.Writes {
+		t.Errorf("bypass writes %d not below baseline %d", byp.LLC.Writes, base.LLC.Writes)
+	}
+	if byp.LLCDynamicJ >= base.LLCDynamicJ {
+		t.Errorf("bypass dynamic energy %g not below baseline %g (PCRAM writes dominate)",
+			byp.LLCDynamicJ, base.LLCDynamicJ)
+	}
+	// Performance must not collapse: the stream had no LLC hits to lose.
+	if byp.TimeNS > base.TimeNS*1.05 {
+		t.Errorf("bypass slowed a no-reuse stream: %g vs %g", byp.TimeNS, base.TimeNS)
+	}
+}
+
+func TestBypassPreservesHitsOnResidentWorkingSet(t *testing.T) {
+	// A cacheable working set with reuse: the predictor must learn the
+	// lines are alive and keep caching them.
+	lines := (1 << 20) / 64 // 1MB in a 2MB LLC
+	tr := streamTrace("resident", lines, 8*lines, 0, 1)
+	cfg := Gainestown(reference.SRAMBaseline())
+	cfg.LLCBypass = BypassDeadBlock
+	r, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Gainestown(reference.SRAMBaseline()), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most a small fraction of hits may be lost to mispredictions.
+	if float64(r.LLC.Hits) < 0.8*float64(base.LLC.Hits) {
+		t.Errorf("bypass lost hits: %d vs baseline %d", r.LLC.Hits, base.LLC.Hits)
+	}
+}
+
+func TestBypassedWritebacksGoToDRAM(t *testing.T) {
+	// Write-heavy thrash: dirty L2 evictions of dead lines must bypass to
+	// DRAM.
+	lines := (4 << 20) / 64
+	tr := streamTrace("wbbypass", lines, 6*lines, 1, 1) // all writes
+	kang, _ := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	cfg := Gainestown(kang)
+	cfg.LLCBypass = BypassDeadBlock
+	r, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LLC.BypassedWritebacks == 0 {
+		t.Error("no writebacks bypassed")
+	}
+	if r.DRAM.Writes == 0 {
+		t.Error("bypassed writebacks never reached DRAM")
+	}
+}
+
+func TestLLCPolicyPlumbed(t *testing.T) {
+	tr := streamTrace("policy", 5000, 20000, 3, 1)
+	for _, p := range []cache.Policy{cache.LRU, cache.SRRIP, cache.Random} {
+		cfg := sramConfig()
+		cfg.LLCPolicy = p
+		if _, err := Run(cfg, tr); err != nil {
+			t.Errorf("policy %v: %v", p, err)
+		}
+	}
+	cfg := sramConfig()
+	cfg.LLCPolicy = cache.Policy(42)
+	if _, err := Run(cfg, tr); err == nil {
+		t.Error("invalid LLC policy accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package system
+
+// Full-map directory coherence (Table IV: "104K entries/directory
+// controller, full-map directory"). The directory tracks which cores hold
+// a copy of each line in their private caches; a store from one core
+// invalidates the copies in the others, and a dirty remote copy is written
+// back through the LLC first. Data values are not modeled (the simulator
+// is timing/energy-only), so the directory's job is to reproduce the
+// coherence *traffic*: invalidations, remote writebacks, and the extra LLC
+// writes they cause on shared, write-shared workloads.
+
+// DirectoryStats counts coherence events.
+type DirectoryStats struct {
+	// Invalidations counts private-cache copies invalidated by remote
+	// stores.
+	Invalidations uint64
+	// RemoteWritebacks counts dirty remote copies flushed to the LLC by an
+	// invalidation.
+	RemoteWritebacks uint64
+	// InterventionStalls counts loads/stores that paid an intervention
+	// latency because another core held the line dirty.
+	InterventionStalls uint64
+}
+
+// directory is a full-map sharers table keyed by line address. A bit set
+// in the mask means the corresponding core may hold the line in L1/L2.
+type directory struct {
+	sharers map[uint64]uint64
+	stats   DirectoryStats
+}
+
+func newDirectory() *directory {
+	return &directory{sharers: make(map[uint64]uint64)}
+}
+
+// noteFill records that core holds the line after a fill.
+func (d *directory) noteFill(line uint64, core int) {
+	d.sharers[line] |= 1 << uint(core)
+}
+
+// noteEvict clears core's sharer bit (called when a private cache drops
+// the line entirely).
+func (d *directory) noteEvict(line uint64, core int) {
+	m := d.sharers[line] &^ (1 << uint(core))
+	if m == 0 {
+		delete(d.sharers, line)
+	} else {
+		d.sharers[line] = m
+	}
+}
+
+// othersHolding returns the sharer mask excluding the requesting core.
+func (d *directory) othersHolding(line uint64, core int) uint64 {
+	return d.sharers[line] &^ (1 << uint(core))
+}
+
+// invalidateOthers removes every other core's copy, returning how many
+// copies were dropped and how many were dirty (needing writeback).
+func (s *simulator) invalidateOthers(line uint64, core int) (dropped, dirtyWb int) {
+	mask := s.dir.othersHolding(line, core)
+	if mask == 0 {
+		return 0, 0
+	}
+	for c := 0; mask != 0; c++ {
+		bit := uint64(1) << uint(c)
+		if mask&bit == 0 {
+			continue
+		}
+		mask &^= bit
+		cs := s.cores[c]
+		anyDirty := false
+		if present, dirty := cs.l1d.Invalidate(line); present {
+			dropped++
+			anyDirty = anyDirty || dirty
+		}
+		if present, dirty := cs.l2.Invalidate(line); present {
+			dropped++
+			anyDirty = anyDirty || dirty
+		}
+		if anyDirty {
+			dirtyWb++
+		}
+		s.dir.noteEvict(line, c)
+	}
+	s.dir.sharers[line] |= 1 << uint(core)
+	d := &s.dir.stats
+	d.Invalidations += uint64(dropped)
+	d.RemoteWritebacks += uint64(dirtyWb)
+	return dropped, dirtyWb
+}

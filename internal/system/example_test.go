@@ -1,0 +1,38 @@
+package system_test
+
+import (
+	"fmt"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/workload"
+)
+
+// ExampleRun simulates the cg benchmark on the Gainestown system with the
+// paper's Jan_S STT-RAM LLC and reports the energy ratio against SRAM.
+func ExampleRun() {
+	profile, err := workload.ByName("cg")
+	if err != nil {
+		panic(err)
+	}
+	tr, err := workload.Generate(profile, workload.Options{Accesses: 100_000})
+	if err != nil {
+		panic(err)
+	}
+	jan, err := reference.ModelByName(reference.FixedCapacityModels(), "Jan_S")
+	if err != nil {
+		panic(err)
+	}
+	nvmRes, err := system.Run(system.Gainestown(jan), tr)
+	if err != nil {
+		panic(err)
+	}
+	sramRes, err := system.Run(system.Gainestown(reference.SRAMBaseline()), tr)
+	if err != nil {
+		panic(err)
+	}
+	ratio := nvmRes.LLCEnergyJ() / sramRes.LLCEnergyJ()
+	fmt.Printf("Jan_S energy below SRAM: %v\n", ratio < 0.5)
+	// Output:
+	// Jan_S energy below SRAM: true
+}

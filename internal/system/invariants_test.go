@@ -1,0 +1,174 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// randomTrace builds an arbitrary but valid trace from fuzz inputs.
+func randomTrace(seed int64, n int, threads int, footprintLines int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: "fuzz", Threads: threads}
+	for i := 0; i < n; i++ {
+		tr.Accesses = append(tr.Accesses, trace.Access{
+			Addr: uint64(rng.Intn(footprintLines)) * 64,
+			Kind: trace.Kind(rng.Intn(3)),
+			Tid:  uint8(rng.Intn(threads)),
+		})
+	}
+	tr.InstrCount = uint64(n) * 3
+	return tr
+}
+
+// TestHierarchyConservationProperty checks the cross-level flow
+// invariants of the simulated hierarchy on random traces:
+//
+//   - L2 demand accesses = L1I misses + L1D misses (every L1 miss goes to
+//     the L2 exactly once);
+//   - LLC demand accesses + bypassed fills = L2 misses;
+//   - every LLC demand miss fetches exactly one line from DRAM
+//     (dram reads ≥ LLC misses; coherence and L2 writeback evictions add
+//     DRAM writes, never reads).
+func TestHierarchyConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw, tRaw, fRaw uint16) bool {
+		n := int(nRaw%20000) + 1000
+		threads := int(tRaw%4) + 1
+		footprint := int(fRaw)*4 + 64
+		tr := randomTrace(seed, n, threads, footprint)
+		r, err := Run(sramConfig(), tr)
+		if err != nil {
+			return false
+		}
+		if r.L2.Accesses() != r.L1I.Misses+r.L1D.Misses {
+			t.Logf("L2 accesses %d != L1 misses %d+%d", r.L2.Accesses(), r.L1I.Misses, r.L1D.Misses)
+			return false
+		}
+		if r.LLC.Accesses()+r.LLC.BypassedFills != r.L2.Misses {
+			t.Logf("LLC accesses %d + bypassed %d != L2 misses %d",
+				r.LLC.Accesses(), r.LLC.BypassedFills, r.L2.Misses)
+			return false
+		}
+		if r.DRAM.Reads != r.LLC.Misses {
+			t.Logf("DRAM reads %d != LLC misses %d", r.DRAM.Reads, r.LLC.Misses)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLLCWritesDecomposition: LLC writes = fills (one per miss) plus L2
+// dirty writebacks plus coherence flushes — never more than misses +
+// total L2 writebacks + remote flushes.
+func TestLLCWritesDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 15000, 2, 30000)
+		r, err := Run(sramConfig(), tr)
+		if err != nil {
+			return false
+		}
+		upper := r.LLC.Misses + r.L2.Writebacks + r.Directory.RemoteWritebacks + r.L1D.Writebacks
+		return r.LLC.Writes >= r.LLC.Misses && r.LLC.Writes <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeMonotoneInLLCReadLatency: slower LLC reads can never make the
+// system faster, everything else equal.
+func TestTimeMonotoneInLLCReadLatency(t *testing.T) {
+	tr := randomTrace(5, 30000, 1, 60000)
+	base := reference.SRAMBaseline()
+	prev := 0.0
+	for _, lat := range []float64{1, 5, 20, 80} {
+		m := base
+		m.ReadLatencyNS = lat
+		r, err := Run(Gainestown(m), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeNS < prev {
+			t.Errorf("read latency %g ns made the system faster: %g < %g", lat, r.TimeNS, prev)
+		}
+		prev = r.TimeNS
+	}
+}
+
+// TestEnergyMonotoneInLeakage: more leakage can never reduce total LLC
+// energy.
+func TestEnergyMonotoneInLeakage(t *testing.T) {
+	tr := randomTrace(7, 20000, 1, 20000)
+	base := reference.SRAMBaseline()
+	prev := 0.0
+	for _, leak := range []float64{0.01, 0.5, 3.4, 10} {
+		m := base
+		m.LeakageW = leak
+		r, err := Run(Gainestown(m), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := r.LLCEnergyJ(); e < prev {
+			t.Errorf("leakage %g W reduced energy: %g < %g", leak, e, prev)
+		} else {
+			prev = e
+		}
+	}
+}
+
+// TestBiggerLLCNeverMoreMisses: on any trace, growing the LLC (same
+// associativity scaling) must not increase demand misses.
+func TestBiggerLLCNeverMoreMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 25000, 1, 80000)
+		small := reference.SRAMBaseline() // 2MB
+		big := small
+		big.CapacityBytes = 8 << 20
+		rs, err := Run(Gainestown(small), tr)
+		if err != nil {
+			return false
+		}
+		rb, err := Run(Gainestown(big), tr)
+		if err != nil {
+			return false
+		}
+		// LRU with nested capacities at the same associativity is not
+		// strictly an inclusion hierarchy (set hashing differs), so allow
+		// a 2% tolerance.
+		return float64(rb.LLC.Misses) <= 1.02*float64(rs.LLC.Misses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: the concurrent harness must
+// produce identical results regardless of worker count.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	p, err := workload.ByName("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(sramConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sramConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeNS != b.TimeNS || a.LLC != b.LLC || a.Directory != b.Directory {
+		t.Error("repeat run differs")
+	}
+}

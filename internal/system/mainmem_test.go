@@ -1,0 +1,78 @@
+package system
+
+import (
+	"testing"
+
+	"nvmllc/internal/mainmem"
+	"nvmllc/internal/reference"
+)
+
+func TestCustomMainMemoryIntegration(t *testing.T) {
+	// LLC-thrashing trace so main memory actually matters.
+	lines := (8 << 20) / 64
+	tr := streamTrace("mm", lines, 2*lines, 4, 1)
+
+	run := func(tech mainmem.Tech) (*Result, *mainmem.Memory) {
+		mem, err := mainmem.New(mainmem.Preset(tech))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Gainestown(reference.SRAMBaseline())
+		cfg.Memory = mem
+		r, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, mem
+	}
+
+	dramRes, dramMem := run(mainmem.DRAM)
+	pcmRes, pcmMem := run(mainmem.PCRAMMem)
+
+	// Custom memory leaves the built-in DRAM stats empty.
+	if dramRes.DRAM.Reads != 0 {
+		t.Error("built-in DRAM stats populated despite custom memory")
+	}
+	if dramMem.Stats().Reads == 0 {
+		t.Error("custom memory saw no reads")
+	}
+	// A sequential stream should enjoy high row-buffer locality.
+	if hr := dramMem.Stats().RowHitRate(); hr < 0.5 {
+		t.Errorf("streaming row hit rate = %.2f, want ≥ 0.5", hr)
+	}
+	// PCM main memory slows the system (write drains block the banks the
+	// reads need) and burns more dynamic energy on this write-heavy
+	// stream.
+	if pcmRes.TimeNS <= dramRes.TimeNS {
+		t.Errorf("PCM main memory %g ns not slower than DRAM %g ns", pcmRes.TimeNS, dramRes.TimeNS)
+	}
+	dramE := dramMem.EnergyJ(dramRes.TimeNS)
+	pcmE := pcmMem.EnergyJ(pcmRes.TimeNS)
+	if pcmMem.Stats().Writes > 0 && pcmE <= 0 || dramE <= 0 {
+		t.Error("memory energies not positive")
+	}
+}
+
+func TestMainMemoryTechTradeoffLLCFiltered(t *testing.T) {
+	// With a cache-resident workload the main-memory technology should
+	// barely matter — the LLC filters it.
+	tr := streamTrace("filtered", 2000, 100000, 4, 1)
+	times := map[mainmem.Tech]float64{}
+	for _, tech := range []mainmem.Tech{mainmem.DRAM, mainmem.PCRAMMem} {
+		mem, err := mainmem.New(mainmem.Preset(tech))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Gainestown(reference.SRAMBaseline())
+		cfg.Memory = mem
+		r, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[tech] = r.TimeNS
+	}
+	ratio := times[mainmem.PCRAMMem] / times[mainmem.DRAM]
+	if ratio > 1.05 {
+		t.Errorf("LLC-filtered workload still %.2f× slower on PCM main memory", ratio)
+	}
+}

@@ -1,0 +1,726 @@
+// Package system is the trace-driven full-system simulator standing in for
+// Sniper (Section IV): a multi-core Gainestown-class machine with private
+// L1I/L1D/L2 caches, a shared NVM- or SRAM-based LLC, and distributed DRAM
+// controllers.
+//
+// The LLC is the paper's modified Sniper LLC: reads are on the critical
+// path with their technology-specific tag and data latencies, writes (fills
+// and writebacks) happen off the critical path, and per-access dynamic
+// energy follows equations (6)-(8). Leakage integrates over execution time.
+// Setting Config.ModelWriteContention recreates the behavior the paper
+// flags as absent from its simulator — LLC writes occupying banks and
+// delaying reads — and is used by the ablation benchmarks.
+package system
+
+import (
+	"fmt"
+	"math"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/cpu"
+	"nvmllc/internal/dram"
+	"nvmllc/internal/nvsim"
+	"nvmllc/internal/trace"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of cores (threads map 1:1 onto cores).
+	Cores int
+	// Core is the per-core timing model.
+	Core cpu.Params
+	// BlockBytes is the line size used at every level (paper: 64).
+	BlockBytes int
+	// L1IBytes/L1IWays, L1DBytes/L1DWays, L2Bytes/L2Ways size the private
+	// levels (Table IV: 32KB/4, 32KB/8, 256KB/8).
+	L1IBytes int64
+	L1IWays  int
+	L1DBytes int64
+	L1DWays  int
+	L2Bytes  int64
+	L2Ways   int
+	// L2LatencyNS is the L2 hit latency exposed to loads.
+	L2LatencyNS float64
+	// LLC is the last-level cache model under evaluation.
+	LLC nvsim.LLCModel
+	// LLCWays is the LLC associativity (paper: 16).
+	LLCWays int
+	// LLCBanks is the number of independently schedulable LLC banks, used
+	// only when ModelWriteContention is set.
+	LLCBanks int
+	// DRAM is the main memory model.
+	DRAM dram.Config
+	// Memory optionally replaces the default DRAM model with any
+	// MainMemory implementation (e.g. an internal/mainmem NVM main
+	// memory). When set, Result.DRAM stays zero and the caller reads
+	// statistics from its own model.
+	Memory MainMemory
+	// ModelWriteContention, when true, makes LLC writes occupy banks so
+	// reads queue behind slow NVM writes. The paper's simulator keeps
+	// writes entirely off the critical path (the default, false).
+	ModelWriteContention bool
+	// TrackWear, when true, records per-line and per-set LLC write counts
+	// for the endurance/lifetime study (Section VII future work).
+	TrackWear bool
+	// LLCPolicy selects the LLC replacement policy (default cache.LRU,
+	// the paper's configuration).
+	LLCPolicy cache.Policy
+	// LLCBypass enables NVM write bypassing at the LLC (default off).
+	LLCBypass BypassPolicy
+	// DisableCoherence turns off the full-map directory (Table IV) that
+	// keeps private caches coherent on multi-threaded traces. Coherence is
+	// modeled by default whenever a trace has more than one thread.
+	DisableCoherence bool
+	// Hybrid replaces the single-technology LLC with a hybrid SRAM/NVM
+	// LLC (write-aware placement and migration, the paper's cited
+	// technique [7]). When set, Config.LLC is ignored; TrackWear and
+	// LLCBypass are unsupported in hybrid mode.
+	Hybrid *HybridConfig
+}
+
+// Gainestown returns the paper's simulated architecture (Table IV) around
+// the given LLC model.
+func Gainestown(llc nvsim.LLCModel) Config {
+	return Config{
+		Cores:       4,
+		Core:        cpu.Gainestown(),
+		BlockBytes:  64,
+		L1IBytes:    32 << 10,
+		L1IWays:     4,
+		L1DBytes:    32 << 10,
+		L1DWays:     8,
+		L2Bytes:     256 << 10,
+		L2Ways:      8,
+		L2LatencyNS: 3.0, // 8 cycles at 2.66 GHz
+		LLC:         llc,
+		LLCWays:     16,
+		LLCBanks:    4,
+		DRAM:        dram.Gainestown(),
+	}
+}
+
+// WithCores returns a copy configured for n cores.
+func (c Config) WithCores(n int) Config {
+	c.Cores = n
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 64 {
+		return fmt.Errorf("system: cores = %d, want 1..64", c.Cores)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.Hybrid != nil {
+		if err := c.Hybrid.Validate(c.LLCWays); err != nil {
+			return err
+		}
+		if c.TrackWear || c.LLCBypass != BypassNone {
+			return fmt.Errorf("system: hybrid LLC does not support wear tracking or bypass")
+		}
+	} else if err := c.LLC.Validate(); err != nil {
+		return err
+	}
+	if c.LLCBanks <= 0 {
+		return fmt.Errorf("system: LLC banks = %d, want positive", c.LLCBanks)
+	}
+	if c.L2LatencyNS < 0 {
+		return fmt.Errorf("system: negative L2 latency")
+	}
+	return nil
+}
+
+// MainMemory abstracts the memory below the LLC: both internal/dram (the
+// paper's fixed-latency bandwidth-limited controllers) and
+// internal/mainmem (the NVMain-style row-buffered model) satisfy it.
+// Completion times are in ns; writes are posted but still occupy the
+// device.
+type MainMemory interface {
+	Read(nowNS float64, lineAddr uint64) (completeNS float64)
+	Write(nowNS float64, lineAddr uint64) (completeNS float64)
+}
+
+// LLCStats counts last-level cache events as the paper's energy model needs
+// them: demand lookups split into hits and misses, and writes (line fills
+// plus writebacks arriving from L2).
+type LLCStats struct {
+	Hits, Misses, Writes uint64
+	// BypassedFills and BypassedWritebacks count LLC writes avoided by
+	// the bypass policy (zero unless Config.LLCBypass is enabled).
+	BypassedFills, BypassedWritebacks uint64
+}
+
+// Accesses is demand lookups (hits + misses).
+func (s LLCStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Workload is the trace name; LLCName identifies the LLC model.
+	Workload string
+	LLCName  string
+	// Cores is the simulated core count.
+	Cores int
+	// TimeNS is the execution time (slowest core's finish time).
+	TimeNS float64
+	// Instructions is the total retired instruction count.
+	Instructions uint64
+	// LLC tallies last-level cache events.
+	LLC LLCStats
+	// L1I, L1D, L2 aggregate the private-cache stats across cores.
+	L1I, L1D, L2 cache.Stats
+	// DRAM tallies memory traffic.
+	DRAM dram.Stats
+	// LLCDynamicJ and LLCLeakageJ decompose LLC energy in joules.
+	LLCDynamicJ, LLCLeakageJ float64
+	// MemStallNS is the summed per-core load-stall time.
+	MemStallNS float64
+	// Wear holds LLC write-wear statistics when Config.TrackWear is set.
+	Wear *WearStats
+	// Directory tallies coherence traffic (zero when coherence is off or
+	// the trace is single-threaded).
+	Directory DirectoryStats
+	// Hybrid holds partition statistics when Config.Hybrid is set.
+	Hybrid *HybridStats
+}
+
+// Seconds returns execution time in seconds.
+func (r *Result) Seconds() float64 { return r.TimeNS * 1e-9 }
+
+// LLCEnergyJ is total LLC energy: dynamic plus leakage.
+func (r *Result) LLCEnergyJ() float64 { return r.LLCDynamicJ + r.LLCLeakageJ }
+
+// EDP is the LLC energy-delay product (J·s).
+func (r *Result) EDP() float64 { return r.LLCEnergyJ() * r.Seconds() }
+
+// ED2P is the LLC energy-delay-squared product (J·s²), the paper's primary
+// combined metric.
+func (r *Result) ED2P() float64 { return r.LLCEnergyJ() * r.Seconds() * r.Seconds() }
+
+// LLCMPKI is LLC misses per thousand instructions (Table V's metric).
+func (r *Result) LLCMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.LLC.Misses) / float64(r.Instructions) * 1000
+}
+
+// IPC is aggregate instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.TimeNS == 0 {
+		return 0
+	}
+	cycles := r.TimeNS / (1.0 / 2.66) // informational; uses Gainestown clock
+	return float64(r.Instructions) / cycles
+}
+
+// coreState bundles one core's pipeline and private caches with its share
+// of the trace.
+type coreState struct {
+	idx      int
+	core     *cpu.Core
+	l1i, l1d *cache.Cache
+	l2       *cache.Cache
+	accs     []trace.Access
+	pos      int
+	// instrPerAccess is the instruction gap represented by each access;
+	// instrCarry accumulates the fractional remainder.
+	instrPerAccess float64
+	instrCarry     float64
+	instrBudget    uint64
+	instrRetired   uint64
+}
+
+type simulator struct {
+	cfg       Config
+	blockBits uint
+	cores     []*coreState
+	llc       *cache.Cache
+	mem       MainMemory
+	dramMem   *dram.Memory // non-nil when the default model is in use
+	bankBusy  []float64
+	stats     LLCStats
+	wear      *WearTracker
+	bypass    *deadBlockPredictor
+	dir       *directory
+	hybrid    *hybridLLC
+}
+
+// Run simulates the trace on the configured machine.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Threads > cfg.Cores {
+		return nil, fmt.Errorf("system: trace %s has %d threads but only %d cores", tr.Name, tr.Threads, cfg.Cores)
+	}
+	sim, err := newSimulator(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	sim.run()
+	return sim.result(tr), nil
+}
+
+func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockBytes {
+		blockBits++
+	}
+	var llc *cache.Cache
+	var hybrid *hybridLLC
+	if cfg.Hybrid != nil {
+		var err error
+		hybrid, err = newHybridLLC(cfg.Hybrid, cfg.BlockBytes, cfg.LLCWays)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		llc, err = cache.New(cache.Config{
+			Name:          "LLC",
+			CapacityBytes: cfg.LLC.CapacityBytes,
+			BlockBytes:    cfg.BlockBytes,
+			Ways:          cfg.LLCWays,
+			Policy:        cfg.LLCPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var mem MainMemory
+	var dramMem *dram.Memory
+	if cfg.Memory != nil {
+		mem = cfg.Memory
+	} else {
+		var err error
+		dramMem, err = dram.New(cfg.DRAM)
+		if err != nil {
+			return nil, err
+		}
+		mem = dramMem
+	}
+	perThread := trace.SplitByThread(tr.Accesses, tr.Threads)
+	instrPerThread := tr.InstrCount / uint64(tr.Threads)
+	sim := &simulator{
+		cfg:       cfg,
+		blockBits: blockBits,
+		llc:       llc,
+		mem:       mem,
+		dramMem:   dramMem,
+		bankBusy:  make([]float64, cfg.LLCBanks),
+		hybrid:    hybrid,
+	}
+	if cfg.TrackWear {
+		sim.wear = newWearTracker(llc.Sets(), cfg.LLCWays)
+	}
+	if cfg.LLCBypass == BypassDeadBlock {
+		sim.bypass = newDeadBlockPredictor()
+	}
+	if !cfg.DisableCoherence && tr.Threads > 1 {
+		sim.dir = newDirectory()
+	}
+	for t := 0; t < tr.Threads; t++ {
+		core, err := cpu.NewCore(cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		l1i, err := cache.New(cache.Config{Name: "L1I", CapacityBytes: cfg.L1IBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1IWays})
+		if err != nil {
+			return nil, err
+		}
+		l1d, err := cache.New(cache.Config{Name: "L1D", CapacityBytes: cfg.L1DBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1DWays})
+		if err != nil {
+			return nil, err
+		}
+		l2, err := cache.New(cache.Config{Name: "L2", CapacityBytes: cfg.L2Bytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L2Ways})
+		if err != nil {
+			return nil, err
+		}
+		cs := &coreState{
+			idx:  t,
+			core: core, l1i: l1i, l1d: l1d, l2: l2,
+			accs:        perThread[t],
+			instrBudget: instrPerThread,
+		}
+		if n := len(cs.accs); n > 0 {
+			cs.instrPerAccess = float64(instrPerThread) / float64(n)
+		}
+		sim.cores = append(sim.cores, cs)
+	}
+	return sim, nil
+}
+
+// run interleaves the per-core access streams in core-local time order:
+// each step advances the core with the earliest local clock, which keeps
+// shared-resource (LLC, DRAM) interactions approximately causal.
+func (s *simulator) run() {
+	for {
+		var next *coreState
+		for _, cs := range s.cores {
+			if cs.pos >= len(cs.accs) {
+				continue
+			}
+			if next == nil || cs.core.TimeNS() < next.core.TimeNS() {
+				next = cs
+			}
+		}
+		if next == nil {
+			break
+		}
+		s.step(next)
+	}
+	// Retire any instruction remainder so totals match the trace.
+	for _, cs := range s.cores {
+		if cs.instrRetired < cs.instrBudget {
+			rem := cs.instrBudget - cs.instrRetired
+			cs.core.Retire(rem)
+			cs.instrRetired += rem
+		}
+	}
+}
+
+// step executes one access on the given core.
+func (s *simulator) step(cs *coreState) {
+	a := cs.accs[cs.pos]
+	cs.pos++
+
+	// Advance the pipeline over the instructions this access represents.
+	cs.instrCarry += cs.instrPerAccess
+	n := uint64(cs.instrCarry)
+	if max := cs.instrBudget - cs.instrRetired; n > max {
+		n = max
+	}
+	cs.instrCarry -= float64(n)
+	cs.core.Retire(n)
+	cs.instrRetired += n
+
+	line := a.Addr >> s.blockBits
+	switch a.Kind {
+	case trace.Read:
+		s.load(cs, line)
+	case trace.Ifetch:
+		s.ifetch(cs, line)
+	case trace.Write:
+		s.store(cs, line)
+	}
+}
+
+// load walks a demand read down the hierarchy, stalling the core on the
+// completion time of wherever it hits.
+func (s *simulator) load(cs *coreState, line uint64) {
+	if hit, ev := cs.l1d.Access(line, false); hit {
+		return // L1 hit time is covered by base CPI
+	} else if ev.Valid && ev.Dirty {
+		s.l2Writeback(cs, ev.LineAddr)
+	}
+	if s.dir != nil {
+		s.downgradeOthers(cs, line)
+		s.dir.noteFill(line, cs.idx)
+	}
+	s.fromL2(cs, line, true)
+}
+
+// ifetch is a load through the L1I.
+func (s *simulator) ifetch(cs *coreState, line uint64) {
+	if hit, ev := cs.l1i.Access(line, false); hit {
+		return
+	} else if ev.Valid && ev.Dirty {
+		s.l2Writeback(cs, ev.LineAddr)
+	}
+	s.fromL2(cs, line, true)
+}
+
+// store performs a write-back write-allocate store. Stores retire through
+// the store queue and never stall the core, but their allocations and
+// writebacks consume LLC energy and DRAM bandwidth.
+func (s *simulator) store(cs *coreState, line uint64) {
+	if s.dir != nil {
+		// A store needs exclusive ownership: invalidate remote copies,
+		// flushing any dirty one through the LLC first.
+		if _, dirtyWb := s.invalidateOthers(line, cs.idx); dirtyWb > 0 {
+			for i := 0; i < dirtyWb; i++ {
+				s.llcWrite(line, cs.core.TimeNS())
+			}
+		}
+	}
+	if hit, ev := cs.l1d.Access(line, true); hit {
+		return
+	} else if ev.Valid && ev.Dirty {
+		s.l2Writeback(cs, ev.LineAddr)
+	}
+	if s.dir != nil {
+		s.dir.noteFill(line, cs.idx)
+	}
+	s.fromL2(cs, line, false)
+}
+
+// downgradeOthers handles a read to a line another core may hold dirty:
+// remote copies are cleaned (Modified -> Shared) and a dirty copy is
+// flushed through the LLC, with the reader paying an intervention latency.
+func (s *simulator) downgradeOthers(cs *coreState, line uint64) {
+	mask := s.dir.othersHolding(line, cs.idx)
+	if mask == 0 {
+		return
+	}
+	flushed := false
+	for c := 0; mask != 0; c++ {
+		bit := uint64(1) << uint(c)
+		if mask&bit == 0 {
+			continue
+		}
+		mask &^= bit
+		other := s.cores[c]
+		if _, wasDirty := other.l1d.Clean(line); wasDirty {
+			flushed = true
+		}
+		if _, wasDirty := other.l2.Clean(line); wasDirty {
+			flushed = true
+		}
+	}
+	if flushed {
+		now := cs.core.TimeNS()
+		s.llcWrite(line, now)
+		s.dir.stats.RemoteWritebacks++
+		s.dir.stats.InterventionStalls++
+		// Cache-to-cache transfer via the LLC.
+		cs.core.StallLoad(now + s.cfg.LLC.TagLatencyNS + s.cfg.LLC.ReadLatencyNS)
+	}
+}
+
+// fromL2 services an L1 miss from the L2 and below. stalls controls
+// whether the core waits for the data (loads) or not (stores).
+func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool) {
+	now := cs.core.TimeNS()
+	if hit, ev := cs.l2.Access(line, false); hit {
+		if stalls {
+			cs.core.StallLoad(now + s.cfg.L2LatencyNS)
+		}
+		return
+	} else if ev.Valid {
+		// Enforce inclusion: the L2 victim leaves the L1s too; a dirty L1
+		// copy folds into the writeback.
+		if present, dirty := cs.l1d.Invalidate(ev.LineAddr); present && dirty {
+			ev.Dirty = true
+		}
+		cs.l1i.Invalidate(ev.LineAddr)
+		if s.dir != nil {
+			s.dir.noteEvict(ev.LineAddr, cs.idx)
+		}
+		if ev.Dirty {
+			s.llcWrite(ev.LineAddr, now)
+		}
+	}
+	s.fromLLC(cs, line, stalls)
+}
+
+// fromLLC services an L2 miss at the shared LLC and, on miss, DRAM.
+func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool) {
+	if s.hybrid != nil {
+		s.fromHybridLLC(cs, line, stalls)
+		return
+	}
+	now := cs.core.TimeNS()
+	llcModel := &s.cfg.LLC
+	// Dead-block bypass: a line predicted dead skips the NVM fill and is
+	// served straight from DRAM (tag probe energy still counts as a miss).
+	if s.bypass != nil && s.bypass.predictDead(line) && !s.llc.Probe(line) {
+		s.stats.Misses++
+		s.stats.BypassedFills++
+		dramComplete := s.mem.Read(now+llcModel.TagLatencyNS, line)
+		if stalls {
+			cs.core.StallLoad(dramComplete)
+		}
+		return
+	}
+	hit, ev := s.llc.Access(line, false)
+	if hit {
+		s.stats.Hits++
+		if s.bypass != nil {
+			s.bypass.onHit(line)
+		}
+		complete := now + llcModel.TagLatencyNS + llcModel.ReadLatencyNS
+		if s.cfg.ModelWriteContention {
+			start := s.bankStart(line, now)
+			s.setBankBusy(line, start+llcModel.ReadLatencyNS)
+			complete = start + llcModel.TagLatencyNS + llcModel.ReadLatencyNS
+		}
+		if stalls {
+			cs.core.StallLoad(complete)
+		}
+		return
+	}
+	// Miss: tag lookup energy, then DRAM, then the fill writes the LLC.
+	// With contention modeled, the tag probe waits for the bank (reads
+	// queue behind in-flight slow writes).
+	s.stats.Misses++
+	if s.bypass != nil {
+		s.bypass.onFill(line)
+		if ev.Valid {
+			s.bypass.onEvict(ev.LineAddr)
+		}
+	}
+	if ev.Valid && ev.Dirty {
+		s.mem.Write(now, ev.LineAddr)
+	}
+	lookupStart := now
+	if s.cfg.ModelWriteContention {
+		lookupStart = s.bankStart(line, now)
+	}
+	dramComplete := s.mem.Read(lookupStart+llcModel.TagLatencyNS, line)
+	if stalls {
+		cs.core.StallLoad(dramComplete)
+	}
+	s.llcFillWrite(line, dramComplete)
+}
+
+// fromHybridLLC services an L2 miss at the hybrid SRAM/NVM LLC.
+func (s *simulator) fromHybridLLC(cs *coreState, line uint64, stalls bool) {
+	now := cs.core.TimeNS()
+	hit, lat := s.hybrid.lookup(line)
+	if hit {
+		s.stats.Hits++
+		if stalls {
+			cs.core.StallLoad(now + lat)
+		}
+		return
+	}
+	s.stats.Misses++
+	dramComplete := s.mem.Read(now+lat, line)
+	if stalls {
+		cs.core.StallLoad(dramComplete)
+	}
+	s.stats.Writes++
+	for _, wb := range s.hybrid.fill(line, !stalls) {
+		s.mem.Write(dramComplete, wb)
+	}
+}
+
+// l2Writeback propagates an L1 dirty eviction into the L2; a dirty L2
+// victim continues to the LLC as a write.
+func (s *simulator) l2Writeback(cs *coreState, line uint64) {
+	if present, ev := cs.l2.WritebackTo(line); !present && ev.Valid && ev.Dirty {
+		s.llcWrite(ev.LineAddr, cs.core.TimeNS())
+	}
+}
+
+// llcWrite is a writeback arriving at the LLC from an L2 (equation (8)
+// energy; off the critical path).
+func (s *simulator) llcWrite(line uint64, now float64) {
+	if s.hybrid != nil {
+		s.stats.Writes++
+		for _, wb := range s.hybrid.writeback(line) {
+			s.mem.Write(now, wb)
+		}
+		return
+	}
+	// Dead-block bypass: writebacks of dead lines go straight to DRAM,
+	// avoiding the expensive NVM data-array write.
+	if s.bypass != nil && s.bypass.predictDead(line) && !s.llc.Probe(line) {
+		s.stats.BypassedWritebacks++
+		s.mem.Write(now, line)
+		return
+	}
+	s.stats.Writes++
+	if s.wear != nil {
+		s.wear.Record(line)
+	}
+	// A writeback does not count as reuse for the dead-block predictor:
+	// only demand hits mark a line alive (the dead-write distinction of
+	// the write-minimization literature).
+	present, ev := s.llc.WritebackTo(line)
+	if s.bypass != nil && !present {
+		s.bypass.onFill(line)
+		if ev.Valid {
+			s.bypass.onEvict(ev.LineAddr)
+		}
+	}
+	if ev.Valid && ev.Dirty {
+		s.mem.Write(now, ev.LineAddr)
+	}
+	s.occupyBankForWrite(line, now)
+}
+
+// llcFillWrite is the data-array write of a fill after a DRAM fetch. The
+// line was already allocated by the demand Access; only energy and bank
+// occupancy are modeled here.
+func (s *simulator) llcFillWrite(line uint64, now float64) {
+	s.stats.Writes++
+	if s.wear != nil {
+		s.wear.Record(line)
+	}
+	s.occupyBankForWrite(line, now)
+}
+
+func (s *simulator) occupyBankForWrite(line uint64, now float64) {
+	if !s.cfg.ModelWriteContention {
+		return
+	}
+	start := s.bankStart(line, now)
+	s.setBankBusy(line, start+s.cfg.LLC.WriteLatencyNS())
+}
+
+func (s *simulator) bankStart(line uint64, now float64) float64 {
+	b := line % uint64(len(s.bankBusy))
+	return math.Max(now, s.bankBusy[b])
+}
+
+func (s *simulator) setBankBusy(line uint64, until float64) {
+	b := line % uint64(len(s.bankBusy))
+	s.bankBusy[b] = until
+}
+
+// result assembles the Result, integrating LLC energy over the run.
+func (s *simulator) result(tr *trace.Trace) *Result {
+	llcName := s.cfg.LLC.Name
+	if s.hybrid != nil {
+		llcName = fmt.Sprintf("hybrid(%s+%s)", s.cfg.Hybrid.SRAM.Name, s.cfg.Hybrid.NVM.Name)
+	}
+	r := &Result{
+		Workload: tr.Name,
+		LLCName:  llcName,
+		Cores:    s.cfg.Cores,
+		LLC:      s.stats,
+	}
+	if s.dir != nil {
+		r.Directory = s.dir.stats
+	}
+	for _, cs := range s.cores {
+		if t := cs.core.TimeNS(); t > r.TimeNS {
+			r.TimeNS = t
+		}
+		r.Instructions += cs.core.Instructions()
+		r.MemStallNS += cs.core.MemStallNS()
+		r.L1I.Add(cs.l1i.Stats())
+		r.L1D.Add(cs.l1d.Stats())
+		r.L2.Add(cs.l2.Stats())
+	}
+	if s.dramMem != nil {
+		r.DRAM = s.dramMem.Stats()
+	}
+	if s.hybrid != nil {
+		hs := s.hybrid.stats
+		r.Hybrid = &hs
+		r.LLCDynamicJ = s.hybrid.dynamicNJ * 1e-9
+		r.LLCLeakageJ = s.hybrid.leakageW() * r.TimeNS * 1e-9
+	} else {
+		m := &s.cfg.LLC
+		// Equations (6)-(8): nJ per event, summed, converted to joules.
+		dynNJ := float64(s.stats.Hits)*m.HitEnergyNJ +
+			float64(s.stats.Misses)*m.MissEnergyNJ +
+			float64(s.stats.Writes)*m.WriteEnergyNJ +
+			// Bypassed writebacks still probe the tags.
+			float64(s.stats.BypassedWritebacks)*m.MissEnergyNJ
+		r.LLCDynamicJ = dynNJ * 1e-9
+		r.LLCLeakageJ = m.LeakageW * r.TimeNS * 1e-9
+	}
+	if s.wear != nil {
+		ws := s.wear.Stats()
+		r.Wear = &ws
+	}
+	return r
+}

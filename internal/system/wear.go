@@ -1,0 +1,101 @@
+package system
+
+// Write-endurance accounting. The paper's Table I lists write endurance as
+// the key drawback of PCRAM (10⁷–10⁸ writes) and RRAM (10¹⁰), and its
+// Section VII names lifetime characterization — how architecture-agnostic
+// workload features affect the lifetime of different NVMs — as future
+// work. This file implements the measurement side: per-line and per-set
+// LLC write counts, from which internal/endurance derives lifetime
+// estimates with and without ideal intra-set wear leveling (the
+// WriteSmoothing-style technique the paper cites as [20]).
+
+// WearTracker accumulates LLC data-array write counts.
+type WearTracker struct {
+	lineWrites map[uint64]uint64
+	setWrites  []uint64
+	setMask    uint64
+	ways       int
+	total      uint64
+}
+
+// newWearTracker sizes the tracker for an LLC with the given set count and
+// associativity.
+func newWearTracker(sets, ways int) *WearTracker {
+	return &WearTracker{
+		lineWrites: make(map[uint64]uint64),
+		setWrites:  make([]uint64, sets),
+		setMask:    uint64(sets - 1),
+		ways:       ways,
+	}
+}
+
+// Record notes one data-array write of the given line.
+func (w *WearTracker) Record(line uint64) {
+	w.lineWrites[line]++
+	w.setWrites[line&w.setMask]++
+	w.total++
+}
+
+// WearStats summarizes write wear at the end of a run.
+type WearStats struct {
+	// TotalWrites is every data-array write (fills + writebacks).
+	TotalWrites uint64
+	// LinesTouched is the number of distinct line addresses written.
+	LinesTouched int
+	// MaxLineWrites is the hottest single line's write count — the raw
+	// (unleveled) wear-out driver.
+	MaxLineWrites uint64
+	// MaxSetWrites is the hottest set's total write count.
+	MaxSetWrites uint64
+	// Ways is the LLC associativity, used to compute the ideally-leveled
+	// per-cell wear.
+	Ways int
+	// Sets is the LLC set count.
+	Sets int
+}
+
+// LeveledMaxLineWrites is the hottest physical line's write count under
+// ideal intra-set wear leveling: the hottest set's writes spread evenly
+// over its ways.
+func (s WearStats) LeveledMaxLineWrites() uint64 {
+	if s.Ways <= 0 {
+		return s.MaxLineWrites
+	}
+	return (s.MaxSetWrites + uint64(s.Ways) - 1) / uint64(s.Ways)
+}
+
+// ImbalanceFactor is the ratio of actual hottest-line wear to the
+// ideally-leveled wear — the headroom an intra-set wear-leveling scheme
+// could reclaim (≥ 1).
+func (s WearStats) ImbalanceFactor() float64 {
+	leveled := s.LeveledMaxLineWrites()
+	if leveled == 0 {
+		return 1
+	}
+	f := float64(s.MaxLineWrites) / float64(leveled)
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// Stats snapshots the tracker.
+func (w *WearTracker) Stats() WearStats {
+	s := WearStats{
+		TotalWrites:  w.total,
+		LinesTouched: len(w.lineWrites),
+		Ways:         w.ways,
+		Sets:         len(w.setWrites),
+	}
+	for _, c := range w.lineWrites {
+		if c > s.MaxLineWrites {
+			s.MaxLineWrites = c
+		}
+	}
+	for _, c := range w.setWrites {
+		if c > s.MaxSetWrites {
+			s.MaxSetWrites = c
+		}
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package system
+
+import (
+	"testing"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/trace"
+)
+
+func TestWearTrackingDisabledByDefault(t *testing.T) {
+	tr := streamTrace("nowear", 10000, 50000, 3, 1)
+	r, err := Run(sramConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wear != nil {
+		t.Error("wear stats present without TrackWear")
+	}
+}
+
+func TestWearTrackingCountsAllLLCWrites(t *testing.T) {
+	tr := streamTrace("wear", 100000, 200000, 2, 1)
+	cfg := sramConfig()
+	cfg.TrackWear = true
+	r, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wear == nil {
+		t.Fatal("no wear stats")
+	}
+	if r.Wear.TotalWrites != r.LLC.Writes {
+		t.Errorf("wear total %d != LLC writes %d", r.Wear.TotalWrites, r.LLC.Writes)
+	}
+	if r.Wear.MaxLineWrites == 0 || r.Wear.LinesTouched == 0 {
+		t.Errorf("empty wear stats: %+v", r.Wear)
+	}
+	if r.Wear.MaxSetWrites < r.Wear.MaxLineWrites {
+		t.Errorf("hottest set %d below hottest line %d", r.Wear.MaxSetWrites, r.Wear.MaxLineWrites)
+	}
+	if r.Wear.Ways != 16 || r.Wear.Sets != 2048 {
+		t.Errorf("geometry = %d ways × %d sets, want 16 × 2048", r.Wear.Ways, r.Wear.Sets)
+	}
+}
+
+func TestWearLeveledBound(t *testing.T) {
+	s := WearStats{MaxLineWrites: 100, MaxSetWrites: 160, Ways: 16}
+	if got := s.LeveledMaxLineWrites(); got != 10 {
+		t.Errorf("leveled max = %d, want 10", got)
+	}
+	if f := s.ImbalanceFactor(); f != 10 {
+		t.Errorf("imbalance = %g, want 10", f)
+	}
+	// Leveling can never make wear look worse than 1×.
+	balanced := WearStats{MaxLineWrites: 10, MaxSetWrites: 160, Ways: 16}
+	if f := balanced.ImbalanceFactor(); f != 1 {
+		t.Errorf("balanced imbalance = %g, want 1", f)
+	}
+	// Degenerate geometry falls back to raw.
+	raw := WearStats{MaxLineWrites: 7}
+	if raw.LeveledMaxLineWrites() != 7 {
+		t.Error("degenerate leveled wear wrong")
+	}
+	if (WearStats{}).ImbalanceFactor() != 1 {
+		t.Error("empty imbalance should be 1")
+	}
+}
+
+func TestWearHotLineDominates(t *testing.T) {
+	// One line written once per pass of a large streaming sweep (so the
+	// private caches evict it and the write reaches the LLC every pass):
+	// its LLC wear must dominate its set, making the imbalance factor
+	// clearly exceed 1.
+	tr := &trace.Trace{Name: "hotline", Threads: 1}
+	hot := uint64(0x100000)
+	const sweepLines = 8192 // 512KB: flushes L1 and L2 each pass
+	for pass := 0; pass < 50; pass++ {
+		tr.Accesses = append(tr.Accesses, trace.Access{Addr: hot, Kind: trace.Write})
+		for l := 0; l < sweepLines; l++ {
+			tr.Accesses = append(tr.Accesses, trace.Access{
+				Addr: uint64(l)*64 + 1<<30, Kind: trace.Write})
+		}
+	}
+	tr.InstrCount = uint64(len(tr.Accesses)) * 3
+	cfg := Gainestown(reference.SRAMBaseline())
+	cfg.TrackWear = true
+	r, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wear.ImbalanceFactor() <= 1.5 {
+		t.Errorf("imbalance = %g, want > 1.5 for a hot-line workload", r.Wear.ImbalanceFactor())
+	}
+}

@@ -1,0 +1,254 @@
+// Package tablefmt renders the reproduction's tables, heatmaps and bar
+// charts as aligned ASCII, mirroring the presentation of the paper's
+// tables (II, III, V, VI) and figures (1, 2, 4).
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, floats
+// are formatted with %.3f (or %.4g when very large/small), integers with
+// %d.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, formatCell(c))
+	}
+	t.AddRow(row...)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return FormatFloat(v)
+	case float32:
+		return FormatFloat(float64(v))
+	case int:
+		return fmt.Sprintf("%d", v)
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case uint64:
+		return fmt.Sprintf("%d", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// FormatFloat renders a float compactly: fixed 3 decimals in the normal
+// range, scientific form outside it.
+func FormatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	total *= 2
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// shades are the heatmap intensity glyphs from cold to hot.
+var shades = []rune{'·', '░', '▒', '▓', '█'}
+
+// Shade maps a value within [min,max] to an intensity glyph.
+func Shade(v, min, max float64) rune {
+	if math.IsNaN(v) {
+		return '?'
+	}
+	if max <= min {
+		return shades[0]
+	}
+	f := (v - min) / (max - min)
+	idx := int(f * float64(len(shades)))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return shades[idx]
+}
+
+// Heatmap renders a labeled matrix with per-cell values and intensity
+// glyphs, scaled over the whole matrix (like the paper's Figure 4 panels).
+type Heatmap struct {
+	Title    string
+	RowNames []string
+	ColNames []string
+	// Cells is indexed [row][col].
+	Cells [][]float64
+}
+
+// Validate checks the shape.
+func (h *Heatmap) Validate() error {
+	if len(h.Cells) != len(h.RowNames) {
+		return fmt.Errorf("tablefmt: heatmap has %d rows, %d row names", len(h.Cells), len(h.RowNames))
+	}
+	for i, row := range h.Cells {
+		if len(row) != len(h.ColNames) {
+			return fmt.Errorf("tablefmt: heatmap row %d has %d cells, %d column names", i, len(row), len(h.ColNames))
+		}
+	}
+	return nil
+}
+
+// Render writes the heatmap.
+func (h *Heatmap) Render(w io.Writer) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	t := New(h.Title, append([]string{""}, h.ColNames...)...)
+	for i, row := range h.Cells {
+		cells := []string{h.RowNames[i]}
+		for _, v := range row {
+			cells = append(cells, fmt.Sprintf("%c %.2f", Shade(v, min, max), v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+// BarChart renders one horizontal bar per label, scaled to maxWidth
+// characters, with a reference line value (the paper's "normalized to
+// SRAM" horizontal line) marked on each bar when it falls inside the bar's
+// span.
+type BarChart struct {
+	Title    string
+	Labels   []string
+	Values   []float64
+	RefValue float64 // 0 disables the reference mark
+	MaxWidth int     // default 50
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.Labels) != len(c.Values) {
+		return fmt.Errorf("tablefmt: bar chart has %d labels, %d values", len(c.Labels), len(c.Values))
+	}
+	width := c.MaxWidth
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, v := range c.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if c.RefValue > max {
+		max = c.RefValue
+	}
+	labelW := 0
+	for _, l := range c.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.Values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		bar := []rune(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if c.RefValue > 0 && max > 0 {
+			ri := int(c.RefValue / max * float64(width))
+			if ri >= width {
+				ri = width - 1
+			}
+			if ri >= 0 {
+				bar[ri] = '|'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %s\n", labelW, c.Labels[i], string(bar), FormatFloat(v))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

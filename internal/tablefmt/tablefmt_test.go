@@ -1,0 +1,141 @@
+package tablefmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := New("Title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	tab.AddRowf("gamma", uint64(7))
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Title", "name", "alpha", "2.500", "gamma", "7", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the same prefix width for col 2.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("line count = %d, want 6", len(lines))
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := New("", "a", "b", "c")
+	tab.AddRow("only")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.500",
+		2e7:     "2e+07",
+		0.00005: "5e-05",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestShade(t *testing.T) {
+	if Shade(0, 0, 1) != '·' {
+		t.Error("min shade wrong")
+	}
+	if Shade(1, 0, 1) != '█' {
+		t.Error("max shade wrong")
+	}
+	if Shade(5, 5, 5) != '·' {
+		t.Error("degenerate range should be cold")
+	}
+	mid := Shade(0.5, 0, 1)
+	if mid == '·' || mid == '█' {
+		t.Errorf("mid shade = %c", mid)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:    "corr",
+		RowNames: []string{"energy", "speedup"},
+		ColNames: []string{"H_wg", "w_uniq"},
+		Cells:    [][]float64{{0.99, 0.90}, {0.10, 0.20}},
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"corr", "energy", "H_wg", "0.99", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	h := &Heatmap{RowNames: []string{"a"}, ColNames: []string{"x"}, Cells: [][]float64{{1, 2}}}
+	if err := h.Render(&bytes.Buffer{}); err == nil {
+		t.Error("ragged heatmap accepted")
+	}
+	h2 := &Heatmap{RowNames: []string{"a", "b"}, ColNames: []string{"x"}, Cells: [][]float64{{1}}}
+	if err := h2.Render(&bytes.Buffer{}); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:    "speedup",
+		Labels:   []string{"Jan_S", "Zhang_R"},
+		Values:   []float64{0.5, 1.0},
+		RefValue: 1.0,
+		MaxWidth: 20,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Jan_S") || !strings.Contains(out, "#") || !strings.Contains(out, "|") {
+		t.Errorf("bar chart malformed:\n%s", out)
+	}
+	// The larger value must have more # marks.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	janBars := strings.Count(lines[1], "#")
+	zhangBars := strings.Count(lines[2], "#")
+	if zhangBars <= janBars {
+		t.Errorf("bar lengths wrong: %d vs %d", janBars, zhangBars)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	c := &BarChart{Labels: []string{"a"}, Values: []float64{1, 2}}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched bar chart accepted")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{Labels: []string{"a"}, Values: []float64{0}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

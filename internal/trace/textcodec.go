@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format — a human-readable/interoperable alternative to the
+// binary codec, so traces from other tools (Pin, DynamoRIO, perf scripts)
+// can be converted with a one-line awk and fed to the characterizer and
+// simulator:
+//
+//	# nvmllc-trace v1
+//	# name=cg threads=4 instr=3000000
+//	R 0 0x7f001000
+//	W 1 0x7f001040
+//	I 0 0x400123
+//
+// Kind letters: R read, W write, I instruction fetch. Blank lines and
+// further # comments are ignored.
+
+// EncodeText writes the trace in the text format.
+func EncodeText(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nvmllc-trace v1\n# name=%s threads=%d instr=%d\n",
+		t.Name, t.Threads, t.InstrCount); err != nil {
+		return err
+	}
+	for _, a := range t.Accesses {
+		var k byte
+		switch a.Kind {
+		case Read:
+			k = 'R'
+		case Write:
+			k = 'W'
+		case Ifetch:
+			k = 'I'
+		default:
+			return fmt.Errorf("trace: invalid kind %d", a.Kind)
+		}
+		if _, err := fmt.Fprintf(bw, "%c %d 0x%x\n", k, a.Tid, a.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeText parses the text format. Metadata defaults: name "trace",
+// threads inferred from the largest tid seen, instr = access count.
+func DecodeText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	t := &Trace{Name: "trace"}
+	var declaredThreads, declaredInstr uint64
+	maxTid := uint8(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseTextHeader(line, t, &declaredThreads, &declaredInstr)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'KIND TID ADDR', got %q", lineNo, line)
+		}
+		var kind Kind
+		switch fields[0] {
+		case "R", "r":
+			kind = Read
+		case "W", "w":
+			kind = Write
+		case "I", "i":
+			kind = Ifetch
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, fields[0])
+		}
+		tid, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad tid: %v", lineNo, err)
+		}
+		var addr uint64
+		if strings.HasPrefix(fields[2], "0x") || strings.HasPrefix(fields[2], "0X") {
+			addr, err = strconv.ParseUint(fields[2][2:], 16, 64)
+		} else {
+			addr, err = strconv.ParseUint(fields[2], 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[2])
+		}
+		if uint8(tid) > maxTid {
+			maxTid = uint8(tid)
+		}
+		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: kind, Tid: uint8(tid)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declaredThreads > 0 {
+		t.Threads = int(declaredThreads)
+	} else {
+		t.Threads = int(maxTid) + 1
+	}
+	if declaredInstr > 0 {
+		t.InstrCount = declaredInstr
+	} else {
+		t.InstrCount = uint64(len(t.Accesses))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseTextHeader extracts key=value metadata from a comment line.
+func parseTextHeader(line string, t *Trace, threads, instr *uint64) {
+	for _, tok := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		kv := strings.SplitN(tok, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "name":
+			t.Name = kv[1]
+		case "threads":
+			if v, err := strconv.ParseUint(kv[1], 10, 8); err == nil && v > 0 {
+				*threads = v
+			}
+		case "instr":
+			if v, err := strconv.ParseUint(kv[1], 10, 64); err == nil {
+				*instr = v
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Threads != tr.Threads || got.InstrCount != tr.InstrCount {
+		t.Errorf("metadata: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Errorf("access %d: %+v vs %+v", i, got.Accesses[i], tr.Accesses[i])
+		}
+	}
+}
+
+func TestDecodeTextHandWritten(t *testing.T) {
+	in := `# a comment
+# name=mykernel threads=2 instr=500
+
+R 0 0x1000
+w 1 4096
+I 0 0x400000
+`
+	tr, err := DecodeText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mykernel" || tr.Threads != 2 || tr.InstrCount != 500 {
+		t.Errorf("metadata = %+v", tr)
+	}
+	if len(tr.Accesses) != 3 {
+		t.Fatalf("accesses = %d", len(tr.Accesses))
+	}
+	if tr.Accesses[1].Kind != Write || tr.Accesses[1].Addr != 4096 || tr.Accesses[1].Tid != 1 {
+		t.Errorf("decimal-address write parsed as %+v", tr.Accesses[1])
+	}
+	if tr.Accesses[2].Kind != Ifetch {
+		t.Error("ifetch not parsed")
+	}
+}
+
+func TestDecodeTextInfersMetadata(t *testing.T) {
+	tr, err := DecodeText(strings.NewReader("R 0 0x10\nW 3 0x20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Threads != 4 {
+		t.Errorf("inferred threads = %d, want 4 (max tid 3)", tr.Threads)
+	}
+	if tr.InstrCount != 2 {
+		t.Errorf("inferred instr = %d, want 2", tr.InstrCount)
+	}
+}
+
+func TestDecodeTextErrors(t *testing.T) {
+	bad := []string{
+		"R 0\n",
+		"X 0 0x10\n",
+		"R 999 0x10\n",
+		"R 0 zzz\n",
+	}
+	for _, in := range bad {
+		if _, err := DecodeText(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestEncodeTextRejectsInvalid(t *testing.T) {
+	tr := sampleTrace()
+	tr.Threads = 0
+	if err := EncodeText(&bytes.Buffer{}, tr); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}

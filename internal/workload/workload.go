@@ -1,0 +1,310 @@
+// Package workload generates the synthetic memory-access traces that stand
+// in for the paper's benchmark suites (SPEC cpu2006/cpu2017, PARSEC 3.0,
+// NPB 3.3.1 — Table V). The real benchmarks and their billion-access traces
+// are unavailable offline, so each benchmark is modeled as a deterministic
+// mixture of access components (hot sets, streams, uniform regions)
+// whose parameters are calibrated to the paper's published per-benchmark
+// measurements:
+//
+//   - read/write mix and relative trace length from Table VI's
+//     r_total/w_total;
+//   - unique and 90% footprints (scaled down by a documented factor) and
+//     the concentration (90% footprint ÷ unique footprint) from Table VI;
+//   - LLC pressure (working-set span vs the 2MB baseline LLC) from
+//     Table V's MPKI.
+//
+// Generation is fully deterministic for a given (profile, Options) pair.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nvmllc/internal/trace"
+)
+
+// ComponentKind selects the address-generation behavior of one mixture
+// component.
+type ComponentKind int
+
+const (
+	// Hot draws Zipf-distributed addresses from a small footprint,
+	// modeling a high-reuse working set (caches, stacks, tables).
+	Hot ComponentKind = iota
+	// Stream walks sequentially through its region one line per access,
+	// wrapping around, modeling array sweeps.
+	Stream
+	// Random draws uniformly from its region, modeling irregular
+	// pointer-chasing and hash-table traffic.
+	Random
+)
+
+// String names the component kind.
+func (k ComponentKind) String() string {
+	switch k {
+	case Hot:
+		return "hot"
+	case Stream:
+		return "stream"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", int(k))
+	}
+}
+
+// Component is one behavior in a workload's mixture.
+type Component struct {
+	// Kind is the address-generation behavior.
+	Kind ComponentKind
+	// Weight is the relative share of accesses drawn from this component.
+	Weight float64
+	// Lines is the footprint in 64-byte lines.
+	Lines int64
+	// WriteFrac is the probability an access from this component is a
+	// store.
+	WriteFrac float64
+	// ZipfS is the Zipf skew for Hot components (must be > 1; default
+	// 1.3).
+	ZipfS float64
+	// Shared makes multi-threaded threads address a single region instead
+	// of per-thread partitions (shared arrays vs private heaps).
+	Shared bool
+}
+
+// Profile describes one benchmark's synthetic model.
+type Profile struct {
+	// Name matches the Table V benchmark name.
+	Name string
+	// MT marks multi-threaded workloads; single-threaded profiles always
+	// generate one thread.
+	MT bool
+	// InstrPerAccess is the number of instructions each memory access
+	// represents.
+	InstrPerAccess float64
+	// LengthFactor scales the trace length relative to Options.Accesses,
+	// preserving the paper's relative total access counts across
+	// workloads.
+	LengthFactor float64
+	// Components is the access mixture; weights are normalized internally.
+	Components []Component
+}
+
+// Validate checks profile invariants.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.InstrPerAccess < 1 {
+		return fmt.Errorf("workload %s: instructions per access %g must be ≥ 1", p.Name, p.InstrPerAccess)
+	}
+	if p.LengthFactor <= 0 {
+		return fmt.Errorf("workload %s: length factor %g must be positive", p.Name, p.LengthFactor)
+	}
+	if len(p.Components) == 0 {
+		return fmt.Errorf("workload %s: no components", p.Name)
+	}
+	var totalW float64
+	for i, c := range p.Components {
+		if c.Weight <= 0 {
+			return fmt.Errorf("workload %s: component %d weight %g must be positive", p.Name, i, c.Weight)
+		}
+		if c.Lines <= 0 {
+			return fmt.Errorf("workload %s: component %d has no footprint", p.Name, i)
+		}
+		if c.WriteFrac < 0 || c.WriteFrac > 1 {
+			return fmt.Errorf("workload %s: component %d write fraction %g outside [0,1]", p.Name, i, c.WriteFrac)
+		}
+		if c.Kind == Hot && c.ZipfS != 0 && c.ZipfS <= 1 {
+			return fmt.Errorf("workload %s: component %d Zipf skew %g must be > 1", p.Name, i, c.ZipfS)
+		}
+		totalW += c.Weight
+	}
+	if totalW <= 0 {
+		return fmt.Errorf("workload %s: zero total weight", p.Name)
+	}
+	return nil
+}
+
+// WriteFraction returns the expected store share of the mixture.
+func (p Profile) WriteFraction() float64 {
+	var w, total float64
+	for _, c := range p.Components {
+		w += c.Weight * c.WriteFrac
+		total += c.Weight
+	}
+	if total == 0 {
+		return 0
+	}
+	return w / total
+}
+
+// FootprintLines returns the summed component footprints (an upper bound
+// on the lines the workload can touch).
+func (p Profile) FootprintLines() int64 {
+	var n int64
+	for _, c := range p.Components {
+		n += c.Lines
+	}
+	return n
+}
+
+// Options controls trace generation.
+type Options struct {
+	// Accesses is the base trace length before LengthFactor scaling
+	// (default 1_000_000).
+	Accesses int
+	// Threads is the thread count for MT profiles (default 4;
+	// single-threaded profiles ignore it).
+	Threads int
+	// Seed selects the deterministic random stream (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Accesses <= 0 {
+		o.Accesses = 1_000_000
+	}
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// addrBits carves the 64-bit address space: each component gets a region,
+// each thread a partition within non-shared regions.
+const (
+	componentShift = 44
+	threadShift    = 38
+	lineBytes      = 64
+)
+
+// generatorState holds one thread's per-component cursors and RNG.
+type generatorState struct {
+	rng     *rand.Rand
+	zipfs   []*rand.Zipf
+	cursors []int64
+}
+
+// Generate produces the profile's trace.
+func Generate(p Profile, opts Options) (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	threads := 1
+	if p.MT {
+		threads = opts.Threads
+	}
+	if threads > 64 {
+		return nil, fmt.Errorf("workload %s: %d threads exceeds limit 64", p.Name, threads)
+	}
+	total := int(float64(opts.Accesses) * p.LengthFactor)
+	if total < 1000 {
+		total = 1000
+	}
+
+	// Cumulative weights for component selection.
+	cum := make([]float64, len(p.Components))
+	var sum float64
+	for i, c := range p.Components {
+		sum += c.Weight
+		cum[i] = sum
+	}
+
+	states := make([]*generatorState, threads)
+	for t := 0; t < threads; t++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919 + hashName(p.Name)))
+		st := &generatorState{
+			rng:     rng,
+			zipfs:   make([]*rand.Zipf, len(p.Components)),
+			cursors: make([]int64, len(p.Components)),
+		}
+		for i, c := range p.Components {
+			if c.Kind == Hot {
+				s := c.ZipfS
+				if s == 0 {
+					s = 1.3
+				}
+				st.zipfs[i] = rand.NewZipf(rng, s, 1, uint64(c.Lines-1))
+			}
+			if c.Kind == Stream {
+				// Stagger stream starts across threads of shared regions.
+				st.cursors[i] = (c.Lines / int64(threads)) * int64(t)
+			}
+		}
+		states[t] = st
+	}
+
+	tr := &trace.Trace{
+		Name:     p.Name,
+		Threads:  threads,
+		Accesses: make([]trace.Access, 0, total),
+	}
+	perThread := total / threads
+	for i := 0; i < perThread*threads; i++ {
+		t := i % threads
+		st := states[t]
+		ci := pickComponent(st.rng, cum, sum)
+		c := &p.Components[ci]
+
+		var line int64
+		switch c.Kind {
+		case Hot:
+			line = int64(st.zipfs[ci].Uint64())
+		case Stream:
+			line = st.cursors[ci]
+			st.cursors[ci]++
+			if st.cursors[ci] >= c.Lines {
+				st.cursors[ci] = 0
+			}
+		case Random:
+			line = st.rng.Int63n(c.Lines)
+		}
+		addr := componentBase(p.Name, ci, t, c.Shared) + uint64(line)*lineBytes
+		kind := trace.Read
+		if st.rng.Float64() < c.WriteFrac {
+			kind = trace.Write
+		}
+		tr.Accesses = append(tr.Accesses, trace.Access{Addr: addr, Kind: kind, Tid: uint8(t)})
+	}
+	tr.InstrCount = uint64(float64(len(tr.Accesses)) * p.InstrPerAccess)
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// pickComponent samples an index by cumulative weight.
+func pickComponent(rng *rand.Rand, cum []float64, sum float64) int {
+	x := rng.Float64() * sum
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// componentBase lays out regions so components and thread partitions never
+// overlap. Shared components ignore the thread partition.
+func componentBase(name string, component, thread int, shared bool) uint64 {
+	base := (uint64(hashName(name)&0xff) << 52) | uint64(component+1)<<componentShift
+	if !shared {
+		base |= uint64(thread) << threadShift
+	}
+	return base
+}
+
+// hashName gives a stable per-workload seed/address salt.
+func hashName(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffff)
+}
