@@ -16,6 +16,7 @@
 package nvmllc_test
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/cache"
@@ -84,7 +85,7 @@ func BenchmarkTableV_MPKI(b *testing.B) {
 	cfg := benchCfg()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.TableV(cfg); err != nil {
+		if _, err := sweep.TableV(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func BenchmarkTableVI_Characterization(b *testing.B) {
 	cfg := benchCfg()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.TableVI(cfg); err != nil {
+		if _, err := sweep.TableVI(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +104,7 @@ func BenchmarkTableVI_Characterization(b *testing.B) {
 func BenchmarkFigure1a(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Figure1a(cfg); err != nil {
+		if _, err := sweep.Figure1a(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func BenchmarkFigure1a(b *testing.B) {
 func BenchmarkFigure1b(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Figure1b(cfg); err != nil {
+		if _, err := sweep.Figure1b(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkFigure1b(b *testing.B) {
 func BenchmarkFigure2a(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Figure2a(cfg); err != nil {
+		if _, err := sweep.Figure2a(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +131,7 @@ func BenchmarkFigure2a(b *testing.B) {
 func BenchmarkFigure2b(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Figure2b(cfg); err != nil {
+		if _, err := sweep.Figure2b(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func BenchmarkFigure2b(b *testing.B) {
 func BenchmarkCoreSweep(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.CoreSweep("ft", []int{1, 4, 16}, cfg); err != nil {
+		if _, err := sweep.CoreSweep(context.Background(), "ft", []int{1, 4, 16}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,7 +149,7 @@ func BenchmarkCoreSweep(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	cfg := sweep.Figure4Config{Config: benchCfg()}
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Figure4(cfg); err != nil {
+		if _, err := sweep.Figure4(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,7 +162,7 @@ func BenchmarkAblation_WriteContention(b *testing.B) {
 	cfg := benchCfg()
 	cfg.WriteContention = true
 	for i := 0; i < b.N; i++ {
-		fig, err := sweep.RunFigure("ablation", reference.FixedCapacityModels(),
+		fig, err := sweep.RunFigure(context.Background(), "ablation", reference.FixedCapacityModels(),
 			[]string{"is", "lu"}, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -201,7 +202,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := system.Gainestown(reference.SRAMBaseline())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := system.Run(cfg, tr); err != nil {
+		if _, err := system.Run(context.Background(), cfg, tr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,7 +281,7 @@ func BenchmarkAblation_ReplacementPolicy(b *testing.B) {
 			cfg := system.Gainestown(reference.SRAMBaseline())
 			cfg.LLCPolicy = pol
 			for i := 0; i < b.N; i++ {
-				if _, err := system.Run(cfg, tr); err != nil {
+				if _, err := system.Run(context.Background(), cfg, tr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -309,7 +310,7 @@ func BenchmarkAblation_DeadBlockBypass(b *testing.B) {
 			cfg := system.Gainestown(kang)
 			cfg.LLCBypass = byp
 			for i := 0; i < b.N; i++ {
-				if _, err := system.Run(cfg, tr); err != nil {
+				if _, err := system.Run(context.Background(), cfg, tr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -322,7 +323,7 @@ func BenchmarkAblation_DeadBlockBypass(b *testing.B) {
 func BenchmarkLifetimeStudy(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Lifetime(cfg, []string{"Kang_P"}); err != nil {
+		if _, err := sweep.Lifetime(context.Background(), cfg, []string{"Kang_P"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,7 +367,7 @@ func BenchmarkAblation_MainMemoryTech(b *testing.B) {
 				}
 				cfg := system.Gainestown(reference.SRAMBaseline())
 				cfg.Memory = mem
-				if _, err := system.Run(cfg, tr); err != nil {
+				if _, err := system.Run(context.Background(), cfg, tr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -392,7 +393,7 @@ func BenchmarkAblation_HybridLLC(b *testing.B) {
 	}
 	b.Run("pure-PCRAM", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := system.Run(system.Gainestown(kang), tr); err != nil {
+			if _, err := system.Run(context.Background(), system.Gainestown(kang), tr); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -403,7 +404,7 @@ func BenchmarkAblation_HybridLLC(b *testing.B) {
 			SRAM: reference.SRAMBaseline(), NVM: kang, SRAMWays: 4,
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := system.Run(cfg, tr); err != nil {
+			if _, err := system.Run(context.Background(), cfg, tr); err != nil {
 				b.Fatal(err)
 			}
 		}

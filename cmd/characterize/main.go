@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"nvmllc/internal/cliutil"
 	"nvmllc/internal/prism"
 	"nvmllc/internal/tablefmt"
 	"nvmllc/internal/trace"
@@ -27,21 +29,24 @@ func main() {
 	wl := flag.String("workload", "", "Table V workload to generate and characterize")
 	file := flag.String("file", "", "binary trace file to characterize")
 	save := flag.String("save", "", "write the generated trace to this file")
-	accesses := flag.Int("accesses", 1_000_000, "base trace length before per-workload scaling")
 	threads := flag.Int("threads", 4, "threads for multi-threaded workloads")
-	seed := flag.Int64("seed", 1, "trace generation seed")
 	skipBits := flag.Int("skipbits", prism.DefaultLocalSkipBits, "low-order address bits skipped for local entropy (the paper's M)")
 	format := flag.String("format", "binary", "trace file format for -file/-save: binary or text")
 	window := flag.Int("window", 0, "also print the working-set-over-time curve with this window size (accesses)")
+	std := cliutil.StandardFlags(nil, 1_000_000)
 	flag.Parse()
 
-	if err := run(*wl, *file, *save, *accesses, *threads, *seed, *skipBits, *format, *window); err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("characterize", func(ctx context.Context) error {
+		ctx, cancel := std.WithTimeout(ctx)
+		defer cancel()
+		return run(ctx, *wl, *file, *save, std.Accesses, *threads, std.Seed, *skipBits, *format, *window)
+	})
 }
 
-func run(wl, file, save string, accesses, threads int, seed int64, skipBits int, format string, window int) error {
+func run(ctx context.Context, wl, file, save string, accesses, threads int, seed int64, skipBits int, format string, window int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if format != "binary" && format != "text" {
 		return fmt.Errorf("unknown -format %q (want binary or text)", format)
 	}

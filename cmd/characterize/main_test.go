@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestRunWorkload(t *testing.T) {
 	out := capture(t, func() error {
-		return run("leela", "", "", 30000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
+		return run(context.Background(), "leela", "", "", 30000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
 	})
 	for _, want := range []string{"Characterization of leela", "global entropy", "90% footprint"} {
 		if !strings.Contains(out, want) {
@@ -23,13 +24,13 @@ func TestRunWorkload(t *testing.T) {
 func TestSaveAndReload(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "leela.trc")
 	capture(t, func() error {
-		return run("leela", "", path, 20000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
+		return run(context.Background(), "leela", "", path, 20000, 1, 1, prism.DefaultLocalSkipBits, "binary", 0)
 	})
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("trace not saved: %v", err)
 	}
 	out := capture(t, func() error {
-		return run("", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "binary", 0)
+		return run(context.Background(), "", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "binary", 0)
 	})
 	if !strings.Contains(out, "Characterization of leela") {
 		t.Error("reloaded trace not characterized")
@@ -39,7 +40,7 @@ func TestSaveAndReload(t *testing.T) {
 func TestTextFormatAndWindow(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cg.txt")
 	capture(t, func() error {
-		return run("cg", "", path, 20000, 2, 1, prism.DefaultLocalSkipBits, "text", 0)
+		return run(context.Background(), "cg", "", path, 20000, 2, 1, prism.DefaultLocalSkipBits, "text", 0)
 	})
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -49,7 +50,7 @@ func TestTextFormatAndWindow(t *testing.T) {
 		t.Error("text save not in text format")
 	}
 	out := capture(t, func() error {
-		return run("", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "text", 2000)
+		return run(context.Background(), "", path, "", 0, 0, 0, prism.DefaultLocalSkipBits, "text", 2000)
 	})
 	for _, want := range []string{"Characterization of cg", "Working set over time", "unique lines"} {
 		if !strings.Contains(out, want) {
@@ -59,16 +60,16 @@ func TestTextFormatAndWindow(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+	if err := run(context.Background(), "", "", "", 1000, 1, 1, 10, "binary", 0); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("x", "y", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+	if err := run(context.Background(), "x", "y", "", 1000, 1, 1, 10, "binary", 0); err == nil {
 		t.Error("both inputs accepted")
 	}
-	if err := run("", "/nonexistent/file", "", 1000, 1, 1, 10, "binary", 0); err == nil {
+	if err := run(context.Background(), "", "/nonexistent/file", "", 1000, 1, 1, 10, "binary", 0); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("cg", "", "", 1000, 1, 1, 10, "yaml", 0); err == nil {
+	if err := run(context.Background(), "cg", "", "", 1000, 1, 1, 10, "yaml", 0); err == nil {
 		t.Error("unknown format accepted")
 	}
 }

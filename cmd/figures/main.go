@@ -4,19 +4,29 @@
 // MPKI), Table VI (workload features) and the Figure 4 correlation
 // heatmaps.
 //
+// Every requested artifact runs through one shared experiment engine, so
+// design points common to several figures (most prominently the SRAM
+// baselines) simulate exactly once. SIGINT aborts the run cleanly and
+// prints the partial engine statistics.
+//
 // Usage:
 //
 //	figures -all
 //	figures -fig1a -fig4
 //	figures -coresweep -accesses 800000
 //	figures -fig1a -contention      (write-contention ablation)
+//	figures -all -timeout 5m -parallelism 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"nvmllc/internal/cliutil"
 	"nvmllc/internal/sweep"
 	"nvmllc/internal/tablefmt"
 	"nvmllc/internal/workload"
@@ -36,56 +46,74 @@ func main() {
 		lifetime  = flag.Bool("lifetime", false, "endurance/lifetime study (Section VII future work)")
 		predict   = flag.Bool("predict", false, "train energy predictors on non-AI workloads, predict the AI domain")
 		ablations = flag.Bool("ablations", false, "design-lever ablation table (workload 'is' on Kang_P)")
-		accesses  = flag.Int("accesses", 600_000, "base trace length before per-workload scaling")
-		seed      = flag.Int64("seed", 1, "trace generation seed")
 		contend   = flag.Bool("contention", false, "model LLC write contention (ablation of the paper's off-critical-path writes)")
 		measured  = flag.Bool("measuredfeatures", false, "use prism-measured features for Figure 4 instead of the paper's Table VI")
+		progress  = flag.Duration("progress", 2*time.Second, "engine progress reporting interval on stderr (0 disables)")
 	)
+	std := cliutil.StandardFlags(nil, 600_000)
 	flag.Parse()
 
-	cfg := sweep.Config{
-		Opts:            workload.Options{Accesses: *accesses, Seed: *seed},
-		WriteContention: *contend,
-	}
-	type job struct {
-		enabled bool
-		run     func() error
-	}
-	jobs := []job{
-		{*all || *table5, func() error { return printTableV(cfg) }},
-		{*all || *table6, func() error { return printTableVI(cfg) }},
-		{*all || *fig1a, func() error { return printFigure(sweep.Figure1a, cfg) }},
-		{*all || *fig1b, func() error { return printFigure(sweep.Figure1b, cfg) }},
-		{*all || *fig2a, func() error { return printFigure(sweep.Figure2a, cfg) }},
-		{*all || *fig2b, func() error { return printFigure(sweep.Figure2b, cfg) }},
-		{*all || *coresweep, func() error { return printCoreSweep(cfg) }},
-		{*all || *fig4, func() error { return printFigure4(cfg, *measured) }},
-		{*all || *lifetime, func() error { return printLifetime(cfg) }},
-		{*all || *predict, func() error { return printPredict(cfg) }},
-		{*all || *ablations, func() error { return printAblations(cfg) }},
-	}
-	ran := false
-	for _, j := range jobs {
-		if !j.enabled {
-			continue
+	cliutil.Main("figures", func(ctx context.Context) error {
+		ctx, cancel := std.WithTimeout(ctx)
+		defer cancel()
+
+		// One engine across every requested artifact: design points shared
+		// between figures simulate once, and SIGINT reports partial stats.
+		eng := std.Engine()
+		cfg := sweep.Config{
+			Opts:            workload.Options{Accesses: std.Accesses, Seed: std.Seed},
+			WriteContention: *contend,
+			Engine:          eng,
 		}
-		ran = true
-		if err := j.run(); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+		stopProgress := cliutil.StartProgress(eng, *progress)
+		defer stopProgress()
+
+		type job struct {
+			enabled bool
+			run     func(context.Context) error
 		}
-		fmt.Println()
-	}
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
-	}
+		jobs := []job{
+			{*all || *table5, func(ctx context.Context) error { return printTableV(ctx, cfg) }},
+			{*all || *table6, func(ctx context.Context) error { return printTableVI(ctx, cfg) }},
+			{*all || *fig1a, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure1a, cfg) }},
+			{*all || *fig1b, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure1b, cfg) }},
+			{*all || *fig2a, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure2a, cfg) }},
+			{*all || *fig2b, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure2b, cfg) }},
+			{*all || *coresweep, func(ctx context.Context) error { return printCoreSweep(ctx, cfg) }},
+			{*all || *fig4, func(ctx context.Context) error { return printFigure4(ctx, cfg, *measured) }},
+			{*all || *lifetime, func(ctx context.Context) error { return printLifetime(ctx, cfg) }},
+			{*all || *predict, func(ctx context.Context) error { return printPredict(ctx, cfg) }},
+			{*all || *ablations, func(ctx context.Context) error { return printAblations(ctx, cfg) }},
+		}
+		ran := false
+		for _, j := range jobs {
+			if !j.enabled {
+				continue
+			}
+			ran = true
+			if err := j.run(ctx); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					stopProgress()
+					fmt.Fprintf(os.Stderr, "figures: aborted; partial stats: %s\n", eng.Stats())
+				}
+				return err
+			}
+			fmt.Println()
+		}
+		if !ran {
+			flag.Usage()
+			os.Exit(2)
+		}
+		stopProgress()
+		fmt.Fprintf(os.Stderr, "figures: %s\n", eng.Stats())
+		return nil
+	})
 }
 
 // printFigure renders one bar-chart figure as three tables (speedup, LLC
 // energy, ED²P), each normalized to SRAM = 1.
-func printFigure(gen func(sweep.Config) (*sweep.FigureResult, error), cfg sweep.Config) error {
-	fig, err := gen(cfg)
+func printFigure(ctx context.Context, gen func(context.Context, sweep.Config) (*sweep.FigureResult, error), cfg sweep.Config) error {
+	fig, err := gen(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -97,6 +125,7 @@ func printFigure(gen func(sweep.Config) (*sweep.FigureResult, error), cfg sweep.
 		{"normalized LLC energy", fig.Energy},
 		{"normalized ED2P", fig.ED2P},
 	}
+	var tables []cliutil.Renderer
 	for _, b := range blocks {
 		t := tablefmt.New(fmt.Sprintf("%s — %s (SRAM = 1.0)", fig.Title, b.name),
 			append([]string{"workload"}, fig.LLCs...)...)
@@ -107,17 +136,14 @@ func printFigure(gen func(sweep.Config) (*sweep.FigureResult, error), cfg sweep.
 			}
 			t.AddRowf(row...)
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+		tables = append(tables, t)
 	}
-	return nil
+	return cliutil.RenderAll(os.Stdout, tables...)
 }
 
-func printCoreSweep(cfg sweep.Config) error {
+func printCoreSweep(ctx context.Context, cfg sweep.Config) error {
 	for _, name := range sweep.CoreSweepWorkloads {
-		if err := printCoreSweepOne(name, cfg); err != nil {
+		if err := printCoreSweepOne(ctx, name, cfg); err != nil {
 			return err
 		}
 	}
@@ -125,11 +151,12 @@ func printCoreSweep(cfg sweep.Config) error {
 }
 
 // printCoreSweepOne renders the Section V-C sweep for one workload.
-func printCoreSweepOne(name string, cfg sweep.Config) error {
-	res, err := sweep.CoreSweep(name, sweep.DefaultCoreCounts, cfg)
+func printCoreSweepOne(ctx context.Context, name string, cfg sweep.Config) error {
+	res, err := sweep.CoreSweep(ctx, name, sweep.DefaultCoreCounts, cfg)
 	if err != nil {
 		return err
 	}
+	var tables []cliutil.Renderer
 	for _, block := range []struct {
 		label string
 		data  [][]float64
@@ -144,16 +171,17 @@ func printCoreSweepOne(name string, cfg sweep.Config) error {
 			}
 			t.AddRowf(row...)
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+		tables = append(tables, t)
 	}
+	if err := cliutil.RenderAll(os.Stdout, tables...); err != nil {
+		return err
+	}
+	fmt.Println()
 	return nil
 }
 
-func printTableV(cfg sweep.Config) error {
-	rows, err := sweep.TableV(cfg)
+func printTableV(ctx context.Context, cfg sweep.Config) error {
+	rows, err := sweep.TableV(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -165,8 +193,8 @@ func printTableV(cfg sweep.Config) error {
 	return t.Render(os.Stdout)
 }
 
-func printTableVI(cfg sweep.Config) error {
-	rows, err := sweep.TableVI(cfg)
+func printTableVI(ctx context.Context, cfg sweep.Config) error {
+	rows, err := sweep.TableVI(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -180,10 +208,6 @@ func printTableVI(cfg sweep.Config) error {
 			m.UniqueReads, m.UniqueWrites, m.Footprint90Reads, m.Footprint90Writes,
 			m.TotalReads, m.TotalWrites)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
 	tp := tablefmt.New("Table VI: paper values",
 		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
 	for _, r := range rows {
@@ -193,34 +217,32 @@ func printTableVI(cfg sweep.Config) error {
 			p.UniqueReads, p.UniqueWrites, p.Footprint90Reads, p.Footprint90Writes,
 			p.TotalReads, p.TotalWrites)
 	}
-	return tp.Render(os.Stdout)
+	return cliutil.RenderAll(os.Stdout, t, tp)
 }
 
-func printFigure4(cfg sweep.Config, measured bool) error {
+func printFigure4(ctx context.Context, cfg sweep.Config, measured bool) error {
 	f4 := sweep.Figure4Config{Config: cfg}
 	if measured {
 		f4.Source = sweep.MeasuredFeatures
 	}
-	panels, err := sweep.Figure4(f4)
+	panels, err := sweep.Figure4(ctx, f4)
 	if err != nil {
 		return err
 	}
 	labels := []string{"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"}
+	var maps []cliutil.Renderer
 	for i, p := range panels {
 		h := p.Heatmap()
 		if i < len(labels) {
 			h.Title = fmt.Sprintf("Figure 4%s: |Pearson r|, %s, AI workloads", labels[i], h.Title)
 		}
-		if err := h.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+		maps = append(maps, h)
 	}
-	return nil
+	return cliutil.RenderAll(os.Stdout, maps...)
 }
 
-func printLifetime(cfg sweep.Config) error {
-	study, err := sweep.Lifetime(cfg, nil)
+func printLifetime(ctx context.Context, cfg sweep.Config) error {
+	study, err := sweep.Lifetime(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -231,26 +253,19 @@ func printLifetime(cfg sweep.Config) error {
 			r.RawYears, r.LeveledYears, r.ImbalanceFactor,
 			fmt.Sprintf("%v", r.Viable(5)))
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
+	renderers := []cliutil.Renderer{t}
 	for _, p := range study.Panels {
 		h := p.Heatmap()
 		h.Title = "Wear-rate correlation with workload features: " + h.Title
-		h.RowNames = []string{"wear rate", "(dup)"}
 		h.Cells = h.Cells[:1]
-		h.RowNames = h.RowNames[:1]
-		if err := h.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+		h.RowNames = []string{"wear rate"}
+		renderers = append(renderers, h)
 	}
-	return nil
+	return cliutil.RenderAll(os.Stdout, renderers...)
 }
 
-func printPredict(cfg sweep.Config) error {
-	study, err := sweep.Predict(cfg)
+func printPredict(ctx context.Context, cfg sweep.Config) error {
+	study, err := sweep.Predict(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -266,8 +281,8 @@ func printPredict(cfg sweep.Config) error {
 	return nil
 }
 
-func printAblations(cfg sweep.Config) error {
-	rows, err := sweep.AblationSuite("is", "Kang_P", cfg)
+func printAblations(ctx context.Context, cfg sweep.Config) error {
+	rows, err := sweep.AblationSuite(ctx, "is", "Kang_P", cfg)
 	if err != nil {
 		return err
 	}

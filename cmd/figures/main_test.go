@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,21 +14,21 @@ func smallCfg() sweep.Config {
 }
 
 func TestPrintTableV(t *testing.T) {
-	out := capture(t, func() error { return printTableV(smallCfg()) })
+	out := capture(t, func() error { return printTableV(context.Background(), smallCfg()) })
 	if !strings.Contains(out, "Table V") || !strings.Contains(out, "deepsjeng") {
 		t.Error("Table V output malformed")
 	}
 }
 
 func TestPrintTableVI(t *testing.T) {
-	out := capture(t, func() error { return printTableVI(smallCfg()) })
+	out := capture(t, func() error { return printTableVI(context.Background(), smallCfg()) })
 	if !strings.Contains(out, "Table VI") || !strings.Contains(out, "paper values") {
 		t.Error("Table VI output malformed")
 	}
 }
 
 func TestPrintFigure(t *testing.T) {
-	out := capture(t, func() error { return printFigure(sweep.Figure1a, smallCfg()) })
+	out := capture(t, func() error { return printFigure(context.Background(), sweep.Figure1a, smallCfg()) })
 	for _, want := range []string{"Figure 1a", "normalized speedup", "normalized LLC energy", "normalized ED2P"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("figure output missing %q", want)
@@ -36,14 +37,14 @@ func TestPrintFigure(t *testing.T) {
 }
 
 func TestPrintFigure4(t *testing.T) {
-	out := capture(t, func() error { return printFigure4(smallCfg(), false) })
+	out := capture(t, func() error { return printFigure4(context.Background(), smallCfg(), false) })
 	if !strings.Contains(out, "Figure 4(a)") || !strings.Contains(out, "H_wg") {
 		t.Error("Figure 4 output malformed")
 	}
 }
 
 func TestPrintLifetime(t *testing.T) {
-	out := capture(t, func() error { return printLifetime(smallCfg()) })
+	out := capture(t, func() error { return printLifetime(context.Background(), smallCfg()) })
 	for _, want := range []string{"lifetime projection", "Kang_P", "Wear-rate correlation"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("lifetime output missing %q", want)
@@ -52,7 +53,7 @@ func TestPrintLifetime(t *testing.T) {
 }
 
 func TestPrintPredict(t *testing.T) {
-	out := capture(t, func() error { return printPredict(smallCfg()) })
+	out := capture(t, func() error { return printPredict(context.Background(), smallCfg()) })
 	for _, want := range []string{"Energy prediction", "deepsjeng", "mean relative error"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("predict output missing %q", want)
@@ -64,12 +65,12 @@ func TestPrintCoreSweepOne(t *testing.T) {
 	// Exercise the core-sweep printer on a single small sweep via the
 	// sweep API path used by -coresweep.
 	out := capture(t, func() error {
-		res, err := sweep.CoreSweep("ft", []int{1, 2}, smallCfg())
+		res, err := sweep.CoreSweep(context.Background(), "ft", []int{1, 2}, smallCfg())
 		if err != nil {
 			return err
 		}
 		_ = res
-		return printCoreSweepOne("ft", smallCfg())
+		return printCoreSweepOne(context.Background(), "ft", smallCfg())
 	})
 	if !strings.Contains(out, "Core sweep (ft") {
 		t.Errorf("core sweep output malformed:\n%s", out[:min(200, len(out))])
@@ -84,7 +85,7 @@ func min(a, b int) int {
 }
 
 func TestPrintAblations(t *testing.T) {
-	out := capture(t, func() error { return printAblations(smallCfg()) })
+	out := capture(t, func() error { return printAblations(context.Background(), smallCfg()) })
 	for _, want := range []string{"Design-lever ablations", "dead-block bypass", "hybrid"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)

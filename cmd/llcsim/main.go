@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"nvmllc/internal/cliutil"
 	"nvmllc/internal/endurance"
 	"nvmllc/internal/mainmem"
 	"nvmllc/internal/reference"
@@ -26,23 +28,23 @@ func main() {
 	wl := flag.String("workload", "cg", "Table V workload name")
 	llc := flag.String("llc", "SRAM", "LLC model name from Table III (e.g. Jan_S, Zhang_R, SRAM)")
 	config := flag.String("config", "cap", "LLC configuration block: cap (fixed-capacity) or area (fixed-area)")
-	accesses := flag.Int("accesses", 1_000_000, "base trace length before per-workload scaling")
 	threads := flag.Int("threads", 4, "threads for multi-threaded workloads")
 	cores := flag.Int("cores", 4, "simulated cores")
-	seed := flag.Int64("seed", 1, "trace generation seed")
 	contention := flag.Bool("contention", false, "model LLC bank write contention (ablation)")
 	wear := flag.Bool("wear", false, "track LLC write wear and project lifetime")
 	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
 	hybridWays := flag.Int("hybridsram", 0, "make the LLC a hybrid with this many SRAM ways (rest NVM from -llc)")
+	std := cliutil.StandardFlags(nil, 1_000_000)
 	flag.Parse()
 
-	if err := run(*wl, *llc, *config, *accesses, *threads, *cores, *seed, *contention, *wear, *mainMemTech, *hybridWays); err != nil {
-		fmt.Fprintln(os.Stderr, "llcsim:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("llcsim", func(ctx context.Context) error {
+		ctx, cancel := std.WithTimeout(ctx)
+		defer cancel()
+		return run(ctx, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *mainMemTech, *hybridWays)
+	})
 }
 
-func run(wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
+func run(ctx context.Context, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
 	models := reference.FixedCapacityModels()
 	if config == "area" {
 		models = reference.FixedAreaModels()
@@ -86,7 +88,7 @@ func run(wl, llc, config string, accesses, threads, cores int, seed int64, conte
 		}
 		cfg.Memory = nvMainMem
 	}
-	r, err := system.Run(cfg, tr)
+	r, err := system.Run(ctx, cfg, tr)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunBasic(t *testing.T) {
 	out := capture(t, func() error {
-		return run("tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
+		return run(context.Background(), "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
 	})
 	for _, want := range []string{"tonto on Jan_S", "LLC MPKI", "ED2P"} {
 		if !strings.Contains(out, want) {
@@ -21,7 +22,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunWithWear(t *testing.T) {
 	out := capture(t, func() error {
-		return run("is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
+		return run(context.Background(), "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
 	})
 	for _, want := range []string{"Write wear", "raw lifetime"} {
 		if !strings.Contains(out, want) {
@@ -32,21 +33,21 @@ func TestRunWithWear(t *testing.T) {
 
 func TestRunWithNVMMainMemory(t *testing.T) {
 	out := capture(t, func() error {
-		return run("cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
+		return run(context.Background(), "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
 	})
 	for _, want := range []string{"main memory tech", "PCRAM", "row hit rate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("main-memory output missing %q", want)
 		}
 	}
-	if err := run("cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
+	if err := run(context.Background(), "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
 		t.Error("unknown main memory tech accepted")
 	}
 }
 
 func TestRunHybrid(t *testing.T) {
 	out := capture(t, func() error {
-		return run("ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
+		return run(context.Background(), "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
 	})
 	for _, want := range []string{"hybrid(SRAM+Kang_P)", "migrations"} {
 		if !strings.Contains(out, want) {
@@ -56,13 +57,13 @@ func TestRunHybrid(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown LLC accepted")
 	}
-	if err := run("cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown config accepted")
 	}
 }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"nvmllc/internal/cliutil"
 	"nvmllc/internal/nvm"
 	"nvmllc/internal/tablefmt"
 )
@@ -24,31 +26,17 @@ func main() {
 	load := flag.String("load", "", "print Table II from a previously exported JSON file instead of the built-in corpus")
 	flag.Parse()
 
-	if *derive != "" {
-		if err := runDerive(*derive); err != nil {
-			fmt.Fprintln(os.Stderr, "nvmcells:", err)
-			os.Exit(1)
+	cliutil.Main("nvmcells", func(ctx context.Context) error {
+		switch {
+		case *derive != "":
+			return runDerive(*derive)
+		case *export != "":
+			return runExport(*export)
+		case *load != "":
+			return runLoad(*load)
 		}
-		return
-	}
-	if *export != "" {
-		if err := runExport(*export); err != nil {
-			fmt.Fprintln(os.Stderr, "nvmcells:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *load != "" {
-		if err := runLoad(*load); err != nil {
-			fmt.Fprintln(os.Stderr, "nvmcells:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := printTableII(); err != nil {
-		fmt.Fprintln(os.Stderr, "nvmcells:", err)
-		os.Exit(1)
-	}
+		return printTableII()
+	})
 }
 
 // runExport writes the model-release JSON file (the paper's published

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 
 	// 2. Correlate features with simulated energy/speedup (Figure 4).
 	fmt.Println("\n=== Feature correlation (Figure 4) ===")
-	panels, err := sweep.Figure4(sweep.Figure4Config{
+	panels, err := sweep.Figure4(context.Background(), sweep.Figure4Config{
 		Config: sweep.Config{Opts: opts},
 	})
 	if err != nil {

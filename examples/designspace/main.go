@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,10 +37,10 @@ func main() {
 		models func() (*sweep.FigureResult, error)
 	}{
 		{"fixed-capacity (2MB)", func() (*sweep.FigureResult, error) {
-			return sweep.RunFigure("fixed-capacity", reference.FixedCapacityModels(), []string{name}, cfg)
+			return sweep.RunFigure(context.Background(), "fixed-capacity", reference.FixedCapacityModels(), []string{name}, cfg)
 		}},
 		{"fixed-area (6.55 mm²)", func() (*sweep.FigureResult, error) {
-			return sweep.RunFigure("fixed-area", reference.FixedAreaModels(), []string{name}, cfg)
+			return sweep.RunFigure(context.Background(), "fixed-area", reference.FixedAreaModels(), []string{name}, cfg)
 		}},
 	} {
 		fig, err := block.models()

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -84,7 +85,7 @@ func main() {
 		}
 		cfg := system.Gainestown(d.llc)
 		cfg.Memory = mem
-		r, err := system.Run(cfg, tr)
+		r, err := system.Run(context.Background(), cfg, tr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,11 +58,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nvmRes, err := system.Run(system.Gainestown(*model), tr)
+	nvmRes, err := system.Run(context.Background(), system.Gainestown(*model), tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sramRes, err := system.Run(system.Gainestown(reference.SRAMBaseline()), tr)
+	sramRes, err := system.Run(context.Background(), system.Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		log.Fatal(err)
 	}

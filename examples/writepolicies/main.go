@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -52,7 +53,7 @@ func main() {
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		r, err := system.Run(cfg, tr)
+		r, err := system.Run(context.Background(), cfg, tr)
 		if err != nil {
 			log.Fatal(err)
 		}

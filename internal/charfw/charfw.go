@@ -7,6 +7,7 @@
 package charfw
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -95,8 +96,12 @@ type Correlation struct {
 
 // Correlate computes the per-feature correlation of one target metric over
 // the given workloads. Every workload must have both a feature vector and
-// a target value.
-func (f *Framework) Correlate(workloads []string, metric string, values map[string]float64) (Correlation, error) {
+// a target value. The context is honored between feature columns, matching
+// the context-first convention of the rest of the experiment stack.
+func (f *Framework) Correlate(ctx context.Context, workloads []string, metric string, values map[string]float64) (Correlation, error) {
+	if err := ctx.Err(); err != nil {
+		return Correlation{}, err
+	}
 	if len(workloads) < 2 {
 		return Correlation{}, fmt.Errorf("charfw: need ≥ 2 workloads to correlate, have %d", len(workloads))
 	}
@@ -118,6 +123,9 @@ func (f *Framework) Correlate(workloads []string, metric string, values map[stri
 	}
 	c := Correlation{Metric: metric, R: make([]float64, len(f.featureNames))}
 	for i := range f.featureNames {
+		if err := ctx.Err(); err != nil {
+			return Correlation{}, err
+		}
 		r, ok, err := stats.AbsPearson(xs[i], y)
 		if err != nil {
 			return Correlation{}, err
@@ -140,12 +148,12 @@ type Panel struct {
 }
 
 // PanelFor computes a Figure 4 panel for one target set.
-func (f *Framework) PanelFor(workloads []string, t Targets) (*Panel, error) {
-	e, err := f.Correlate(workloads, "energy", t.Energy)
+func (f *Framework) PanelFor(ctx context.Context, workloads []string, t Targets) (*Panel, error) {
+	e, err := f.Correlate(ctx, workloads, "energy", t.Energy)
 	if err != nil {
 		return nil, fmt.Errorf("charfw: panel %s: %w", t.Name, err)
 	}
-	s, err := f.Correlate(workloads, "speedup", t.Speedup)
+	s, err := f.Correlate(ctx, workloads, "speedup", t.Speedup)
 	if err != nil {
 		return nil, fmt.Errorf("charfw: panel %s: %w", t.Name, err)
 	}

@@ -2,6 +2,7 @@ package charfw
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestCorrelatePerfectFeature(t *testing.T) {
 	f.AddWorkload("b", mk(5))
 	f.AddWorkload("c", mk(9))
 	energy := map[string]float64{"a": 10, "b": 50, "c": 90}
-	c, err := f.Correlate([]string{"a", "b", "c"}, "energy", energy)
+	c, err := f.Correlate(context.Background(), []string{"a", "b", "c"}, "energy", energy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +56,14 @@ func TestCorrelatePerfectFeature(t *testing.T) {
 
 func TestCorrelateErrors(t *testing.T) {
 	f := FromFeatureMap(reference.PaperFeatures())
-	if _, err := f.Correlate([]string{"leela"}, "energy", map[string]float64{"leela": 1}); err == nil {
+	if _, err := f.Correlate(context.Background(), []string{"leela"}, "energy", map[string]float64{"leela": 1}); err == nil {
 		t.Error("single workload accepted")
 	}
-	if _, err := f.Correlate([]string{"leela", "nosuch"}, "energy",
+	if _, err := f.Correlate(context.Background(), []string{"leela", "nosuch"}, "energy",
 		map[string]float64{"leela": 1, "nosuch": 2}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, err := f.Correlate([]string{"leela", "deepsjeng"}, "energy",
+	if _, err := f.Correlate(context.Background(), []string{"leela", "deepsjeng"}, "energy",
 		map[string]float64{"leela": 1}); err == nil {
 		t.Error("missing target value accepted")
 	}
@@ -76,7 +77,7 @@ func TestPanelAndHeatmap(t *testing.T) {
 		Energy:  map[string]float64{"deepsjeng": 3, "leela": 2, "exchange2": 1},
 		Speedup: map[string]float64{"deepsjeng": 0.9, "leela": 1.0, "exchange2": 1.1},
 	}
-	p, err := f.PanelFor(ws, tg)
+	p, err := f.PanelFor(context.Background(), ws, tg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestPanelTopFeaturesAndFeatureR(t *testing.T) {
 		Energy:  map[string]float64{"deepsjeng": 68.28, "leela": 5.06, "exchange2": 0.02},
 		Speedup: map[string]float64{"deepsjeng": 1, "leela": 2, "exchange2": 3},
 	}
-	p, err := f.PanelFor(ws, tg)
+	p, err := f.PanelFor(context.Background(), ws, tg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestPaperAICorrelationShape(t *testing.T) {
 		Energy:  map[string]float64{"deepsjeng": 11.9, "leela": 9.0, "exchange2": 8.6},
 		Speedup: map[string]float64{"deepsjeng": 0.97, "leela": 0.99, "exchange2": 1.0},
 	}
-	p, err := f.PanelFor(ws, tg)
+	p, err := f.PanelFor(context.Background(), ws, tg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package charfw
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,8 +29,8 @@ type Predictor struct {
 // TrainPredictor learns a single-feature linear model over the given
 // workloads: it picks the feature with the strongest |Pearson r| against
 // the target values, then fits target ≈ a·feature + b.
-func (f *Framework) TrainPredictor(workloads []string, metric string, values map[string]float64) (*Predictor, error) {
-	corr, err := f.Correlate(workloads, metric, values)
+func (f *Framework) TrainPredictor(ctx context.Context, workloads []string, metric string, values map[string]float64) (*Predictor, error) {
+	corr, err := f.Correlate(ctx, workloads, metric, values)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +79,7 @@ func (p *Predictor) PredictVector(v []float64) (float64, error) {
 // workload, a model is trained on the others and evaluated on it. It
 // returns the per-workload absolute relative errors, sorted worst-first,
 // keyed by workload name.
-func (f *Framework) LeaveOneOut(workloads []string, metric string, values map[string]float64) (map[string]float64, error) {
+func (f *Framework) LeaveOneOut(ctx context.Context, workloads []string, metric string, values map[string]float64) (map[string]float64, error) {
 	if len(workloads) < 3 {
 		return nil, fmt.Errorf("charfw: leave-one-out needs ≥ 3 workloads, have %d", len(workloads))
 	}
@@ -87,7 +88,7 @@ func (f *Framework) LeaveOneOut(workloads []string, metric string, values map[st
 		train := make([]string, 0, len(workloads)-1)
 		train = append(train, workloads[:i]...)
 		train = append(train, workloads[i+1:]...)
-		p, err := f.TrainPredictor(train, metric, values)
+		p, err := f.TrainPredictor(ctx, train, metric, values)
 		if err != nil {
 			return nil, fmt.Errorf("charfw: holdout %s: %w", holdout, err)
 		}

@@ -1,6 +1,7 @@
 package charfw
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func syntheticFramework() (*Framework, []string, map[string]float64) {
 
 func TestTrainPredictorSelectsRightFeature(t *testing.T) {
 	f, ws, values := syntheticFramework()
-	p, err := f.TrainPredictor(ws, "energy", values)
+	p, err := f.TrainPredictor(context.Background(), ws, "energy", values)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestTrainPredictorSelectsRightFeature(t *testing.T) {
 
 func TestPredictVectorErrors(t *testing.T) {
 	f, ws, values := syntheticFramework()
-	p, err := f.TrainPredictor(ws, "energy", values)
+	p, err := f.TrainPredictor(context.Background(), ws, "energy", values)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestPredictVectorErrors(t *testing.T) {
 
 func TestLeaveOneOutPerfectModel(t *testing.T) {
 	f, ws, values := syntheticFramework()
-	errs, err := f.LeaveOneOut(ws, "energy", values)
+	errs, err := f.LeaveOneOut(context.Background(), ws, "energy", values)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestLeaveOneOutPerfectModel(t *testing.T) {
 			t.Errorf("%s: LOO error %g on a perfectly linear target", w, e)
 		}
 	}
-	if _, err := f.LeaveOneOut(ws[:2], "energy", values); err == nil {
+	if _, err := f.LeaveOneOut(context.Background(), ws[:2], "energy", values); err == nil {
 		t.Error("LOO with 2 workloads accepted")
 	}
 }
@@ -92,14 +93,14 @@ func TestPredictorOnPaperFeatures(t *testing.T) {
 	for name, feat := range reference.PaperFeatures() {
 		values[name] = 0.5 + float64(feat.UniqueWrites)*1e-8
 	}
-	p, err := f.TrainPredictor(ws, "energy", values)
+	p, err := f.TrainPredictor(context.Background(), ws, "energy", values)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Feature != "w_uniq" {
 		t.Errorf("selected %q, want w_uniq", p.Feature)
 	}
-	errs, err := f.LeaveOneOut(ws, "energy", values)
+	errs, err := f.LeaveOneOut(context.Background(), ws, "energy", values)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestTrainPredictorDegenerate(t *testing.T) {
 	f.AddWorkload("a", prism.Features{})
 	f.AddWorkload("b", prism.Features{})
 	values := map[string]float64{"a": 1, "b": 2}
-	if _, err := f.TrainPredictor([]string{"a", "b"}, "energy", values); err == nil {
+	if _, err := f.TrainPredictor(context.Background(), []string{"a", "b"}, "energy", values); err == nil {
 		t.Error("all-constant features accepted")
 	}
 }

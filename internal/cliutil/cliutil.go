@@ -1,0 +1,134 @@
+// Package cliutil holds the scaffolding shared by the nvmllc command-line
+// tools: signal-aware entry points (SIGINT/SIGTERM cancel the run's
+// context so in-flight simulations abort promptly), the standard
+// simulation flags (-accesses, -seed, -parallelism, -timeout), periodic
+// engine progress reporting, and table-rendering helpers.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"nvmllc/internal/engine"
+	"nvmllc/internal/workload"
+)
+
+// Main runs a tool body under a context that is cancelled by SIGINT or
+// SIGTERM, then exits with the conventional status: 0 on success, 130
+// when the run was interrupted, 1 on any other error. Errors are printed
+// to stderr prefixed with the tool name.
+func Main(tool string, body func(ctx context.Context) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := body(ctx)
+	stop()
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", tool, err)
+		os.Exit(130)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// Flags holds the flag values shared by the simulation CLIs.
+type Flags struct {
+	// Accesses is the base trace length before per-workload scaling.
+	Accesses int
+	// Seed seeds trace generation.
+	Seed int64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Timeout aborts the whole run when positive.
+	Timeout time.Duration
+}
+
+// StandardFlags registers the shared simulation flags on fs
+// (flag.CommandLine when nil) and returns the value struct to read after
+// Parse.
+func StandardFlags(fs *flag.FlagSet, defaultAccesses int) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.IntVar(&f.Accesses, "accesses", defaultAccesses, "base trace length before per-workload scaling")
+	fs.Int64Var(&f.Seed, "seed", 1, "trace generation seed")
+	fs.IntVar(&f.Parallelism, "parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	return f
+}
+
+// Options builds trace-generation options from the flags.
+func (f *Flags) Options() workload.Options {
+	return workload.Options{Accesses: f.Accesses, Seed: f.Seed}
+}
+
+// WithTimeout derives the run context: a deadline context when -timeout
+// was set, otherwise a plain cancellable child. Callers must call the
+// returned cancel func.
+func (f *Flags) WithTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(ctx, f.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Engine builds an experiment engine bounded by the -parallelism flag.
+func (f *Flags) Engine(opts ...engine.Option) *engine.Engine {
+	if f.Parallelism > 0 {
+		opts = append([]engine.Option{engine.WithParallelism(f.Parallelism)}, opts...)
+	}
+	return engine.New(opts...)
+}
+
+// StartProgress prints the engine's counters to stderr every interval
+// until the returned stop func is called (idempotent). A non-positive
+// interval disables reporting.
+func StartProgress(eng *engine.Engine, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "progress: %s\n", eng.Stats())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Renderer is anything that can print itself — tablefmt tables and
+// heatmaps.
+type Renderer interface {
+	Render(io.Writer) error
+}
+
+// RenderAll renders each item to w, separated by blank lines.
+func RenderAll(w io.Writer, items ...Renderer) error {
+	for i, it := range items {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := it.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

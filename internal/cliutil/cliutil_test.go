@@ -1,0 +1,94 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestStandardFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := StandardFlags(fs, 123)
+	if err := fs.Parse([]string{"-accesses", "500", "-seed", "9", "-parallelism", "3", "-timeout", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Accesses != 500 || f.Seed != 9 || f.Parallelism != 3 || f.Timeout != 2*time.Second {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	opts := f.Options()
+	if opts.Accesses != 500 || opts.Seed != 9 {
+		t.Errorf("Options() = %+v", opts)
+	}
+}
+
+func TestStandardFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := StandardFlags(fs, 123)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Accesses != 123 || f.Seed != 1 || f.Parallelism != 0 || f.Timeout != 0 {
+		t.Errorf("defaults = %+v", f)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	f := &Flags{Timeout: time.Nanosecond}
+	ctx, cancel := f.WithTimeout(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("timeout flag did not set a deadline")
+	}
+
+	f = &Flags{}
+	ctx, cancel = f.WithTimeout(context.Background())
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout set a deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel func did not cancel")
+	}
+}
+
+func TestFlagsEngine(t *testing.T) {
+	f := &Flags{Parallelism: 2}
+	if got := f.Engine().Workers(); got != 2 {
+		t.Errorf("Workers() = %d, want 2", got)
+	}
+	f = &Flags{}
+	if got := f.Engine().Workers(); got < 1 {
+		t.Errorf("Workers() = %d, want ≥ 1", got)
+	}
+}
+
+type fakeRenderer string
+
+func (r fakeRenderer) Render(w io.Writer) error {
+	_, err := fmt.Fprintln(w, string(r))
+	return err
+}
+
+func TestRenderAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, fakeRenderer("a"), fakeRenderer("b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a\n\nb\n" {
+		t.Errorf("RenderAll = %q, want blank-line separation", got)
+	}
+}
+
+func TestStartProgressStopIdempotent(t *testing.T) {
+	stop := StartProgress((&Flags{}).Engine(), time.Hour)
+	stop()
+	stop() // second call must not panic
+
+	// Disabled reporting returns a no-op.
+	stop = StartProgress((&Flags{}).Engine(), 0)
+	stop()
+}

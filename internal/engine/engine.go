@@ -1,0 +1,303 @@
+// Package engine is the shared experiment-execution engine behind the
+// sweep harness and the CLIs: every (workload, LLC model, system config)
+// design point of the paper's evaluation grid runs through one Engine,
+// which provides
+//
+//   - context-first cancellation — a cancelled context aborts in-flight
+//     simulations in bounded time (the system simulator checks the
+//     context inside its hot loop);
+//   - an in-memory, concurrency-safe result cache keyed by a
+//     deterministic hash of (workload name, trace options, system
+//     config), so the SRAM baseline and repeated design points are
+//     simulated once across figures and sweeps;
+//   - per-run observability — atomic counters snapshotable as a Stats
+//     struct and streamed through an optional progress callback;
+//   - aggregated error reporting: RunAll returns every job's failure
+//     joined with errors.Join alongside the partial results, instead of
+//     first-error-wins.
+//
+// An Engine is safe for concurrent use; one instance can (and should) be
+// shared across many sweeps so the cache spans them.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// Job is one design point: a generated trace and the machine
+// configuration to simulate it on. Workload and TraceOpts identify the
+// trace's provenance and, with Config, form the cache key — callers must
+// pass the same Options the trace was generated with (a hand-built trace
+// that did not come from workload.Generate should disable caching via
+// NoCache).
+type Job struct {
+	// Workload is the trace/workload name.
+	Workload string
+	// TraceOpts are the generation options that produced Trace.
+	TraceOpts workload.Options
+	// Config is the simulated machine.
+	Config system.Config
+	// Trace is the access trace to simulate.
+	Trace *trace.Trace
+	// NoCache forces a fresh simulation and keeps the result out of the
+	// cache (for traces whose provenance the key cannot capture).
+	NoCache bool
+}
+
+// LLCName labels the job's LLC for error and progress reporting.
+func (j Job) LLCName() string {
+	if j.Config.Hybrid != nil {
+		return fmt.Sprintf("hybrid(%s+%s)", j.Config.Hybrid.SRAM.Name, j.Config.Hybrid.NVM.Name)
+	}
+	return j.Config.LLC.Name
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Simulated counts simulations actually executed; Cached counts jobs
+	// answered from the result cache; Failed counts simulations that
+	// returned an error (including cancellation).
+	Simulated, Cached, Failed uint64
+	// Accesses is the total trace accesses simulated (cache hits excluded).
+	Accesses uint64
+	// SimWallNS is the summed wall-clock time spent inside simulations,
+	// across all workers.
+	SimWallNS int64
+}
+
+// Jobs is the total design points answered: simulated, cached or failed.
+func (s Stats) Jobs() uint64 { return s.Simulated + s.Cached + s.Failed }
+
+// String renders a one-line progress summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d simulated, %d cached, %d failed, %.2fM accesses, %.1fs sim wall",
+		s.Simulated, s.Cached, s.Failed, float64(s.Accesses)/1e6,
+		time.Duration(s.SimWallNS).Seconds())
+}
+
+// Event is one progress notification: a design point was answered.
+type Event struct {
+	// Workload and LLC identify the design point.
+	Workload, LLC string
+	// Cached marks a cache hit (WallNS is then zero).
+	Cached bool
+	// Err is the job's failure, nil on success.
+	Err error
+	// WallNS is the wall-clock time the simulation took.
+	WallNS int64
+	// Stats is the engine snapshot after this job.
+	Stats Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism bounds concurrent simulations (default GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithoutCache disables result memoization (every job simulates).
+func WithoutCache() Option {
+	return func(e *Engine) { e.cacheOff = true }
+}
+
+// WithProgress streams an Event after every answered job. The callback
+// must be safe for concurrent use; it is invoked from worker goroutines.
+func WithProgress(fn func(Event)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// entry is one cache slot; done closes when the computing goroutine
+// finishes, so concurrent requests for the same key wait instead of
+// duplicating the simulation.
+type entry struct {
+	done chan struct{}
+	res  *system.Result
+	err  error
+}
+
+// Engine executes simulation jobs with caching, bounded parallelism and
+// cancellation.
+type Engine struct {
+	parallelism int
+	cacheOff    bool
+	progress    func(Event)
+
+	mu      sync.Mutex
+	results map[string]*entry
+
+	simulated atomic.Uint64
+	cached    atomic.Uint64
+	failed    atomic.Uint64
+	accesses  atomic.Uint64
+	simWallNS atomic.Int64
+}
+
+// New creates an engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{results: make(map[string]*entry)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Workers is the effective parallelism bound.
+func (e *Engine) Workers() int {
+	if e.parallelism > 0 {
+		return e.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Simulated: e.simulated.Load(),
+		Cached:    e.cached.Load(),
+		Failed:    e.failed.Load(),
+		Accesses:  e.accesses.Load(),
+		SimWallNS: e.simWallNS.Load(),
+	}
+}
+
+// Run answers one design point, from the cache when possible. Identical
+// concurrent requests share a single simulation. A cancelled context
+// returns promptly with ctx.Err().
+func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key, cacheable := Key(j)
+	if e.cacheOff || !cacheable {
+		return e.simulate(ctx, j)
+	}
+	e.mu.Lock()
+	if ent, ok := e.results[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if ent.err != nil {
+			// The computing goroutine failed and removed the entry;
+			// propagate its error (a later Run will retry fresh).
+			return nil, ent.err
+		}
+		e.cached.Add(1)
+		e.emit(j, true, nil, 0)
+		return ent.res, nil
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.results[key] = ent
+	e.mu.Unlock()
+
+	ent.res, ent.err = e.simulate(ctx, j)
+	if ent.err != nil {
+		// Do not cache failures (typically cancellations): the next run
+		// must be able to retry.
+		e.mu.Lock()
+		delete(e.results, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.res, ent.err
+}
+
+// simulate executes the job and updates counters.
+func (e *Engine) simulate(ctx context.Context, j Job) (*system.Result, error) {
+	start := time.Now()
+	res, err := system.Run(ctx, j.Config, j.Trace)
+	wall := time.Since(start).Nanoseconds()
+	e.simWallNS.Add(wall)
+	if err != nil {
+		e.failed.Add(1)
+	} else {
+		e.simulated.Add(1)
+		e.accesses.Add(uint64(len(j.Trace.Accesses)))
+	}
+	e.emit(j, false, err, wall)
+	return res, err
+}
+
+func (e *Engine) emit(j Job, cachedHit bool, err error, wallNS int64) {
+	if e.progress == nil {
+		return
+	}
+	e.progress(Event{
+		Workload: j.Workload,
+		LLC:      j.LLCName(),
+		Cached:   cachedHit,
+		Err:      err,
+		WallNS:   wallNS,
+		Stats:    e.Stats(),
+	})
+}
+
+// RunAll answers every job with a bounded worker pool. It always returns
+// a result slice aligned with jobs — entries are nil for failed jobs —
+// plus every failure joined with errors.Join (context errors are folded
+// into one), so callers can render what completed.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*system.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*system.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, e.Workers())
+	var wg sync.WaitGroup
+	for i := range jobs {
+		// Acquiring the slot here (not in the goroutine) bounds the pool
+		// and lets cancellation stop submission immediately.
+		select {
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Run(ctx, jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, joinJobErrors(jobs, errs)
+}
+
+// joinJobErrors aggregates per-job failures, labeling each with its
+// design point and collapsing the flood of identical context errors a
+// cancellation produces into a single entry.
+func joinJobErrors(jobs []Job, errs []error) error {
+	var out []error
+	ctxSeen := false
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if !ctxSeen {
+				out = append(out, err)
+				ctxSeen = true
+			}
+		default:
+			out = append(out, fmt.Errorf("engine: %s on %s: %w", jobs[i].Workload, jobs[i].LLCName(), err))
+		}
+	}
+	return errors.Join(out...)
+}

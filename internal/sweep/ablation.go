@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"nvmllc/internal/cache"
+	"nvmllc/internal/engine"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/workload"
@@ -25,7 +27,7 @@ type AblationRow struct {
 // NVM) pair: the DESIGN.md ablations in one table. The baseline is the
 // paper's configuration (LRU, writes off the critical path, no bypass,
 // pure NVM LLC).
-func AblationSuite(workloadName, llcName string, cfg Config) ([]AblationRow, error) {
+func AblationSuite(ctx context.Context, workloadName, llcName string, cfg Config) ([]AblationRow, error) {
 	model, err := reference.ModelByName(reference.FixedCapacityModels(), llcName)
 	if err != nil {
 		return nil, err
@@ -38,6 +40,7 @@ func AblationSuite(workloadName, llcName string, cfg Config) ([]AblationRow, err
 	if err != nil {
 		return nil, err
 	}
+	eng := cfg.engineOrNew()
 
 	points := []struct {
 		name   string
@@ -62,7 +65,12 @@ func AblationSuite(workloadName, llcName string, cfg Config) ([]AblationRow, err
 		if pt.mutate != nil {
 			pt.mutate(&sysCfg)
 		}
-		r, err := system.Run(sysCfg, tr)
+		r, err := eng.Run(ctx, engine.Job{
+			Workload:  workloadName,
+			TraceOpts: cfg.Opts,
+			Config:    sysCfg,
+			Trace:     tr,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("sweep: ablation %q: %w", pt.name, err)
 		}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/workload"
@@ -10,7 +11,7 @@ func TestAblationSuite(t *testing.T) {
 	// Multi-pass trace: the dead-block predictor needs completed
 	// residencies before it can bypass.
 	cfg := Config{Opts: workload.Options{Accesses: 500000, Seed: 3}}
-	rows, err := AblationSuite("is", "Kang_P", cfg)
+	rows, err := AblationSuite(context.Background(), "is", "Kang_P", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +42,10 @@ func TestAblationSuite(t *testing.T) {
 }
 
 func TestAblationSuiteErrors(t *testing.T) {
-	if _, err := AblationSuite("nosuch", "Kang_P", testCfg()); err == nil {
+	if _, err := AblationSuite(context.Background(), "nosuch", "Kang_P", testCfg()); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, err := AblationSuite("is", "nosuch", testCfg()); err == nil {
+	if _, err := AblationSuite(context.Background(), "is", "nosuch", testCfg()); err == nil {
 		t.Error("unknown LLC accepted")
 	}
 }

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
+	"nvmllc/internal/engine"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/trace"
@@ -31,7 +33,7 @@ var DefaultCoreCounts = []int{1, 2, 4, 8, 16, 32}
 
 // CoreSweep runs the Section V-C study: one multi-threaded workload across
 // core counts for every fixed-area LLC model, normalized to 1-core SRAM.
-func CoreSweep(name string, cores []int, cfg Config) (*CoreSweepResult, error) {
+func CoreSweep(ctx context.Context, name string, cores []int, cfg Config) (*CoreSweepResult, error) {
 	p, err := workload.ByName(name)
 	if err != nil {
 		return nil, err
@@ -43,6 +45,7 @@ func CoreSweep(name string, cores []int, cfg Config) (*CoreSweepResult, error) {
 		cores = DefaultCoreCounts
 	}
 	models := reference.FixedAreaModels()
+	eng := cfg.engineOrNew()
 	res := &CoreSweepResult{Workload: name, Cores: cores}
 	for _, m := range models {
 		res.LLCs = append(res.LLCs, m.Name)
@@ -57,7 +60,7 @@ func CoreSweep(name string, cores []int, cfg Config) (*CoreSweepResult, error) {
 			return nil, err
 		}
 		traces := map[string]*trace.Trace{name: tr}
-		raw, err := runAll(models, []string{name}, traces, cfg, n)
+		raw, err := runAll(ctx, eng, models, []string{name}, traces, opts, cfg, n)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +78,12 @@ func CoreSweep(name string, cores []int, cfg Config) (*CoreSweepResult, error) {
 				}
 				sysCfg := system.Gainestown(reference.SRAMBaseline()).WithCores(1)
 				sysCfg.ModelWriteContention = cfg.WriteContention
-				baseline, err = system.Run(sysCfg, tr1)
+				baseline, err = eng.Run(ctx, engine.Job{
+					Workload:  name,
+					TraceOpts: opts1,
+					Config:    sysCfg,
+					Trace:     tr1,
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -85,6 +93,9 @@ func CoreSweep(name string, cores []int, cfg Config) (*CoreSweepResult, error) {
 		var rawRow []*system.Result
 		for _, llc := range res.LLCs {
 			r := raw[name][llc]
+			if r == nil {
+				return nil, fmt.Errorf("sweep: core sweep missing result for %s on %s at %d cores", name, llc, n)
+			}
 			sp = append(sp, baseline.TimeNS/r.TimeNS)
 			en = append(en, r.LLCEnergyJ()/baseline.LLCEnergyJ())
 			rawRow = append(rawRow, r)

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"nvmllc/internal/engine"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/workload"
+)
+
+// TestSharedEngineAcrossFigures is the acceptance check for the shared
+// experiment engine: running two figures back-to-back through one engine
+// simulates each shared design point exactly once. Figure 1a
+// (fixed-capacity) and Figure 2a (fixed-area) cover the same 11
+// single-threaded workloads, and the SRAM baseline model is identical in
+// both configuration blocks — so the second figure must hit the cache for
+// exactly those 11 (workload, SRAM) points and simulate only the 110 NVM
+// points fresh.
+func TestSharedEngineAcrossFigures(t *testing.T) {
+	eng := engine.New()
+	cfg := Config{Opts: workload.Options{Accesses: 20000, Seed: 3}, Engine: eng}
+
+	if _, err := Figure1a(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	s1 := eng.Stats()
+	if s1.Simulated != 121 || s1.Cached != 0 {
+		t.Fatalf("after Figure1a: %+v, want 121 simulated (11 workloads × 11 models)", s1)
+	}
+
+	if _, err := Figure2a(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	s2 := eng.Stats()
+	if got := s2.Simulated - s1.Simulated; got != 110 {
+		t.Errorf("Figure2a simulated %d new points, want 110 (SRAM baseline shared)", got)
+	}
+	if got := s2.Cached - s1.Cached; got != 11 {
+		t.Errorf("Figure2a hit the cache %d times, want 11 (one SRAM point per workload)", got)
+	}
+	if s2.Failed != 0 {
+		t.Errorf("failed = %d, want 0", s2.Failed)
+	}
+}
+
+// TestRunFigureSecondCallFullyCached asserts a repeated identical figure
+// performs zero new simulations and returns byte-identical numbers.
+func TestRunFigureSecondCallFullyCached(t *testing.T) {
+	eng := engine.New()
+	cfg := Config{Opts: workload.Options{Accesses: 20000, Seed: 3}, Engine: eng}
+
+	first, err := Figure1a(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+
+	second, err := Figure1a(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if after.Simulated != before.Simulated {
+		t.Errorf("second run simulated %d new points, want 0", after.Simulated-before.Simulated)
+	}
+	if got := after.Cached - before.Cached; got != 121 {
+		t.Errorf("second run cached %d points, want 121", got)
+	}
+	if !reflect.DeepEqual(first.Speedup, second.Speedup) ||
+		!reflect.DeepEqual(first.Energy, second.Energy) ||
+		!reflect.DeepEqual(first.ED2P, second.ED2P) {
+		t.Error("cached figure differs from the fresh one")
+	}
+}
+
+// TestRunFigureCancellation cancels a figure mid-sweep and expects a
+// prompt context.Canceled with partial progress recorded.
+func TestRunFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := engine.New(engine.WithParallelism(2), engine.WithProgress(func(ev engine.Event) {
+		cancel() // abort as soon as the first design point answers
+	}))
+	cfg := Config{Opts: workload.Options{Accesses: 300_000, Seed: 3}, Engine: eng}
+
+	start := time.Now()
+	_, err := Figure1a(ctx, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+	if eng.Stats().Jobs() == 121 {
+		t.Error("every design point ran despite cancellation")
+	}
+}
+
+func TestCellErrNoCell(t *testing.T) {
+	fig, err := RunFigure(context.Background(), "one cell",
+		reference.FixedCapacityModels(), []string{"bzip2"},
+		Config{Opts: workload.Options{Accesses: 20000, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := fig.Cell("bzip2", "Jan_S"); err != nil {
+		t.Errorf("valid cell: %v", err)
+	}
+	for _, bad := range [][2]string{{"nosuch", "Jan_S"}, {"bzip2", "nosuch"}, {"bzip2", "SRAM"}} {
+		_, _, _, err := fig.Cell(bad[0], bad[1])
+		if !errors.Is(err, ErrNoCell) {
+			t.Errorf("Cell(%s, %s) = %v, want ErrNoCell", bad[0], bad[1], err)
+		}
+	}
+}
+
+// TestConfigProgressCallback wires a progress callback through the
+// config-built private engine.
+func TestConfigProgressCallback(t *testing.T) {
+	events := 0
+	cfg := Config{
+		Opts:     workload.Options{Accesses: 20000, Seed: 3},
+		Progress: func(engine.Event) { events++ },
+		// Serialize so the callback needs no locking.
+		Parallelism: 1,
+	}
+	if _, err := RunFigure(context.Background(), "cb", reference.FixedCapacityModels(), []string{"bzip2"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if events != len(reference.FixedCapacityModels()) {
+		t.Errorf("progress events = %d, want %d", events, len(reference.FixedCapacityModels()))
+	}
+}

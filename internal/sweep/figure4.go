@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"nvmllc/internal/charfw"
@@ -39,7 +40,7 @@ type Figure4Config struct {
 // (NVM, configuration) pair — fixed-capacity panels (a)-(c) then
 // fixed-area panels (d)-(f) — correlating each workload's features with
 // the NVM system's energy and speedup over the workload set.
-func Figure4(cfg Figure4Config) ([]*charfw.Panel, error) {
+func Figure4(ctx context.Context, cfg Figure4Config) ([]*charfw.Panel, error) {
 	ws := cfg.Workloads
 	if ws == nil {
 		ws = workload.AINames()
@@ -54,12 +55,16 @@ func Figure4(cfg Figure4Config) ([]*charfw.Panel, error) {
 		return nil, err
 	}
 
-	// One simulation sweep per configuration over the target workloads.
-	fixCap, err := RunFigure("fig4 fixed-capacity", reference.FixedCapacityModels(), ws, cfg.Config)
+	// One simulation sweep per configuration over the target workloads,
+	// both through one engine so shared design points (the SRAM baseline
+	// is identical in the fixed-capacity and fixed-area model sets)
+	// simulate exactly once.
+	cfg.Config.Engine = cfg.Config.engineOrNew()
+	fixCap, err := RunFigure(ctx, "fig4 fixed-capacity", reference.FixedCapacityModels(), ws, cfg.Config)
 	if err != nil {
 		return nil, err
 	}
-	fixArea, err := RunFigure("fig4 fixed-area", reference.FixedAreaModels(), ws, cfg.Config)
+	fixArea, err := RunFigure(ctx, "fig4 fixed-area", reference.FixedAreaModels(), ws, cfg.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +88,7 @@ func Figure4(cfg Figure4Config) ([]*charfw.Panel, error) {
 				t.Energy[w] = en
 				t.Speedup[w] = sp
 			}
-			p, err := fw.PanelFor(ws, t)
+			p, err := fw.PanelFor(ctx, ws, t)
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +133,7 @@ func buildFramework(cfg Figure4Config, ws []string) (*charfw.Framework, error) {
 // workloads (the paper's general-purpose case, where energy and execution
 // time correlate most with total reads and writes). It returns one panel
 // per configured NVM for the given configuration block.
-func GeneralPurposeCorrelation(cfg Figure4Config) ([]*charfw.Panel, error) {
+func GeneralPurposeCorrelation(ctx context.Context, cfg Figure4Config) ([]*charfw.Panel, error) {
 	cfg.Workloads = workload.CharacterizedNames()
-	return Figure4(cfg)
+	return Figure4(ctx, cfg)
 }

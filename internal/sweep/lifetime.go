@@ -1,8 +1,11 @@
 package sweep
 
 import (
+	"context"
+
 	"nvmllc/internal/charfw"
 	"nvmllc/internal/endurance"
+	"nvmllc/internal/engine"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/workload"
@@ -29,12 +32,13 @@ type LifetimeStudy struct {
 }
 
 // Lifetime runs the study.
-func Lifetime(cfg Config, llcs []string) (*LifetimeStudy, error) {
+func Lifetime(ctx context.Context, cfg Config, llcs []string) (*LifetimeStudy, error) {
 	if len(llcs) == 0 {
 		llcs = []string{"Kang_P", "Chung_S", "Zhang_R"}
 	}
 	models := reference.FixedCapacityModels()
 	names := workload.CharacterizedNames()
+	eng := cfg.engineOrNew()
 
 	study := &LifetimeStudy{}
 	fw := charfw.FromFeatureMap(reference.PaperFeatures())
@@ -56,7 +60,12 @@ func Lifetime(cfg Config, llcs []string) (*LifetimeStudy, error) {
 			sysCfg := system.Gainestown(model)
 			sysCfg.ModelWriteContention = cfg.WriteContention
 			sysCfg.TrackWear = true
-			r, err := system.Run(sysCfg, tr)
+			r, err := eng.Run(ctx, engine.Job{
+				Workload:  wlName,
+				TraceOpts: cfg.Opts,
+				Config:    sysCfg,
+				Trace:     tr,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +87,7 @@ func Lifetime(cfg Config, llcs []string) (*LifetimeStudy, error) {
 				rateByWorkload[w] = 1 / y
 			}
 		}
-		panel, err := fw.PanelFor(names, charfw.Targets{
+		panel, err := fw.PanelFor(ctx, names, charfw.Targets{
 			Name:    llcName + " wear rate",
 			Energy:  rateByWorkload,
 			Speedup: rateByWorkload,

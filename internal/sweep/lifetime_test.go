@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestLifetimeStudy(t *testing.T) {
-	study, err := Lifetime(testCfg(), nil)
+	study, err := Lifetime(context.Background(), testCfg(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestLifetimeStudy(t *testing.T) {
 }
 
 func TestLifetimeCorrelatesWithWriteFeatures(t *testing.T) {
-	study, err := Lifetime(testCfg(), []string{"Kang_P"})
+	study, err := Lifetime(context.Background(), testCfg(), []string{"Kang_P"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +76,13 @@ func TestLifetimeCorrelatesWithWriteFeatures(t *testing.T) {
 }
 
 func TestLifetimeUnknownLLC(t *testing.T) {
-	if _, err := Lifetime(testCfg(), []string{"nope"}); err == nil {
+	if _, err := Lifetime(context.Background(), testCfg(), []string{"nope"}); err == nil {
 		t.Error("unknown LLC accepted")
 	}
 }
 
 func TestLifetimeClassesCovered(t *testing.T) {
-	study, err := Lifetime(testCfg(), nil)
+	study, err := Lifetime(context.Background(), testCfg(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

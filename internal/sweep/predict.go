@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"nvmllc/internal/charfw"
@@ -32,7 +33,7 @@ type PredictionStudy struct {
 }
 
 // Predict runs the study over the paper's best NVMs at fixed capacity.
-func Predict(cfg Config) (*PredictionStudy, error) {
+func Predict(ctx context.Context, cfg Config) (*PredictionStudy, error) {
 	all := workload.CharacterizedNames()
 	ai := map[string]bool{}
 	for _, n := range workload.AINames() {
@@ -52,7 +53,7 @@ func Predict(cfg Config) (*PredictionStudy, error) {
 
 	// One sweep over all characterized workloads provides both training
 	// targets and test ground truth.
-	fig, err := RunFigure("predict", reference.FixedCapacityModels(), all, cfg)
+	fig, err := RunFigure(ctx, "predict", reference.FixedCapacityModels(), all, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func Predict(cfg Config) (*PredictionStudy, error) {
 			}
 			values[w] = en
 		}
-		p, err := fw.TrainPredictor(train, "energy", values)
+		p, err := fw.TrainPredictor(ctx, train, "energy", values)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: training %s: %w", nvmName, err)
 		}

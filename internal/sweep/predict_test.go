@@ -1,9 +1,12 @@
 package sweep
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPredictionStudy(t *testing.T) {
-	study, err := Predict(testCfg())
+	study, err := Predict(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

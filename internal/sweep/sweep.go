@@ -4,13 +4,20 @@
 // configurations (Section V), normalizes to the SRAM baseline, sweeps core
 // counts (Section V-C), and feeds the results through the correlation
 // framework (Section VI, Figure 4).
+//
+// All simulations run through an internal/engine Engine: every entry
+// point takes a context.Context first (cancellation aborts in-flight
+// simulations promptly) and Config can carry a shared Engine so repeated
+// design points — most prominently the SRAM baseline shared by every
+// figure — are simulated exactly once across calls.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"nvmllc/internal/engine"
 	"nvmllc/internal/nvsim"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
@@ -24,18 +31,46 @@ type Config struct {
 	// harness per experiment.
 	Opts workload.Options
 	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	// Ignored when Engine is set — the engine's own bound wins.
 	Parallelism int
 	// WriteContention turns on LLC bank write contention (the ablation of
 	// the paper's writes-off-critical-path assumption).
 	WriteContention bool
+	// Engine optionally supplies a shared experiment engine, so the
+	// result cache and statistics span multiple sweep calls. When nil, a
+	// private engine is built per call from the fields below.
+	Engine *engine.Engine
+	// DisableCache turns off result memoization in the private engine
+	// (ignored when Engine is set).
+	DisableCache bool
+	// Progress streams engine events from the private engine (ignored
+	// when Engine is set; install the callback on the shared engine
+	// instead).
+	Progress func(engine.Event)
 }
 
-func (c Config) workers() int {
-	if c.Parallelism > 0 {
-		return c.Parallelism
+// engineOrNew returns the configured shared engine, or builds a private
+// one from the config's knobs.
+func (c Config) engineOrNew() *engine.Engine {
+	if c.Engine != nil {
+		return c.Engine
 	}
-	return runtime.GOMAXPROCS(0)
+	var opts []engine.Option
+	if c.Parallelism > 0 {
+		opts = append(opts, engine.WithParallelism(c.Parallelism))
+	}
+	if c.DisableCache {
+		opts = append(opts, engine.WithoutCache())
+	}
+	if c.Progress != nil {
+		opts = append(opts, engine.WithProgress(c.Progress))
+	}
+	return engine.New(opts...)
 }
+
+// ErrNoCell reports a Cell lookup for a workload/LLC pair the figure does
+// not contain.
+var ErrNoCell = errors.New("sweep: no such figure cell")
 
 // FigureResult holds one of the paper's bar-chart figures: per-workload,
 // per-NVM speedup, LLC energy and ED²P, all normalized to the SRAM
@@ -51,32 +86,60 @@ type FigureResult struct {
 	// Speedup, Energy and ED2P are indexed [workload][llc].
 	Speedup, Energy, ED2P [][]float64
 	// Raw holds every simulation result keyed by workload then LLC name
-	// (including "SRAM").
+	// (including "SRAM"). On a partial run it also carries rows for
+	// workloads that did not complete normalization.
 	Raw map[string]map[string]*system.Result
+
+	// workloadIdx and llcIdx are name→index maps built at construction so
+	// Cell is O(1).
+	workloadIdx, llcIdx map[string]int
 }
 
-// Cell returns the normalized triple for a workload/LLC pair.
+// newFigureResult builds the empty figure with its column index.
+func newFigureResult(title string, models []nvsim.LLCModel, raw map[string]map[string]*system.Result) *FigureResult {
+	fig := &FigureResult{
+		Title:       title,
+		Raw:         raw,
+		workloadIdx: make(map[string]int),
+		llcIdx:      make(map[string]int, len(models)),
+	}
+	for _, m := range models {
+		if m.Name != "SRAM" {
+			fig.llcIdx[m.Name] = len(fig.LLCs)
+			fig.LLCs = append(fig.LLCs, m.Name)
+		}
+	}
+	return fig
+}
+
+// addRow appends one workload's normalized row and indexes it.
+func (f *FigureResult) addRow(w string, sp, en, ed []float64) {
+	f.workloadIdx[w] = len(f.Workloads)
+	f.Workloads = append(f.Workloads, w)
+	f.Speedup = append(f.Speedup, sp)
+	f.Energy = append(f.Energy, en)
+	f.ED2P = append(f.ED2P, ed)
+}
+
+// Cell returns the normalized triple for a workload/LLC pair. Unknown
+// pairs (including workloads dropped from a partial run) report ErrNoCell.
 func (f *FigureResult) Cell(workloadName, llc string) (speedup, energy, ed2p float64, err error) {
-	wi, li := -1, -1
-	for i, w := range f.Workloads {
-		if w == workloadName {
-			wi = i
-		}
-	}
-	for i, l := range f.LLCs {
-		if l == llc {
-			li = i
-		}
-	}
-	if wi < 0 || li < 0 {
-		return 0, 0, 0, fmt.Errorf("sweep: no cell for %s/%s", workloadName, llc)
+	wi, okW := f.workloadIdx[workloadName]
+	li, okL := f.llcIdx[llc]
+	if !okW || !okL {
+		return 0, 0, 0, fmt.Errorf("%w: %s/%s", ErrNoCell, workloadName, llc)
 	}
 	return f.Speedup[wi][li], f.Energy[wi][li], f.ED2P[wi][li], nil
 }
 
 // RunFigure simulates the named workloads against the model set (which
 // must include the SRAM baseline) and returns SRAM-normalized results.
-func RunFigure(title string, models []nvsim.LLCModel, names []string, cfg Config) (*FigureResult, error) {
+//
+// On failure of individual design points it returns the partial figure —
+// normalized rows for every workload whose full row completed, plus all
+// completed raw results — together with every job error joined via
+// errors.Join, so callers can render what finished.
+func RunFigure(ctx context.Context, title string, models []nvsim.LLCModel, names []string, cfg Config) (*FigureResult, error) {
 	var sramIdx = -1
 	for i, m := range models {
 		if m.Name == "SRAM" {
@@ -90,6 +153,9 @@ func RunFigure(title string, models []nvsim.LLCModel, names []string, cfg Config
 	// Generate traces serially (cheap) so simulations can share them.
 	traces := make(map[string]*trace.Trace, len(names))
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -101,86 +167,74 @@ func RunFigure(title string, models []nvsim.LLCModel, names []string, cfg Config
 		traces[name] = tr
 	}
 
-	raw, err := runAll(models, names, traces, cfg, 0)
-	if err != nil {
-		return nil, err
-	}
+	raw, runErr := runAll(ctx, cfg.engineOrNew(), models, names, traces, cfg.Opts, cfg, 0)
 
-	fig := &FigureResult{Title: title, Workloads: names, Raw: raw}
-	for _, m := range models {
-		if m.Name != "SRAM" {
-			fig.LLCs = append(fig.LLCs, m.Name)
-		}
-	}
+	fig := newFigureResult(title, models, raw)
 	for _, w := range names {
 		base := raw[w]["SRAM"]
 		if base == nil {
-			return nil, fmt.Errorf("sweep: missing SRAM baseline result for %s", w)
+			if runErr == nil {
+				runErr = fmt.Errorf("sweep: missing SRAM baseline result for %s", w)
+			}
+			continue
 		}
 		var sp, en, ed []float64
+		complete := true
 		for _, llc := range fig.LLCs {
 			r := raw[w][llc]
+			if r == nil {
+				complete = false
+				break
+			}
 			sp = append(sp, base.TimeNS/r.TimeNS)
 			en = append(en, r.LLCEnergyJ()/base.LLCEnergyJ())
 			ed = append(ed, r.ED2P()/base.ED2P())
 		}
-		fig.Speedup = append(fig.Speedup, sp)
-		fig.Energy = append(fig.Energy, en)
-		fig.ED2P = append(fig.ED2P, ed)
+		if complete {
+			fig.addRow(w, sp, en, ed)
+		}
+	}
+	if runErr != nil {
+		return fig, runErr
 	}
 	return fig, nil
 }
 
-// runAll simulates every (workload, model) pair with a bounded worker
-// pool. coresOverride > 0 forces the core count (core sweep); otherwise
-// the Gainestown quad-core is used.
-func runAll(models []nvsim.LLCModel, names []string, traces map[string]*trace.Trace, cfg Config, coresOverride int) (map[string]map[string]*system.Result, error) {
-	type job struct {
-		workload string
-		model    nvsim.LLCModel
+// runAll simulates every (workload, model) pair through the engine.
+// coresOverride > 0 forces the core count (core sweep); otherwise the
+// Gainestown quad-core is used. genOpts must be the workload.Options the
+// traces were generated with (they key the engine's cache).
+//
+// The returned map holds every design point that completed, even when the
+// joined error is non-nil — callers decide what to do with partial grids.
+func runAll(ctx context.Context, eng *engine.Engine, models []nvsim.LLCModel, names []string, traces map[string]*trace.Trace, genOpts workload.Options, cfg Config, coresOverride int) (map[string]map[string]*system.Result, error) {
+	jobs := make([]engine.Job, 0, len(names)*len(models))
+	for _, n := range names {
+		for _, m := range models {
+			sysCfg := system.Gainestown(m)
+			sysCfg.ModelWriteContention = cfg.WriteContention
+			if coresOverride > 0 {
+				sysCfg = sysCfg.WithCores(coresOverride)
+			}
+			jobs = append(jobs, engine.Job{
+				Workload:  n,
+				TraceOpts: genOpts,
+				Config:    sysCfg,
+				Trace:     traces[n],
+			})
+		}
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
+	results, err := eng.RunAll(ctx, jobs)
 	raw := make(map[string]map[string]*system.Result, len(names))
 	for _, n := range names {
 		raw[n] = make(map[string]*system.Result, len(models))
 	}
-	var firstErr error
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				sysCfg := system.Gainestown(j.model)
-				sysCfg.ModelWriteContention = cfg.WriteContention
-				if coresOverride > 0 {
-					sysCfg = sysCfg.WithCores(coresOverride)
-				}
-				r, err := system.Run(sysCfg, traces[j.workload])
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sweep: %s on %s: %w", j.workload, j.model.Name, err)
-					}
-				} else {
-					raw[j.workload][j.model.Name] = r
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, n := range names {
-		for _, m := range models {
-			jobs <- job{workload: n, model: m}
+	for i, r := range results {
+		if r != nil {
+			raw[jobs[i].Workload][jobs[i].LLCName()] = r
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return raw, nil
+	return raw, err
 }
 
 // workloadNames splits Table V's workloads by threading.
@@ -195,25 +249,25 @@ func workloadNames(multiThreaded bool) []string {
 }
 
 // Figure1a regenerates Figure 1a: fixed-capacity, single-threaded.
-func Figure1a(cfg Config) (*FigureResult, error) {
-	return RunFigure("Figure 1a: fixed-capacity LLC, single-threaded workloads",
+func Figure1a(ctx context.Context, cfg Config) (*FigureResult, error) {
+	return RunFigure(ctx, "Figure 1a: fixed-capacity LLC, single-threaded workloads",
 		reference.FixedCapacityModels(), workloadNames(false), cfg)
 }
 
 // Figure1b regenerates Figure 1b: fixed-capacity, multi-threaded.
-func Figure1b(cfg Config) (*FigureResult, error) {
-	return RunFigure("Figure 1b: fixed-capacity LLC, multi-threaded workloads",
+func Figure1b(ctx context.Context, cfg Config) (*FigureResult, error) {
+	return RunFigure(ctx, "Figure 1b: fixed-capacity LLC, multi-threaded workloads",
 		reference.FixedCapacityModels(), workloadNames(true), cfg)
 }
 
 // Figure2a regenerates Figure 2a: fixed-area, single-threaded.
-func Figure2a(cfg Config) (*FigureResult, error) {
-	return RunFigure("Figure 2a: fixed-area LLC, single-threaded workloads",
+func Figure2a(ctx context.Context, cfg Config) (*FigureResult, error) {
+	return RunFigure(ctx, "Figure 2a: fixed-area LLC, single-threaded workloads",
 		reference.FixedAreaModels(), workloadNames(false), cfg)
 }
 
 // Figure2b regenerates Figure 2b: fixed-area, multi-threaded.
-func Figure2b(cfg Config) (*FigureResult, error) {
-	return RunFigure("Figure 2b: fixed-area LLC, multi-threaded workloads",
+func Figure2b(ctx context.Context, cfg Config) (*FigureResult, error) {
+	return RunFigure(ctx, "Figure 2b: fixed-area LLC, multi-threaded workloads",
 		reference.FixedAreaModels(), workloadNames(true), cfg)
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/reference"
@@ -14,19 +15,19 @@ func testCfg() Config {
 
 func TestRunFigureRequiresSRAM(t *testing.T) {
 	models := reference.NVMModels(reference.FixedCapacityModels())
-	if _, err := RunFigure("x", models, []string{"tonto"}, testCfg()); err == nil {
+	if _, err := RunFigure(context.Background(), "x", models, []string{"tonto"}, testCfg()); err == nil {
 		t.Error("model set without SRAM accepted")
 	}
 }
 
 func TestRunFigureUnknownWorkload(t *testing.T) {
-	if _, err := RunFigure("x", reference.FixedCapacityModels(), []string{"quake"}, testCfg()); err == nil {
+	if _, err := RunFigure(context.Background(), "x", reference.FixedCapacityModels(), []string{"quake"}, testCfg()); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
 func TestFigure1aShape(t *testing.T) {
-	fig, err := Figure1a(testCfg())
+	fig, err := Figure1a(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestFigure1aShape(t *testing.T) {
 }
 
 func TestFigure1aEnergyHeadlines(t *testing.T) {
-	fig, err := Figure1a(testCfg())
+	fig, err := Figure1a(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFigure1aEnergyHeadlines(t *testing.T) {
 }
 
 func TestFigure1bMultiThreaded(t *testing.T) {
-	fig, err := Figure1b(testCfg())
+	fig, err := Figure1b(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFigure2aFixedAreaCapacityWins(t *testing.T) {
 	// holds it while the 1MB Jan_S thrashes (paper: Zhang_R gains ~20%
 	// on bzip2 at fixed-area).
 	cfg := Config{Opts: workload.Options{Accesses: 500000, Seed: 3}}
-	fig, err := RunFigure("fixed-area bzip2", reference.FixedAreaModels(), []string{"bzip2"}, cfg)
+	fig, err := RunFigure(context.Background(), "fixed-area bzip2", reference.FixedAreaModels(), []string{"bzip2"}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFigure2aFixedAreaCapacityWins(t *testing.T) {
 }
 
 func TestFigure2bFixedAreaHeadlines(t *testing.T) {
-	fig, err := Figure2b(testCfg())
+	fig, err := Figure2b(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFigure2bFixedAreaHeadlines(t *testing.T) {
 
 func TestCoreSweepRuns(t *testing.T) {
 	cfg := testCfg()
-	res, err := CoreSweep("ft", []int{1, 2, 4}, cfg)
+	res, err := CoreSweep(context.Background(), "ft", []int{1, 2, 4}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestCoreSweepRuns(t *testing.T) {
 }
 
 func TestCoreSweepRejectsSingleThreaded(t *testing.T) {
-	if _, err := CoreSweep("bzip2", nil, testCfg()); err == nil {
+	if _, err := CoreSweep(context.Background(), "bzip2", nil, testCfg()); err == nil {
 		t.Error("single-threaded workload accepted for core sweep")
 	}
 }
@@ -219,7 +220,7 @@ func TestCoreSweepUmekiEnergyWorst(t *testing.T) {
 	// The effect needs a multi-pass trace so capacity (2MB Umeki vs 8MB
 	// Xue against mg's 5.6MB working set) separates the runtimes.
 	cfg := Config{Opts: workload.Options{Accesses: 700000, Seed: 3}}
-	res, err := CoreSweep("mg", []int{8}, cfg)
+	res, err := CoreSweep(context.Background(), "mg", []int{8}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestCoreSweepUmekiEnergyWorst(t *testing.T) {
 }
 
 func TestTableVOrderingHighlights(t *testing.T) {
-	rows, err := TableV(testCfg())
+	rows, err := TableV(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestTableVOrderingHighlights(t *testing.T) {
 }
 
 func TestTableVIMeasuredAgainstPaper(t *testing.T) {
-	rows, err := TableVI(testCfg())
+	rows, err := TableVI(context.Background(), testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestTableVIMeasuredAgainstPaper(t *testing.T) {
 
 func TestFigure4PanelsAndHeadline(t *testing.T) {
 	cfg := Figure4Config{Config: testCfg()}
-	panels, err := Figure4(cfg)
+	panels, err := Figure4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestFigure4PanelsAndHeadline(t *testing.T) {
 
 func TestFigure4MeasuredFeatures(t *testing.T) {
 	cfg := Figure4Config{Config: testCfg(), Source: MeasuredFeatures}
-	panels, err := Figure4(cfg)
+	panels, err := Figure4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestFigure4MeasuredFeatures(t *testing.T) {
 
 func TestFigure4BadSource(t *testing.T) {
 	cfg := Figure4Config{Config: testCfg(), Source: FeatureSource(9)}
-	if _, err := Figure4(cfg); err == nil {
+	if _, err := Figure4(context.Background(), cfg); err == nil {
 		t.Error("bad feature source accepted")
 	}
 }
@@ -335,7 +336,7 @@ func TestGeneralPurposeCorrelationTotalsDominate(t *testing.T) {
 	// Paper Section VI: over ALL workloads, LLC energy is most highly
 	// correlated with total reads and writes.
 	cfg := Figure4Config{Config: testCfg()}
-	panels, err := GeneralPurposeCorrelation(cfg)
+	panels, err := GeneralPurposeCorrelation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestGeneralPurposeCorrelationTotalsDominate(t *testing.T) {
 }
 
 func TestFigure2aSmoke(t *testing.T) {
-	fig, err := Figure2a(Config{Opts: workload.Options{Accesses: 20000, Seed: 3}})
+	fig, err := Figure2a(context.Background(), Config{Opts: workload.Options{Accesses: 20000, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestFigure2aSmoke(t *testing.T) {
 	}
 	// Parallelism setting must not change results.
 	cfg1 := Config{Opts: workload.Options{Accesses: 20000, Seed: 3}, Parallelism: 1}
-	fig1, err := Figure2a(cfg1)
+	fig1, err := Figure2a(context.Background(), cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}

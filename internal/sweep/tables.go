@@ -1,6 +1,9 @@
 package sweep
 
 import (
+	"context"
+
+	"nvmllc/internal/engine"
 	"nvmllc/internal/prism"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
@@ -18,7 +21,8 @@ type TableVRow struct {
 
 // TableV simulates every Table V workload on the baseline SRAM system and
 // reports its LLC MPKI alongside the paper's measurement.
-func TableV(cfg Config) ([]TableVRow, error) {
+func TableV(ctx context.Context, cfg Config) ([]TableVRow, error) {
+	eng := cfg.engineOrNew()
 	rows := make([]TableVRow, 0, len(reference.Workloads()))
 	for _, w := range reference.Workloads() {
 		p, err := workload.ByName(w.Name)
@@ -31,7 +35,12 @@ func TableV(cfg Config) ([]TableVRow, error) {
 		}
 		sysCfg := system.Gainestown(reference.SRAMBaseline())
 		sysCfg.ModelWriteContention = cfg.WriteContention
-		r, err := system.Run(sysCfg, tr)
+		r, err := eng.Run(ctx, engine.Job{
+			Workload:  w.Name,
+			TraceOpts: cfg.Opts,
+			Config:    sysCfg,
+			Trace:     tr,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -54,10 +63,13 @@ type TableVIRow struct {
 
 // TableVI characterizes the 16 PRISM-compatible workloads with the prism
 // profiler and pairs each with the paper's published features.
-func TableVI(cfg Config) ([]TableVIRow, error) {
+func TableVI(ctx context.Context, cfg Config) ([]TableVIRow, error) {
 	paper := reference.PaperFeatures()
 	rows := make([]TableVIRow, 0, 16)
 	for _, name := range workload.CharacterizedNames() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err

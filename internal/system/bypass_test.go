@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/cache"
@@ -47,13 +48,13 @@ func TestBypassReducesNVMWriteEnergyOnThrash(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	base, err := Run(Gainestown(kang), tr)
+	base, err := Run(context.Background(), Gainestown(kang), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := Gainestown(kang)
 	cfg.LLCBypass = BypassDeadBlock
-	byp, err := Run(cfg, tr)
+	byp, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestBypassPreservesHitsOnResidentWorkingSet(t *testing.T) {
 	tr := streamTrace("resident", lines, 8*lines, 0, 1)
 	cfg := Gainestown(reference.SRAMBaseline())
 	cfg.LLCBypass = BypassDeadBlock
-	r, err := Run(cfg, tr)
+	r, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Run(Gainestown(reference.SRAMBaseline()), tr)
+	base, err := Run(context.Background(), Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBypassedWritebacksGoToDRAM(t *testing.T) {
 	kang, _ := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
 	cfg := Gainestown(kang)
 	cfg.LLCBypass = BypassDeadBlock
-	r, err := Run(cfg, tr)
+	r, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +124,13 @@ func TestLLCPolicyPlumbed(t *testing.T) {
 	for _, p := range []cache.Policy{cache.LRU, cache.SRRIP, cache.Random} {
 		cfg := sramConfig()
 		cfg.LLCPolicy = p
-		if _, err := Run(cfg, tr); err != nil {
+		if _, err := Run(context.Background(), cfg, tr); err != nil {
 			t.Errorf("policy %v: %v", p, err)
 		}
 	}
 	cfg := sramConfig()
 	cfg.LLCPolicy = cache.Policy(42)
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("invalid LLC policy accepted")
 	}
 }

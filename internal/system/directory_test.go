@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/reference"
@@ -39,7 +40,7 @@ func producerConsumerTrace(lines, rounds int) *trace.Trace {
 
 func TestCoherenceOffForSingleThread(t *testing.T) {
 	tr := streamTrace("st", 1000, 10000, 2, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestCoherenceOffForSingleThread(t *testing.T) {
 }
 
 func TestWriteSharingInvalidates(t *testing.T) {
-	r, err := Run(sramConfig(), pingPongTrace(10000))
+	r, err := Run(context.Background(), sramConfig(), pingPongTrace(10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestWriteSharingInvalidates(t *testing.T) {
 }
 
 func TestReadAfterRemoteWriteIntervenes(t *testing.T) {
-	r, err := Run(sramConfig(), producerConsumerTrace(64, 100))
+	r, err := Run(context.Background(), sramConfig(), producerConsumerTrace(64, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestReadAfterRemoteWriteIntervenes(t *testing.T) {
 func TestDisableCoherence(t *testing.T) {
 	cfg := sramConfig()
 	cfg.DisableCoherence = true
-	r, err := Run(cfg, pingPongTrace(10000))
+	r, err := Run(context.Background(), cfg, pingPongTrace(10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +86,13 @@ func TestDisableCoherence(t *testing.T) {
 
 func TestCoherenceCostsTimeAndEnergy(t *testing.T) {
 	tr := producerConsumerTrace(64, 200)
-	on, err := Run(sramConfig(), tr)
+	on, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := sramConfig()
 	cfg.DisableCoherence = true
-	off, err := Run(cfg, tr)
+	off, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPrivateDataHasNoCoherenceTraffic(t *testing.T) {
 		})
 	}
 	tr.InstrCount = uint64(len(tr.Accesses)) * 3
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestInclusionBackInvalidation(t *testing.T) {
 		}
 	}
 	tr.InstrCount = uint64(len(tr.Accesses)) * 3
-	r, err := Run(Gainestown(reference.SRAMBaseline()), tr)
+	r, err := Run(context.Background(), Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		t.Fatal(err)
 	}

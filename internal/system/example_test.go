@@ -1,6 +1,7 @@
 package system_test
 
 import (
+	"context"
 	"fmt"
 
 	"nvmllc/internal/reference"
@@ -23,11 +24,11 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	nvmRes, err := system.Run(system.Gainestown(jan), tr)
+	nvmRes, err := system.Run(context.Background(), system.Gainestown(jan), tr)
 	if err != nil {
 		panic(err)
 	}
-	sramRes, err := system.Run(system.Gainestown(reference.SRAMBaseline()), tr)
+	sramRes, err := system.Run(context.Background(), system.Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/reference"
@@ -27,28 +28,28 @@ func TestHybridValidation(t *testing.T) {
 	cfg := hybridConfig(t, 4)
 	cfg.Hybrid.SRAMWays = 0
 	tr := streamTrace("hv", 100, 2000, 3, 1)
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("zero SRAM ways accepted")
 	}
 	cfg.Hybrid.SRAMWays = 16
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("all-SRAM hybrid accepted")
 	}
 	cfg = hybridConfig(t, 4)
 	cfg.TrackWear = true
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("hybrid + wear tracking accepted")
 	}
 	cfg = hybridConfig(t, 4)
 	cfg.LLCBypass = BypassDeadBlock
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("hybrid + bypass accepted")
 	}
 }
 
 func TestHybridBasicRun(t *testing.T) {
 	tr := streamTrace("hybrid", 60000, 200000, 3, 1)
-	r, err := Run(hybridConfig(t, 4), tr)
+	r, err := Run(context.Background(), hybridConfig(t, 4), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestHybridMigratesWriteHotLines(t *testing.T) {
 	// overflow sends repeated writebacks of the same lines, and those
 	// write-hot NVM lines must migrate to SRAM.
 	tr := streamTrace("hotwrites", 12288, 400000, 2, 1)
-	r, err := Run(hybridConfig(t, 4), tr)
+	r, err := Run(context.Background(), hybridConfig(t, 4), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestHybridAbsorbsNVMWrites(t *testing.T) {
 	tr := streamTrace("absorb", 8192, 300000, 1, 1)
 	kang, _ := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
 
-	pure, err := Run(Gainestown(kang), tr)
+	pure, err := Run(context.Background(), Gainestown(kang), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, err := Run(hybridConfig(t, 4), tr)
+	hyb, err := Run(context.Background(), hybridConfig(t, 4), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestHybridDemotionsPreserveData(t *testing.T) {
 	// overflows L2 (so traffic reaches the LLC) and the 2 SRAM ways per
 	// set (12 lines/set), but fits the 2MB hybrid.
 	tr := streamTrace("demote", 24576, 300000, 1, 1)
-	r, err := Run(hybridConfig(t, 2), tr)
+	r, err := Run(context.Background(), hybridConfig(t, 2), tr)
 	if err != nil {
 		t.Fatal(err)
 	}

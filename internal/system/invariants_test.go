@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -40,7 +41,7 @@ func TestHierarchyConservationProperty(t *testing.T) {
 		threads := int(tRaw%4) + 1
 		footprint := int(fRaw)*4 + 64
 		tr := randomTrace(seed, n, threads, footprint)
-		r, err := Run(sramConfig(), tr)
+		r, err := Run(context.Background(), sramConfig(), tr)
 		if err != nil {
 			return false
 		}
@@ -70,7 +71,7 @@ func TestHierarchyConservationProperty(t *testing.T) {
 func TestLLCWritesDecomposition(t *testing.T) {
 	f := func(seed int64) bool {
 		tr := randomTrace(seed, 15000, 2, 30000)
-		r, err := Run(sramConfig(), tr)
+		r, err := Run(context.Background(), sramConfig(), tr)
 		if err != nil {
 			return false
 		}
@@ -91,7 +92,7 @@ func TestTimeMonotoneInLLCReadLatency(t *testing.T) {
 	for _, lat := range []float64{1, 5, 20, 80} {
 		m := base
 		m.ReadLatencyNS = lat
-		r, err := Run(Gainestown(m), tr)
+		r, err := Run(context.Background(), Gainestown(m), tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func TestEnergyMonotoneInLeakage(t *testing.T) {
 	for _, leak := range []float64{0.01, 0.5, 3.4, 10} {
 		m := base
 		m.LeakageW = leak
-		r, err := Run(Gainestown(m), tr)
+		r, err := Run(context.Background(), Gainestown(m), tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +132,11 @@ func TestBiggerLLCNeverMoreMisses(t *testing.T) {
 		small := reference.SRAMBaseline() // 2MB
 		big := small
 		big.CapacityBytes = 8 << 20
-		rs, err := Run(Gainestown(small), tr)
+		rs, err := Run(context.Background(), Gainestown(small), tr)
 		if err != nil {
 			return false
 		}
-		rb, err := Run(Gainestown(big), tr)
+		rb, err := Run(context.Background(), Gainestown(big), tr)
 		if err != nil {
 			return false
 		}
@@ -160,11 +161,11 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Run(sramConfig(), tr)
+	a, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sramConfig(), tr)
+	b, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}

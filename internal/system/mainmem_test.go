@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/mainmem"
@@ -19,7 +20,7 @@ func TestCustomMainMemoryIntegration(t *testing.T) {
 		}
 		cfg := Gainestown(reference.SRAMBaseline())
 		cfg.Memory = mem
-		r, err := Run(cfg, tr)
+		r, err := Run(context.Background(), cfg, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func TestMainMemoryTechTradeoffLLCFiltered(t *testing.T) {
 		}
 		cfg := Gainestown(reference.SRAMBaseline())
 		cfg.Memory = mem
-		r, err := Run(cfg, tr)
+		r, err := Run(context.Background(), cfg, tr)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -247,8 +248,16 @@ type simulator struct {
 	hybrid    *hybridLLC
 }
 
-// Run simulates the trace on the configured machine.
-func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+// Run simulates the trace on the configured machine. The context is
+// checked periodically inside the simulation loop, so cancelling it
+// aborts even a multi-million-access run in bounded time with ctx.Err().
+func Run(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,7 +271,9 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim.run()
+	if err := sim.run(ctx); err != nil {
+		return nil, err
+	}
 	return sim.result(tr), nil
 }
 
@@ -355,10 +366,16 @@ func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
 	return sim, nil
 }
 
+// cancelCheckInterval is how many accesses the simulation loop executes
+// between context checks: frequent enough that cancellation lands within
+// microseconds, rare enough to stay invisible in the hot loop.
+const cancelCheckInterval = 4096
+
 // run interleaves the per-core access streams in core-local time order:
 // each step advances the core with the earliest local clock, which keeps
 // shared-resource (LLC, DRAM) interactions approximately causal.
-func (s *simulator) run() {
+func (s *simulator) run(ctx context.Context) error {
+	steps := 0
 	for {
 		var next *coreState
 		for _, cs := range s.cores {
@@ -373,6 +390,12 @@ func (s *simulator) run() {
 			break
 		}
 		s.step(next)
+		if steps++; steps >= cancelCheckInterval {
+			steps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	// Retire any instruction remainder so totals match the trace.
 	for _, cs := range s.cores {
@@ -382,6 +405,7 @@ func (s *simulator) run() {
 			cs.instrRetired += rem
 		}
 	}
+	return nil
 }
 
 // step executes one access on the given core.

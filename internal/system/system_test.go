@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -34,7 +35,7 @@ func sramConfig() Config {
 
 func TestRunSmallTrace(t *testing.T) {
 	tr := streamTrace("small", 100, 10000, 5, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,23 +57,23 @@ func TestValidationErrors(t *testing.T) {
 	tr := streamTrace("v", 10, 100, 0, 1)
 	cfg := sramConfig()
 	cfg.Cores = 0
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("accepted zero cores")
 	}
 	cfg = sramConfig()
 	cfg.LLCBanks = 0
-	if _, err := Run(cfg, tr); err == nil {
+	if _, err := Run(context.Background(), cfg, tr); err == nil {
 		t.Error("accepted zero banks")
 	}
 	// More threads than cores.
 	tr8 := streamTrace("v8", 10, 100, 0, 8)
 	cfg = sramConfig() // 4 cores
-	if _, err := Run(cfg, tr8); err == nil {
+	if _, err := Run(context.Background(), cfg, tr8); err == nil {
 		t.Error("accepted 8 threads on 4 cores")
 	}
 	// Invalid trace.
 	bad := &trace.Trace{Name: "", Threads: 1}
-	if _, err := Run(sramConfig(), bad); err == nil {
+	if _, err := Run(context.Background(), sramConfig(), bad); err == nil {
 		t.Error("accepted invalid trace")
 	}
 }
@@ -81,7 +82,7 @@ func TestCacheFittingWorkloadHitsLLCRarely(t *testing.T) {
 	// 100 lines fit in L1 (512 lines): after warmup everything hits L1,
 	// so the LLC sees only cold traffic.
 	tr := streamTrace("fits-l1", 100, 50000, 0, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestLLCCapacityEffect(t *testing.T) {
 	lines := (8 << 20) / 64
 	tr := streamTrace("ws8mb", lines, 4*lines, 0, 1)
 
-	small, err := Run(Gainestown(reference.SRAMBaseline()), tr)
+	small, err := Run(context.Background(), Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestLLCCapacityEffect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Run(Gainestown(hay), tr)
+	big, err := Run(context.Background(), Gainestown(hay), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestWritesOffCriticalPath(t *testing.T) {
 	lines := (4 << 20) / 64
 	tr := streamTrace("writeheavy", lines, 2*lines, 2, 1)
 
-	sram, err := Run(Gainestown(reference.SRAMBaseline()), tr)
+	sram, err := Run(context.Background(), Gainestown(reference.SRAMBaseline()), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestWritesOffCriticalPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kr, err := Run(Gainestown(kang), tr)
+	kr, err := Run(context.Background(), Gainestown(kang), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,13 +157,13 @@ func TestWriteContentionAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Run(Gainestown(kang), tr)
+	off, err := Run(context.Background(), Gainestown(kang), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := Gainestown(kang)
 	cfg.ModelWriteContention = true
-	on, err := Run(cfg, tr)
+	on, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestWriteContentionAblation(t *testing.T) {
 
 func TestLeakageDominatesForSRAMOnLongRuns(t *testing.T) {
 	tr := streamTrace("leak", 1000, 100000, 0, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestLeakageDominatesForSRAMOnLongRuns(t *testing.T) {
 func TestEnergyAccountingAdditive(t *testing.T) {
 	tr := streamTrace("energy", 100000, 200000, 3, 1)
 	kang, _ := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
-	r, err := Run(Gainestown(kang), tr)
+	r, err := Run(context.Background(), Gainestown(kang), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +228,11 @@ func TestMultiThreadedSharesLLC(t *testing.T) {
 		tr.InstrCount = uint64(len(tr.Accesses)) * 4
 		return tr
 	}
-	one, err := Run(sramConfig(), mk(1))
+	one, err := Run(context.Background(), sramConfig(), mk(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := Run(sramConfig(), mk(4))
+	four, err := Run(context.Background(), sramConfig(), mk(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,11 +256,11 @@ func TestMultiCoreSpeedsUpParallelWork(t *testing.T) {
 		tr.InstrCount = uint64(len(tr.Accesses)) * 4
 		return tr
 	}
-	one, err := Run(sramConfig(), mk(1))
+	one, err := Run(context.Background(), sramConfig(), mk(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := Run(sramConfig(), mk(4))
+	four, err := Run(context.Background(), sramConfig(), mk(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestLLCWriteCountsFillsAndWritebacks(t *testing.T) {
 	// (write); no writebacks since nothing is dirty.
 	lines := (4 << 20) / 64
 	tr := streamTrace("fills", lines, lines, 0, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestLLCWriteCountsFillsAndWritebacks(t *testing.T) {
 	}
 	// With stores, writebacks add to the count.
 	trw := streamTrace("fills+wb", lines, 4*lines, 2, 1)
-	rw, err := Run(sramConfig(), trw)
+	rw, err := Run(context.Background(), sramConfig(), trw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestLLCWriteCountsFillsAndWritebacks(t *testing.T) {
 func TestMPKIReported(t *testing.T) {
 	lines := (8 << 20) / 64
 	tr := streamTrace("mpki", lines, lines, 0, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestIfetchGoesThroughL1I(t *testing.T) {
 		tr.Accesses = append(tr.Accesses, trace.Access{Addr: uint64(i%64) * 64, Kind: trace.Ifetch})
 	}
 	tr.InstrCount = uint64(len(tr.Accesses))
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,11 +326,11 @@ func TestIfetchGoesThroughL1I(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	tr := streamTrace("det", 5000, 50000, 7, 2)
-	a, err := Run(sramConfig(), tr)
+	a, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sramConfig(), tr)
+	b, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}

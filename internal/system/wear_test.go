@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"nvmllc/internal/reference"
@@ -9,7 +10,7 @@ import (
 
 func TestWearTrackingDisabledByDefault(t *testing.T) {
 	tr := streamTrace("nowear", 10000, 50000, 3, 1)
-	r, err := Run(sramConfig(), tr)
+	r, err := Run(context.Background(), sramConfig(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestWearTrackingCountsAllLLCWrites(t *testing.T) {
 	tr := streamTrace("wear", 100000, 200000, 2, 1)
 	cfg := sramConfig()
 	cfg.TrackWear = true
-	r, err := Run(cfg, tr)
+	r, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestWearHotLineDominates(t *testing.T) {
 	tr.InstrCount = uint64(len(tr.Accesses)) * 3
 	cfg := Gainestown(reference.SRAMBaseline())
 	cfg.TrackWear = true
-	r, err := Run(cfg, tr)
+	r, err := Run(context.Background(), cfg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
