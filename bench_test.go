@@ -27,6 +27,7 @@ import (
 	"nvmllc/internal/reference"
 	"nvmllc/internal/sweep"
 	"nvmllc/internal/system"
+	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
@@ -207,6 +208,41 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(tr.Accesses)))
+}
+
+// BenchmarkTelemetryOverhead quantifies the cost of full instrumentation
+// on the simulator hot path: the same run with no registry (nil-safe
+// no-op instruments) vs a live registry collecting the DRAM wait
+// histogram and end-of-run publication. The acceptance bound for this
+// design is < 5% slowdown instrumented vs no-op.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	p, err := workload.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("noop", func(b *testing.B) {
+		cfg := system.Gainestown(reference.SRAMBaseline())
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(context.Background(), cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(tr.Accesses)))
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		cfg := system.Gainestown(reference.SRAMBaseline())
+		cfg.Telemetry = telemetry.New()
+		for i := 0; i < b.N; i++ {
+			if _, err := system.Run(context.Background(), cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(tr.Accesses)))
+	})
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {

@@ -36,10 +36,19 @@ func main() {
 	std := cliutil.StandardFlags(nil, 1_000_000)
 	flag.Parse()
 
-	cliutil.Main("characterize", func(ctx context.Context) error {
+	cliutil.Main("characterize", func(ctx context.Context) (err error) {
 		ctx, cancel := std.WithTimeout(ctx)
 		defer cancel()
-		return run(ctx, *wl, *file, *save, std.Accesses, *threads, std.Seed, *skipBits, *format, *window)
+		obs, err := std.StartObservability("characterize")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := obs.Close(err); err == nil {
+				err = cerr
+			}
+		}()
+		return run(obs.Context(ctx), *wl, *file, *save, std.Accesses, *threads, std.Seed, *skipBits, *format, *window)
 	})
 }
 

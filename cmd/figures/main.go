@@ -16,6 +16,11 @@
 //	figures -coresweep -accesses 800000
 //	figures -fig1a -contention      (write-contention ablation)
 //	figures -all -timeout 5m -parallelism 4
+//	figures -manifest run.jsonl -debug-addr localhost:0
+//
+// With no artifact flag, Table V is regenerated. -manifest writes a
+// JSONL run manifest (one design_point event per answered design point)
+// and -debug-addr serves live /metrics, expvar and pprof.
 package main
 
 import (
@@ -51,19 +56,34 @@ func main() {
 		progress  = flag.Duration("progress", 2*time.Second, "engine progress reporting interval on stderr (0 disables)")
 	)
 	std := cliutil.StandardFlags(nil, 600_000)
+	std.ManifestFlag(nil)
 	flag.Parse()
 
-	cliutil.Main("figures", func(ctx context.Context) error {
+	cliutil.Main("figures", func(ctx context.Context) (err error) {
 		ctx, cancel := std.WithTimeout(ctx)
 		defer cancel()
 
+		// The observability surface: metrics registry + root span always,
+		// JSONL manifest with -manifest, live endpoint with -debug-addr.
+		obs, err := std.StartObservability("figures")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := obs.Close(err); err == nil {
+				err = cerr
+			}
+		}()
+		ctx = obs.Context(ctx)
+
 		// One engine across every requested artifact: design points shared
 		// between figures simulate once, and SIGINT reports partial stats.
-		eng := std.Engine()
+		eng := std.Engine(obs.EngineOptions()...)
 		cfg := sweep.Config{
 			Opts:            workload.Options{Accesses: std.Accesses, Seed: std.Seed},
 			WriteContention: *contend,
 			Engine:          eng,
+			Telemetry:       obs.Registry,
 		}
 		stopProgress := cliutil.StartProgress(eng, *progress)
 		defer stopProgress()
@@ -87,10 +107,21 @@ func main() {
 		}
 		ran := false
 		for _, j := range jobs {
+			if j.enabled {
+				ran = true
+			}
+		}
+		if !ran {
+			// No artifact selected: default to Table V, the lightest
+			// full-workload-grid artifact, so bare invocations (e.g. smoke
+			// runs with -manifest) still produce design points.
+			fmt.Fprintln(os.Stderr, "figures: no artifact selected, defaulting to -table5 (see -help)")
+			jobs[0].enabled = true
+		}
+		for _, j := range jobs {
 			if !j.enabled {
 				continue
 			}
-			ran = true
 			if err := j.run(ctx); err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					stopProgress()
@@ -99,10 +130,6 @@ func main() {
 				return err
 			}
 			fmt.Println()
-		}
-		if !ran {
-			flag.Usage()
-			os.Exit(2)
 		}
 		stopProgress()
 		fmt.Fprintf(os.Stderr, "figures: %s\n", eng.Stats())

@@ -17,6 +17,7 @@ import (
 
 	"nvmllc/internal/cliutil"
 	"nvmllc/internal/endurance"
+	"nvmllc/internal/engine"
 	"nvmllc/internal/mainmem"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
@@ -35,16 +36,26 @@ func main() {
 	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
 	hybridWays := flag.Int("hybridsram", 0, "make the LLC a hybrid with this many SRAM ways (rest NVM from -llc)")
 	std := cliutil.StandardFlags(nil, 1_000_000)
+	std.ManifestFlag(nil)
 	flag.Parse()
 
-	cliutil.Main("llcsim", func(ctx context.Context) error {
+	cliutil.Main("llcsim", func(ctx context.Context) (err error) {
 		ctx, cancel := std.WithTimeout(ctx)
 		defer cancel()
-		return run(ctx, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *mainMemTech, *hybridWays)
+		obs, err := std.StartObservability("llcsim")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := obs.Close(err); err == nil {
+				err = cerr
+			}
+		}()
+		return run(obs.Context(ctx), obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *mainMemTech, *hybridWays)
 	})
 }
 
-func run(ctx context.Context, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
+func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
 	models := reference.FixedCapacityModels()
 	if config == "area" {
 		models = reference.FixedAreaModels()
@@ -88,7 +99,16 @@ func run(ctx context.Context, wl, llc, config string, accesses, threads, cores i
 		}
 		cfg.Memory = nvMainMem
 	}
-	r, err := system.Run(ctx, cfg, tr)
+	// Run through the engine (rather than system.Run directly) so the
+	// design point gets the full telemetry treatment: a simulate span, job
+	// metrics, system-level counters and a manifest design_point event.
+	genOpts := workload.Options{Accesses: accesses, Threads: threads, Seed: seed}
+	r, err := engine.New(obs.EngineOptions()...).Run(ctx, engine.Job{
+		Workload:  wl,
+		TraceOpts: genOpts,
+		Config:    cfg,
+		Trace:     tr,
+	})
 	if err != nil {
 		return err
 	}
@@ -102,8 +122,9 @@ func run(ctx context.Context, wl, llc, config string, accesses, threads, cores i
 	t.AddRowf("LLC misses", r.LLC.Misses)
 	t.AddRowf("LLC writes (fills+wb)", r.LLC.Writes)
 	t.AddRowf("LLC MPKI", r.LLCMPKI())
-	t.AddRowf("L1D miss rate", r.L1D.MissRate())
-	t.AddRowf("L2 miss rate", r.L2.MissRate())
+	t.AddRowf("L1I", r.L1I.String())
+	t.AddRowf("L1D", r.L1D.String())
+	t.AddRowf("L2", r.L2.String())
 	t.AddRowf("DRAM reads", r.DRAM.Reads)
 	t.AddRowf("DRAM writes", r.DRAM.Writes)
 	t.AddRowf("LLC dynamic energy [mJ]", r.LLCDynamicJ*1e3)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"nvmllc/internal/cliutil"
 )
 
 func TestRunBasic(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
 	})
 	for _, want := range []string{"tonto on Jan_S", "LLC MPKI", "ED2P"} {
 		if !strings.Contains(out, want) {
@@ -22,7 +24,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunWithWear(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
 	})
 	for _, want := range []string{"Write wear", "raw lifetime"} {
 		if !strings.Contains(out, want) {
@@ -33,21 +35,21 @@ func TestRunWithWear(t *testing.T) {
 
 func TestRunWithNVMMainMemory(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
+		return run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
 	})
 	for _, want := range []string{"main memory tech", "PCRAM", "row hit rate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("main-memory output missing %q", want)
 		}
 	}
-	if err := run(context.Background(), "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
 		t.Error("unknown main memory tech accepted")
 	}
 }
 
 func TestRunHybrid(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
+		return run(context.Background(), &cliutil.Observability{}, "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
 	})
 	for _, want := range []string{"hybrid(SRAM+Kang_P)", "migrations"} {
 		if !strings.Contains(out, want) {
@@ -57,13 +59,13 @@ func TestRunHybrid(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(context.Background(), "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown LLC accepted")
 	}
-	if err := run(context.Background(), "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
 		t.Error("unknown config accepted")
 	}
 }

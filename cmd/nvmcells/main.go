@@ -18,15 +18,25 @@ import (
 	"nvmllc/internal/cliutil"
 	"nvmllc/internal/nvm"
 	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/telemetry"
 )
 
 func main() {
 	derive := flag.String("derive", "", "cell name to strip and re-derive with the modeling heuristics")
 	export := flag.String("export", "", "write the released cell models to this JSON file")
 	load := flag.String("load", "", "print Table II from a previously exported JSON file instead of the built-in corpus")
+	debugAddr := cliutil.DebugAddrFlag(nil)
 	flag.Parse()
 
 	cliutil.Main("nvmcells", func(ctx context.Context) error {
+		if *debugAddr != "" {
+			srv, err := cliutil.StartDebugServer(*debugAddr, telemetry.New())
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "nvmcells: debug server on http://%s/\n", srv.Addr())
+		}
 		switch {
 		case *derive != "":
 			return runDerive(*derive)

@@ -31,6 +31,21 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(a)
 }
 
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(a)
+}
+
+// String renders a one-line summary (mirroring engine.Stats.String).
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d fills, %d writebacks",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Fills, s.Writebacks)
+}
+
 // Add accumulates another stats block.
 func (s *Stats) Add(o Stats) {
 	s.Hits += o.Hits

@@ -50,6 +50,12 @@ type Flags struct {
 	Parallelism int
 	// Timeout aborts the whole run when positive.
 	Timeout time.Duration
+	// DebugAddr serves the live /metrics, expvar and pprof endpoint when
+	// non-empty.
+	DebugAddr string
+	// Manifest is the JSONL run-manifest path; registered only by
+	// ManifestFlag (the tools that emit per-design-point manifests).
+	Manifest string
 }
 
 // StandardFlags registers the shared simulation flags on fs
@@ -64,7 +70,19 @@ func StandardFlags(fs *flag.FlagSet, defaultAccesses int) *Flags {
 	fs.Int64Var(&f.Seed, "seed", 1, "trace generation seed")
 	fs.IntVar(&f.Parallelism, "parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060; empty disables)")
 	return f
+}
+
+// ManifestFlag additionally registers -manifest on fs (flag.CommandLine
+// when nil), for the tools that write JSONL run manifests.
+func (f *Flags) ManifestFlag(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Manifest, "manifest", "",
+		"write a JSONL run manifest (one design_point event per answered design point) to this path")
 }
 
 // Options builds trace-generation options from the flags.
@@ -92,26 +110,45 @@ func (f *Flags) Engine(opts ...engine.Option) *engine.Engine {
 
 // StartProgress prints the engine's counters to stderr every interval
 // until the returned stop func is called (idempotent). A non-positive
-// interval disables reporting.
+// interval disables reporting. Ticks on which the counters did not move
+// print nothing, and stop flushes a final snapshot when there is unseen
+// progress — so a run shorter than the interval still reports exactly
+// once, and an idle engine does not spam identical lines.
 func StartProgress(eng *engine.Engine, every time.Duration) (stop func()) {
 	if every <= 0 {
 		return func() {}
 	}
 	done := make(chan struct{})
+	finished := make(chan struct{})
 	go func() {
+		defer close(finished)
 		t := time.NewTicker(every)
 		defer t.Stop()
+		var last engine.Stats
+		printed := false
+		report := func() {
+			s := eng.Stats()
+			if printed && s == last {
+				return
+			}
+			last, printed = s, true
+			fmt.Fprintf(os.Stderr, "progress: %s\n", s)
+		}
 		for {
 			select {
 			case <-done:
+				report()
 				return
 			case <-t.C:
-				fmt.Fprintf(os.Stderr, "progress: %s\n", eng.Stats())
+				report()
 			}
 		}
 	}()
 	var once sync.Once
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
 }
 
 // Renderer is anything that can print itself — tablefmt tables and

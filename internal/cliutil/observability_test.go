@@ -1,0 +1,208 @@
+package cliutil
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/dram"
+	"nvmllc/internal/engine"
+	"nvmllc/internal/system"
+	"nvmllc/internal/telemetry"
+)
+
+func TestDebugHandlerMetricsParses(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("test_jobs_total", "outcome", "ok").Add(3)
+	reg.Gauge("test_temperature").Set(21.5)
+	h := reg.Histogram("test_latency_ns")
+	for _, v := range []float64{1, 10, 100, 1000} {
+		h.Observe(v)
+	}
+
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if err := telemetry.ValidateExposition(resp.Body); err != nil {
+		t.Errorf("/metrics is not valid Prometheus text format: %v", err)
+	}
+}
+
+func TestDebugHandlerJSONAndExpvar(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("test_json_total").Add(7)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics.json", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if path != "/debug/pprof/" {
+			var v map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Errorf("%s is not JSON: %v", path, err)
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestStartDebugServerPortZero(t *testing.T) {
+	srv, err := StartDebugServer("localhost:0", telemetry.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(srv.Addr(), ":") || strings.HasSuffix(srv.Addr(), ":0") {
+		t.Errorf("Addr() = %q, want a resolved port", srv.Addr())
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestObservabilityManifestLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f := &Flags{Manifest: path}
+	o, err := f.StartObservability("testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := &system.Result{
+		Workload:     "cg",
+		LLCName:      "SRAM",
+		Cores:        4,
+		TimeNS:       1e6,
+		Instructions: 1000,
+		LLC:          system.LLCStats{Hits: 80, Misses: 20, Writes: 30},
+		L1D:          cache.Stats{Hits: 900, Misses: 100, Fills: 100, Writebacks: 10},
+		DRAM:         dram.Stats{Reads: 20, Writes: 5, TotalWaitNS: 125},
+	}
+	ev := o.ResultEvent(engine.Event{Workload: "cg", LLC: "SRAM", Key: "k", Result: res, WallNS: 42})
+	if err := o.Manifest.Write(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.ManifestEvent
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		var e telemetry.ManifestEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("manifest line is not JSON: %v (%q)", err, sc.Text())
+		}
+		events = append(events, e)
+	}
+	if len(events) != 3 {
+		t.Fatalf("manifest has %d events, want run_start + design_point + run_end", len(events))
+	}
+	if events[0].Event != "run_start" || events[0].Tool != "testtool" || events[0].Version == "" {
+		t.Errorf("run_start = %+v", events[0])
+	}
+	dp := events[1]
+	if dp.Event != "design_point" || dp.Workload != "cg" || dp.LLC != "SRAM" || dp.Key != "k" {
+		t.Errorf("design_point identity = %+v", dp)
+	}
+	if dp.Levels["L1D"].HitRate != 0.9 || dp.Levels["LLC"].HitRate != 0.8 {
+		t.Errorf("design_point levels = %+v", dp.Levels)
+	}
+	if dp.DRAM == nil || dp.DRAM.Reads != 20 || dp.DRAM.AvgWaitNS != 5 {
+		t.Errorf("design_point dram = %+v", dp.DRAM)
+	}
+	if events[2].Event != "run_end" || events[2].Error != "boom" || events[2].Jobs != 1 {
+		t.Errorf("run_end = %+v", events[2])
+	}
+}
+
+func TestObservabilityEngineOptionsWriteManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f := &Flags{Manifest: path}
+	o, err := f.StartObservability("testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(o.EngineOptions()...)
+	// A failing job still produces a design_point event with the error.
+	_, runErr := eng.Run(o.Context(context.Background()), engine.Job{Workload: "x", NoCache: true})
+	if runErr == nil {
+		t.Fatal("expected a failure from the empty job")
+	}
+	if got := o.Manifest.Events(); got != 1 {
+		t.Errorf("Events() = %d, want 1", got)
+	}
+	if err := o.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The engine's simulate span landed in the run's registry.
+	spans := o.Registry.Spans()
+	found := false
+	for _, s := range spans {
+		if s.Name == "simulate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registry spans = %+v, want a simulate span", spans)
+	}
+}
+
+func TestManifestFlagAndDebugAddrFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := StandardFlags(fs, 1)
+	f.ManifestFlag(fs)
+	if err := fs.Parse([]string{"-manifest", "/tmp/m.jsonl", "-debug-addr", "localhost:1234"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Manifest != "/tmp/m.jsonl" || f.DebugAddr != "localhost:1234" {
+		t.Errorf("flags = %+v", f)
+	}
+
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	addr := DebugAddrFlag(fs2)
+	if err := fs2.Parse([]string{"-debug-addr", "localhost:9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != "localhost:9" {
+		t.Errorf("DebugAddrFlag = %q", *addr)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Error("Version() is empty")
+	}
+}

@@ -40,6 +40,7 @@ type Memory struct {
 	serviceNS   float64
 	busyUntilNS []float64
 	stats       Stats
+	onWait      func(waitNS float64)
 }
 
 // New builds a memory model.
@@ -90,9 +91,19 @@ func (m *Memory) transfer(nowNS float64, lineAddr uint64) float64 {
 		start = b
 	}
 	m.stats.TotalWaitNS += start - nowNS
+	if m.onWait != nil {
+		m.onWait(start - nowNS)
+	}
 	m.busyUntilNS[c] = start + m.serviceNS
 	return start + m.cfg.LatencyNS
 }
+
+// SetWaitHook installs a per-request observer of queueing delay (the
+// time a transfer waited for its controller, excluding the fixed access
+// latency). The system simulator feeds it a telemetry histogram so run
+// manifests can report queue-latency quantiles. A nil hook disables
+// observation (the default).
+func (m *Memory) SetWaitHook(fn func(waitNS float64)) { m.onWait = fn }
 
 // Stats returns the accumulated counters.
 func (m *Memory) Stats() Stats { return m.stats }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"nvmllc/internal/system"
+	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
@@ -89,10 +90,16 @@ func (s Stats) String() string {
 type Event struct {
 	// Workload and LLC identify the design point.
 	Workload, LLC string
+	// Key is the design point's deterministic cache key ("" when the job
+	// is uncacheable).
+	Key string
 	// Cached marks a cache hit (WallNS is then zero).
 	Cached bool
 	// Err is the job's failure, nil on success.
 	Err error
+	// Result is the design point's outcome (nil on failure). Manifest
+	// writers read per-level statistics from it; treat it as immutable.
+	Result *system.Result
 	// WallNS is the wall-clock time the simulation took.
 	WallNS int64
 	// Stats is the engine snapshot after this job.
@@ -118,6 +125,15 @@ func WithProgress(fn func(Event)) Option {
 	return func(e *Engine) { e.progress = fn }
 }
 
+// WithTelemetry publishes engine activity into the registry: job
+// counters (engine_jobs_total by outcome), per-job wall-time and
+// LLC-hit-count histograms, and one span per simulated design point
+// (named "simulate", tagged with workload and llc, parented to the span
+// carried by the job's context, e.g. a sweep's figure span).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Engine) { e.reg = reg }
+}
+
 // entry is one cache slot; done closes when the computing goroutine
 // finishes, so concurrent requests for the same key wait instead of
 // duplicating the simulation.
@@ -133,6 +149,7 @@ type Engine struct {
 	parallelism int
 	cacheOff    bool
 	progress    func(Event)
+	reg         *telemetry.Registry
 
 	mu      sync.Mutex
 	results map[string]*entry
@@ -200,14 +217,15 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 			return nil, ent.err
 		}
 		e.cached.Add(1)
-		e.emit(j, true, nil, 0)
+		e.reg.Counter("engine_jobs_total", "outcome", "cached").Inc()
+		e.emit(j, key, ent.res, true, nil, 0)
 		return ent.res, nil
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.results[key] = ent
 	e.mu.Unlock()
 
-	ent.res, ent.err = e.simulate(ctx, j)
+	ent.res, ent.err = e.simulateKeyed(ctx, j, key)
 	if ent.err != nil {
 		// Do not cache failures (typically cancellations): the next run
 		// must be able to retry.
@@ -221,29 +239,50 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 
 // simulate executes the job and updates counters.
 func (e *Engine) simulate(ctx context.Context, j Job) (*system.Result, error) {
+	return e.simulateKeyed(ctx, j, "")
+}
+
+func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.Result, error) {
+	if e.reg != nil && j.Config.Telemetry == nil {
+		// Job is a value, so this stays local: every simulation run by an
+		// instrumented engine publishes system-level metrics too. The cache
+		// key already excludes Telemetry, so identity is unchanged.
+		j.Config.Telemetry = e.reg
+	}
+	span := e.reg.StartSpan("simulate", telemetry.SpanFromContext(ctx))
+	span.SetAttr("workload", j.Workload)
+	span.SetAttr("llc", j.LLCName())
 	start := time.Now()
 	res, err := system.Run(ctx, j.Config, j.Trace)
 	wall := time.Since(start).Nanoseconds()
 	e.simWallNS.Add(wall)
+	e.reg.Histogram("engine_job_wall_ns").Observe(float64(wall))
 	if err != nil {
 		e.failed.Add(1)
+		e.reg.Counter("engine_jobs_total", "outcome", "failed").Inc()
+		span.SetAttr("error", err.Error())
 	} else {
 		e.simulated.Add(1)
 		e.accesses.Add(uint64(len(j.Trace.Accesses)))
+		e.reg.Counter("engine_jobs_total", "outcome", "simulated").Inc()
+		e.reg.Histogram("engine_job_llc_hits").Observe(float64(res.LLC.Hits))
 	}
-	e.emit(j, false, err, wall)
+	span.End()
+	e.emit(j, key, res, false, err, wall)
 	return res, err
 }
 
-func (e *Engine) emit(j Job, cachedHit bool, err error, wallNS int64) {
+func (e *Engine) emit(j Job, key string, res *system.Result, cachedHit bool, err error, wallNS int64) {
 	if e.progress == nil {
 		return
 	}
 	e.progress(Event{
 		Workload: j.Workload,
 		LLC:      j.LLCName(),
+		Key:      key,
 		Cached:   cachedHit,
 		Err:      err,
+		Result:   res,
 		WallNS:   wallNS,
 		Stats:    e.Stats(),
 	})

@@ -29,7 +29,8 @@ func Key(j Job) (string, bool) {
 	fmt.Fprintf(h, "workload=%s\nopts=%+v\n", j.Workload, j.TraceOpts)
 	cfg := j.Config
 	hybrid := cfg.Hybrid
-	cfg.Hybrid = nil // pointer field: hash the pointee, not the address
+	cfg.Hybrid = nil    // pointer field: hash the pointee, not the address
+	cfg.Telemetry = nil // observation only: never part of the result identity
 	fmt.Fprintf(h, "config=%+v\n", cfg)
 	if hybrid != nil {
 		fmt.Fprintf(h, "hybrid=%+v\n", *hybrid)

@@ -28,6 +28,8 @@ type AblationRow struct {
 // paper's configuration (LRU, writes off the critical path, no bypass,
 // pure NVM LLC).
 func AblationSuite(ctx context.Context, workloadName, llcName string, cfg Config) ([]AblationRow, error) {
+	ctx, span := cfg.startSpan(ctx, "ablation", "workload", workloadName, "llc", llcName)
+	defer span.End()
 	model, err := reference.ModelByName(reference.FixedCapacityModels(), llcName)
 	if err != nil {
 		return nil, err

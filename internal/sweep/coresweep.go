@@ -34,6 +34,8 @@ var DefaultCoreCounts = []int{1, 2, 4, 8, 16, 32}
 // CoreSweep runs the Section V-C study: one multi-threaded workload across
 // core counts for every fixed-area LLC model, normalized to 1-core SRAM.
 func CoreSweep(ctx context.Context, name string, cores []int, cfg Config) (*CoreSweepResult, error) {
+	ctx, span := cfg.startSpan(ctx, "core_sweep", "workload", name)
+	defer span.End()
 	p, err := workload.ByName(name)
 	if err != nil {
 		return nil, err

@@ -33,6 +33,8 @@ type LifetimeStudy struct {
 
 // Lifetime runs the study.
 func Lifetime(ctx context.Context, cfg Config, llcs []string) (*LifetimeStudy, error) {
+	ctx, span := cfg.startSpan(ctx, "lifetime")
+	defer span.End()
 	if len(llcs) == 0 {
 		llcs = []string{"Kang_P", "Chung_S", "Zhang_R"}
 	}

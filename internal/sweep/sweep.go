@@ -21,6 +21,7 @@ import (
 	"nvmllc/internal/nvsim"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
+	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	// when Engine is set; install the callback on the shared engine
 	// instead).
 	Progress func(engine.Event)
+	// Telemetry optionally receives sweep-level spans (one per figure,
+	// table or study, tagged with its identity) and, via the engine,
+	// per-design-point metrics. When Engine is set the shared engine's
+	// own registry instruments the simulations; this field still drives
+	// the sweep spans.
+	Telemetry *telemetry.Registry
 }
 
 // engineOrNew returns the configured shared engine, or builds a private
@@ -65,7 +72,23 @@ func (c Config) engineOrNew() *engine.Engine {
 	if c.Progress != nil {
 		opts = append(opts, engine.WithProgress(c.Progress))
 	}
+	if c.Telemetry != nil {
+		opts = append(opts, engine.WithTelemetry(c.Telemetry))
+	}
 	return engine.New(opts...)
+}
+
+// startSpan opens a sweep-level span and threads it through the returned
+// context, so the engine's per-design-point "simulate" spans parent to
+// it. attrs are alternating key/value pairs tagging the span's identity
+// (figure title, workload, LLC). Nil-safe: with no Telemetry configured
+// everything degrades to no-ops.
+func (c Config) startSpan(ctx context.Context, name string, attrs ...string) (context.Context, *telemetry.Span) {
+	span := c.Telemetry.StartSpan(name, telemetry.SpanFromContext(ctx))
+	for i := 0; i+1 < len(attrs); i += 2 {
+		span.SetAttr(attrs[i], attrs[i+1])
+	}
+	return telemetry.ContextWithSpan(ctx, span), span
 }
 
 // ErrNoCell reports a Cell lookup for a workload/LLC pair the figure does
@@ -140,6 +163,8 @@ func (f *FigureResult) Cell(workloadName, llc string) (speedup, energy, ed2p flo
 // completed raw results — together with every job error joined via
 // errors.Join, so callers can render what finished.
 func RunFigure(ctx context.Context, title string, models []nvsim.LLCModel, names []string, cfg Config) (*FigureResult, error) {
+	ctx, span := cfg.startSpan(ctx, "figure", "title", title)
+	defer span.End()
 	var sramIdx = -1
 	for i, m := range models {
 		if m.Name == "SRAM" {

@@ -22,6 +22,8 @@ type TableVRow struct {
 // TableV simulates every Table V workload on the baseline SRAM system and
 // reports its LLC MPKI alongside the paper's measurement.
 func TableV(ctx context.Context, cfg Config) ([]TableVRow, error) {
+	ctx, span := cfg.startSpan(ctx, "table_v")
+	defer span.End()
 	eng := cfg.engineOrNew()
 	rows := make([]TableVRow, 0, len(reference.Workloads()))
 	for _, w := range reference.Workloads() {
@@ -64,6 +66,8 @@ type TableVIRow struct {
 // TableVI characterizes the 16 PRISM-compatible workloads with the prism
 // profiler and pairs each with the paper's published features.
 func TableVI(ctx context.Context, cfg Config) ([]TableVIRow, error) {
+	_, span := cfg.startSpan(ctx, "table_vi")
+	defer span.End()
 	paper := reference.PaperFeatures()
 	rows := make([]TableVIRow, 0, 16)
 	for _, name := range workload.CharacterizedNames() {

@@ -21,6 +21,7 @@ import (
 	"nvmllc/internal/cpu"
 	"nvmllc/internal/dram"
 	"nvmllc/internal/nvsim"
+	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// technique [7]). When set, Config.LLC is ignored; TrackWear and
 	// LLCBypass are unsupported in hybrid mode.
 	Hybrid *HybridConfig
+	// Telemetry optionally receives the run's instrumentation: per-level
+	// cache hit/miss/writeback counters, per-bank LLC contention stalls
+	// and the DRAM queue-latency histogram are published into it when the
+	// simulation completes. Pure observation: it never alters simulation
+	// behavior and is excluded from the engine's result-cache key.
+	Telemetry *telemetry.Registry
 }
 
 // Gainestown returns the paper's simulated architecture (Table IV) around
@@ -156,6 +163,17 @@ type LLCStats struct {
 // Accesses is demand lookups (hits + misses).
 func (s LLCStats) Accesses() uint64 { return s.Hits + s.Misses }
 
+// WriteFraction is the share of LLC traffic that writes the array —
+// writes / (lookups + writes) — the quantity the paper's write-cost
+// analysis (Section V) turns on.
+func (s LLCStats) WriteFraction() float64 {
+	total := s.Accesses() + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(total)
+}
+
 // Result is the outcome of one simulation.
 type Result struct {
 	// Workload is the trace name; LLCName identifies the LLC model.
@@ -184,6 +202,10 @@ type Result struct {
 	Directory DirectoryStats
 	// Hybrid holds partition statistics when Config.Hybrid is set.
 	Hybrid *HybridStats
+	// DRAMWait is the per-request DRAM queue-latency distribution of this
+	// run (nil when Config.Memory replaces the default DRAM model). Run
+	// manifests report its quantile summary per design point.
+	DRAMWait *telemetry.HistogramSnapshot
 }
 
 // Seconds returns execution time in seconds.
@@ -246,6 +268,13 @@ type simulator struct {
 	bypass    *deadBlockPredictor
 	dir       *directory
 	hybrid    *hybridLLC
+	// dramWait collects per-request DRAM queueing delay (always on with
+	// the default memory model; its snapshot lands in Result.DRAMWait).
+	dramWait *telemetry.Histogram
+	// bankStallNS/bankStallEvents account per-bank time reads and writes
+	// spent queued behind busy LLC banks (write-contention mode only).
+	bankStallNS     []float64
+	bankStallEvents []uint64
 }
 
 // Run simulates the trace on the configured machine. The context is
@@ -318,13 +347,19 @@ func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
 	perThread := trace.SplitByThread(tr.Accesses, tr.Threads)
 	instrPerThread := tr.InstrCount / uint64(tr.Threads)
 	sim := &simulator{
-		cfg:       cfg,
-		blockBits: blockBits,
-		llc:       llc,
-		mem:       mem,
-		dramMem:   dramMem,
-		bankBusy:  make([]float64, cfg.LLCBanks),
-		hybrid:    hybrid,
+		cfg:             cfg,
+		blockBits:       blockBits,
+		llc:             llc,
+		mem:             mem,
+		dramMem:         dramMem,
+		bankBusy:        make([]float64, cfg.LLCBanks),
+		bankStallNS:     make([]float64, cfg.LLCBanks),
+		bankStallEvents: make([]uint64, cfg.LLCBanks),
+		hybrid:          hybrid,
+	}
+	if dramMem != nil {
+		sim.dramWait = telemetry.NewHistogram(telemetry.DefaultScale())
+		dramMem.SetWaitHook(sim.dramWait.Observe)
 	}
 	if cfg.TrackWear {
 		sim.wear = newWearTracker(llc.Sets(), cfg.LLCWays)
@@ -690,7 +725,12 @@ func (s *simulator) occupyBankForWrite(line uint64, now float64) {
 
 func (s *simulator) bankStart(line uint64, now float64) float64 {
 	b := line % uint64(len(s.bankBusy))
-	return math.Max(now, s.bankBusy[b])
+	start := math.Max(now, s.bankBusy[b])
+	if start > now {
+		s.bankStallNS[b] += start - now
+		s.bankStallEvents[b]++
+	}
+	return start
 }
 
 func (s *simulator) setBankBusy(line uint64, until float64) {
@@ -746,5 +786,10 @@ func (s *simulator) result(tr *trace.Trace) *Result {
 		ws := s.wear.Stats()
 		r.Wear = &ws
 	}
+	if s.dramWait != nil {
+		snap := s.dramWait.Snapshot()
+		r.DRAMWait = &snap
+	}
+	s.publishTelemetry(r)
 	return r
 }

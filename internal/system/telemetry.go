@@ -1,0 +1,58 @@
+package system
+
+import (
+	"strconv"
+
+	"nvmllc/internal/cache"
+)
+
+// publishTelemetry mirrors a completed run's measurements into the
+// configured registry: per-level cache hit/miss/writeback/fill
+// counters, LLC event counters, per-bank write-contention stalls and
+// the DRAM traffic and queue-latency histogram. Counters accumulate
+// across runs sharing a registry (one sweep = one registry), which is
+// what the /metrics endpoint scrapes mid-run. Called once per
+// simulation from result(), so it costs nothing on the hot path.
+func (s *simulator) publishTelemetry(r *Result) {
+	reg := s.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	for _, lv := range []struct {
+		name string
+		st   cache.Stats
+	}{{"L1I", r.L1I}, {"L1D", r.L1D}, {"L2", r.L2}} {
+		reg.Counter("system_cache_hits_total", "level", lv.name).Add(lv.st.Hits)
+		reg.Counter("system_cache_misses_total", "level", lv.name).Add(lv.st.Misses)
+		reg.Counter("system_cache_writebacks_total", "level", lv.name).Add(lv.st.Writebacks)
+		reg.Counter("system_cache_fills_total", "level", lv.name).Add(lv.st.Fills)
+	}
+	reg.Counter("system_llc_hits_total").Add(r.LLC.Hits)
+	reg.Counter("system_llc_misses_total").Add(r.LLC.Misses)
+	reg.Counter("system_llc_writes_total").Add(r.LLC.Writes)
+	reg.Counter("system_llc_bypassed_fills_total").Add(r.LLC.BypassedFills)
+	reg.Counter("system_llc_bypassed_writebacks_total").Add(r.LLC.BypassedWritebacks)
+
+	if s.cfg.ModelWriteContention {
+		for b := range s.bankStallNS {
+			bank := strconv.Itoa(b)
+			reg.Counter("system_llc_bank_stall_ns_total", "bank", bank).Add(uint64(s.bankStallNS[b]))
+			reg.Counter("system_llc_bank_stall_events_total", "bank", bank).Add(s.bankStallEvents[b])
+		}
+	}
+
+	if s.dramMem != nil {
+		ds := s.dramMem.Stats()
+		reg.Counter("system_dram_reads_total").Add(ds.Reads)
+		reg.Counter("system_dram_writes_total").Add(ds.Writes)
+		if r.DRAMWait != nil {
+			// Fold this run's private wait histogram into the shared one;
+			// layouts always match (both default scale), so the error path
+			// is unreachable and safe to drop.
+			_ = reg.Histogram("system_dram_wait_ns").Merge(*r.DRAMWait)
+		}
+	}
+
+	reg.Histogram("system_sim_time_ns").Observe(r.TimeNS)
+	reg.Histogram("system_mem_stall_ns").Observe(r.MemStallNS)
+}

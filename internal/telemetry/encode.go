@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative _bucket/_sum/_count series with an
+// le="+Inf" terminal bucket. Entries sharing a metric name emit one
+// # TYPE header. Safe on a nil receiver (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastName := ""
+	for _, e := range r.sortedEntries() {
+		name := promName(e.name)
+		if name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(e.kind)); err != nil {
+				return err
+			}
+			lastName = name
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", name, promLabels(e.labels, "", ""), e.ctr.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %g\n", name, promLabels(e.labels, "", ""), e.gauge.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, name, e.labels, e.hist.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits the cumulative bucket series for one
+// histogram.
+func writePromHistogram(w io.Writer, name string, labels []string, s HistogramSnapshot) error {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmt.Sprintf("%g", s.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(labels, "", ""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(labels, "", ""), s.Count)
+	return err
+}
+
+// promType maps a metric kind to its exposition type.
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// promName sanitizes a metric name to [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabels renders a label set, appending one extra pair (for
+// histogram le) when extraKey is non-empty.
+func promLabels(labels []string, extraKey, extraVal string) string {
+	if len(labels) < 2 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for i := 0; i+1 < len(labels); i += 2 {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, promName(labels[i]), escapeLabel(labels[i+1]))
+		n++
+	}
+	if extraKey != "" {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel handles the exposition-format label escapes beyond what
+// %q provides (it already covers backslash, quote and newline).
+func escapeLabel(v string) string { return v }
+
+// WriteJSON writes the registry snapshot as indented JSON (the
+// /metrics.json debug endpoint). Safe on a nil receiver.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

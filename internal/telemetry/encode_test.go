@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("engine_jobs_total", "kind", "simulated").Add(12)
+	r.Counter("engine_jobs_total", "kind", "cached").Add(3)
+	r.Gauge("parallelism").Set(8)
+	h := r.Histogram("job_wall_ns")
+	for _, v := range []float64{10, 1000, 1e6} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# TYPE engine_jobs_total counter",
+		`engine_jobs_total{kind="simulated"} 12`,
+		`engine_jobs_total{kind="cached"} 3`,
+		"# TYPE parallelism gauge",
+		"# TYPE job_wall_ns histogram",
+		`job_wall_ns_bucket{le="+Inf"} 3`,
+		"job_wall_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One # TYPE header per family, not per labeled series.
+	if got := strings.Count(out, "# TYPE engine_jobs_total"); got != 1 {
+		t.Errorf("TYPE header count = %d, want 1", got)
+	}
+}
+
+func TestPromNameSanitized(t *testing.T) {
+	r := New()
+	r.Counter("weird-name.total", "bad key", "v").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "weird_name_total") {
+		t.Errorf("name not sanitized:\n%s", buf.String())
+	}
+}
+
+func TestValidateExpositionCatchesGarbage(t *testing.T) {
+	bad := "garbage line without value\n"
+	if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+		t.Error("validator accepted garbage")
+	}
+	missingType := "orphan_metric 1\n"
+	if err := ValidateExposition(strings.NewReader(missingType)); err == nil {
+		t.Error("validator accepted sample without TYPE header")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(5)
+	r.Histogram("h").Observe(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON snapshot does not round-trip: %v", err)
+	}
+	if snap.Counters["a_total"] != 5 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("round-tripped snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestManifestWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewManifestWriter(&buf)
+	events := []ManifestEvent{
+		{Event: "run_start", Tool: "figures", Version: "test", UnixMS: 1},
+		{Event: "design_point", Workload: "cg", LLC: "Jan_S", TimeNS: 100,
+			Levels: map[string]ManifestLevel{"L1D": {Hits: 9, Misses: 1, HitRate: 0.9}},
+			DRAM:   &ManifestDRAM{Reads: 4, Writes: 2, WaitP50NS: 3}},
+		{Event: "run_end", Jobs: 1, UnixMS: 2},
+	}
+	for _, ev := range events {
+		if err := m.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Events(); got != 1 {
+		t.Errorf("Events() = %d, want 1 design point", got)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var decoded []ManifestEvent
+	for sc.Scan() {
+		var ev ManifestEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		decoded = append(decoded, ev)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("got %d lines, want 3", len(decoded))
+	}
+	dp := decoded[1]
+	if dp.Workload != "cg" || dp.Levels["L1D"].HitRate != 0.9 || dp.DRAM.WaitP50NS != 3 {
+		t.Errorf("design point did not round-trip: %+v", dp)
+	}
+}
+
+func TestManifestWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewManifestWriter(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Write(ManifestEvent{Event: "design_point", Workload: fmt.Sprintf("w%d", w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Events(); got != 400 {
+		t.Errorf("Events() = %d, want 400", got)
+	}
+	// Every line must be intact JSON (no interleaved writes).
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev ManifestEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
+	}
+}
+
+func TestManifestWriterStickyError(t *testing.T) {
+	m := NewManifestWriter(failWriter{})
+	if err := m.Write(ManifestEvent{Event: "run_start"}); err == nil {
+		t.Fatal("write to failing writer succeeded")
+	}
+	if err := m.Write(ManifestEvent{Event: "design_point"}); err == nil {
+		t.Fatal("sticky error not reported")
+	}
+	if m.Events() != 0 {
+		t.Errorf("failed writes counted: %d", m.Events())
+	}
+	if err := m.Close(); err == nil {
+		t.Error("Close did not surface the sticky error")
+	}
+}
+
+func TestManifestWriterNilSafe(t *testing.T) {
+	var m *ManifestWriter
+	if err := m.Write(ManifestEvent{Event: "x"}); err != nil {
+		t.Error(err)
+	}
+	if m.Events() != 0 {
+		t.Error("nil Events != 0")
+	}
+	if err := m.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }

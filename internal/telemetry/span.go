@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one in-flight traced operation. Spans are created with
+// Registry.StartSpan, annotated with SetAttr, and recorded into the
+// registry's bounded span log by End. All methods are safe on a nil
+// receiver, so code instrumented against a nil registry pays no cost.
+type Span struct {
+	reg    *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SpanRecord is one completed span as kept by the registry and encoded
+// in JSON snapshots.
+type SpanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+	// StartUnixNano is the wall-clock start; DurationNS the elapsed time.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	DurationNS    int64 `json:"duration_ns"`
+}
+
+// StartSpan begins a span, optionally linked to a parent. Safe on a nil
+// receiver (returns a nil, no-op span).
+func (r *Registry) StartSpan(name string, parent *Span) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{
+		reg:   r,
+		name:  name,
+		id:    r.spanSeq.Add(1),
+		start: time.Now(),
+	}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+// ID returns the span's registry-unique id (0 on a nil receiver).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name returns the span name ("" on a nil receiver).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a key/value attribute. Safe on a nil receiver and
+// after End (late attributes are dropped).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span: the record enters the registry's span log and
+// the span's duration feeds the span_duration_ns{span=name} histogram.
+// Subsequent End calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	dur := time.Since(s.start)
+	s.reg.recordSpan(SpanRecord{
+		ID:            s.id,
+		Parent:        s.parent,
+		Name:          s.name,
+		Attrs:         attrs,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNS:    dur.Nanoseconds(),
+	})
+	s.reg.Histogram("span_duration_ns", "span", s.name).Observe(float64(dur.Nanoseconds()))
+}
+
+// recordSpan appends to the bounded ring, evicting the oldest record
+// once spanRingCap is reached.
+func (r *Registry) recordSpan(rec SpanRecord) {
+	r.spansTotal.Add(1)
+	r.spanMu.Lock()
+	if len(r.spanRing) < spanRingCap {
+		r.spanRing = append(r.spanRing, rec)
+	} else {
+		r.spanRing[r.spanNext] = rec
+		r.spanNext = (r.spanNext + 1) % spanRingCap
+		r.spanFull = true
+	}
+	r.spanMu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first. Safe on a
+// nil receiver.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	if !r.spanFull {
+		return append([]SpanRecord(nil), r.spanRing...)
+	}
+	out := make([]SpanRecord, 0, len(r.spanRing))
+	out = append(out, r.spanRing[r.spanNext:]...)
+	out = append(out, r.spanRing[:r.spanNext]...)
+	return out
+}
+
+// spanCtxKey keys the active span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so callees can
+// parent their own spans to it (e.g. the engine's per-design-point
+// spans under a sweep's figure span).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestSpanParentAndAttrs(t *testing.T) {
+	r := New()
+	parent := r.StartSpan("figure", nil)
+	parent.SetAttr("title", "Figure 1a")
+	child := r.StartSpan("simulate", parent)
+	child.SetAttr("workload", "cg")
+	child.SetAttr("llc", "Jan_S")
+	child.End()
+	parent.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Child ended first, so it is oldest.
+	c, p := spans[0], spans[1]
+	if c.Name != "simulate" || p.Name != "figure" {
+		t.Fatalf("span order = %s, %s", c.Name, p.Name)
+	}
+	if c.Parent != p.ID {
+		t.Errorf("child parent = %d, want %d", c.Parent, p.ID)
+	}
+	if len(c.Attrs) != 2 || c.Attrs[0] != (Attr{"workload", "cg"}) {
+		t.Errorf("child attrs = %v", c.Attrs)
+	}
+	if c.DurationNS < 0 {
+		t.Errorf("negative duration %d", c.DurationNS)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	r := New()
+	s := r.StartSpan("once", nil)
+	s.End()
+	s.End()
+	if got := r.Snapshot().SpansTotal; got != 1 {
+		t.Errorf("spans recorded = %d, want 1", got)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	r := New()
+	n := spanRingCap + 10
+	for i := 0; i < n; i++ {
+		s := r.StartSpan(fmt.Sprintf("s%d", i), nil)
+		s.End()
+	}
+	spans := r.Spans()
+	if len(spans) != spanRingCap {
+		t.Fatalf("kept %d spans, want %d", len(spans), spanRingCap)
+	}
+	if got := r.Snapshot().SpansTotal; got != uint64(n) {
+		t.Errorf("SpansTotal = %d, want %d", got, n)
+	}
+	// Oldest retained span is the 11th started; newest is the last.
+	if spans[0].Name != "s10" || spans[len(spans)-1].Name != fmt.Sprintf("s%d", n-1) {
+		t.Errorf("ring window = %s..%s", spans[0].Name, spans[len(spans)-1].Name)
+	}
+}
+
+func TestSpanDurationHistogram(t *testing.T) {
+	r := New()
+	r.StartSpan("phase", nil).End()
+	r.StartSpan("phase", nil).End()
+	h := r.Histogram("span_duration_ns", "span", "phase")
+	if got := h.Snapshot().Count; got != 2 {
+		t.Errorf("span duration histogram count = %d, want 2", got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	r := New()
+	s := r.StartSpan("root", nil)
+	ctx := ContextWithSpan(context.Background(), s)
+	if got := SpanFromContext(ctx); got != s {
+		t.Errorf("SpanFromContext = %v, want %v", got, s)
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Errorf("empty context span = %v", got)
+	}
+	// A nil span leaves the context untouched.
+	if ctx2 := ContextWithSpan(ctx, nil); SpanFromContext(ctx2) != s {
+		t.Error("nil span replaced the context span")
+	}
+}

@@ -1,0 +1,258 @@
+// Package telemetry is the dependency-free observability layer shared by
+// the simulator, the experiment engine and the CLIs: named counters,
+// gauges and log-scale histograms collected in a concurrency-safe
+// Registry, lightweight span tracing for sweep → design-point →
+// simulation phases, and encoders for the Prometheus text exposition
+// format, JSON snapshots and JSONL run manifests.
+//
+// Every instrument is safe to use through nil receivers: a nil *Registry
+// hands out nil instruments whose methods are no-ops, so instrumented
+// code pays only a nil check when telemetry is disabled. This is the
+// property the BenchmarkTelemetryOverhead bench in the repository root
+// guards (< 5% slowdown instrumented vs no-op on the system simulator).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta. Safe on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered instrument with its identity.
+type entry struct {
+	kind   metricKind
+	name   string
+	labels []string // alternating key, value
+	id     string   // rendered name{k="v",...}
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry collects named instruments and completed spans. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use and safe on a nil receiver (returning nil instruments).
+type Registry struct {
+	mu      sync.Mutex
+	index   map[string]*entry
+	entries []*entry
+
+	spanSeq    atomic.Uint64
+	spansTotal atomic.Uint64
+	spanMu     sync.Mutex
+	spanRing   []SpanRecord
+	spanNext   int
+	spanFull   bool
+}
+
+// spanRingCap bounds the retained completed spans (oldest evicted first).
+const spanRingCap = 1024
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		index:    make(map[string]*entry),
+		spanRing: make([]SpanRecord, 0, spanRingCap),
+	}
+}
+
+// instrumentID renders the canonical identity "name{k="v",...}" with
+// labels in the given order. Labels are alternating key, value; a
+// trailing key without a value is dropped.
+func instrumentID(name string, labels []string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the entry for id, creating it with mk when absent.
+func (r *Registry) lookup(kind metricKind, name string, labels []string, mk func(*entry)) *entry {
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[id]; ok {
+		return e
+	}
+	e := &entry{kind: kind, name: name, labels: labels, id: id}
+	mk(e)
+	r.index[id] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter returns the named counter, registering it on first use.
+// Labels are alternating key, value pairs. Safe on a nil receiver
+// (returns a nil, no-op counter).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindCounter, name, labels, func(e *entry) { e.ctr = &Counter{} })
+	return e.ctr
+}
+
+// Gauge returns the named gauge, registering it on first use. Safe on a
+// nil receiver.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindGauge, name, labels, func(e *entry) { e.gauge = &Gauge{} })
+	return e.gauge
+}
+
+// Histogram returns the named histogram with the default scale,
+// registering it on first use. Safe on a nil receiver.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.HistogramScaled(DefaultScale(), name, labels...)
+}
+
+// HistogramScaled is Histogram with an explicit bucket scale (used only
+// when the instrument is first registered). Safe on a nil receiver.
+func (r *Registry) HistogramScaled(s Scale, name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(kindHistogram, name, labels, func(e *entry) { e.hist = NewHistogram(s) })
+	return e.hist
+}
+
+// Snapshot is a point-in-time copy of every instrument, JSON-encodable.
+// Map keys are the rendered instrument identities (name{k="v",...}).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// SpansTotal counts every span ever completed; Spans holds the most
+	// recent (bounded) completed spans, oldest first.
+	SpansTotal uint64       `json:"spans_total"`
+	Spans      []SpanRecord `json:"spans,omitempty"`
+}
+
+// Snapshot copies the registry contents. Safe on a nil receiver
+// (returns an empty snapshot). Counters, gauges and histogram buckets
+// are each read atomically, but the snapshot as a whole is not a
+// consistent cut under concurrent writers.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	for _, e := range r.sortedEntries() {
+		switch e.kind {
+		case kindCounter:
+			snap.Counters[e.id] = e.ctr.Value()
+		case kindGauge:
+			snap.Gauges[e.id] = e.gauge.Value()
+		case kindHistogram:
+			snap.Histograms[e.id] = e.hist.Snapshot()
+		}
+	}
+	snap.SpansTotal = r.spansTotal.Load()
+	snap.Spans = r.Spans()
+	return snap
+}
+
+// sortedEntries returns the entries ordered by (name, id) for
+// deterministic encoding.
+func (r *Registry) sortedEntries() []*entry {
+	r.mu.Lock()
+	out := make([]*entry, len(r.entries))
+	copy(out, r.entries)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}

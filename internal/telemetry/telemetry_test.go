@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "kind", "simulated")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("jobs_total", "kind", "simulated").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4 (same instrument on re-lookup)", got)
+	}
+	if got := r.Counter("jobs_total", "kind", "cached").Value(); got != 0 {
+		t.Errorf("differently-labeled counter = %d, want 0", got)
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := r.Gauge("queue_depth").Value(); got != 5 {
+		t.Errorf("gauge = %g, want 5", got)
+	}
+
+	h := r.Histogram("latency_ns")
+	h.Observe(100)
+	if got := r.Histogram("latency_ns").Snapshot().Count; got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c_ns", "level", "L2").Observe(10)
+	sp := r.StartSpan("phase", nil)
+	sp.End()
+
+	s := r.Snapshot()
+	if s.Counters["a_total"] != 2 {
+		t.Errorf("snapshot counters = %v", s.Counters)
+	}
+	if s.Gauges["b"] != 1.5 {
+		t.Errorf("snapshot gauges = %v", s.Gauges)
+	}
+	if s.Histograms[`c_ns{level="L2"}`].Count != 1 {
+		t.Errorf("snapshot histograms = %v", s.Histograms)
+	}
+	if s.SpansTotal != 1 || len(s.Spans) != 1 {
+		t.Errorf("snapshot spans = total %d, kept %d", s.SpansTotal, len(s.Spans))
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(3)
+	sp := r.StartSpan("s", nil)
+	sp.SetAttr("k", "v")
+	sp.End()
+	if s := r.Snapshot(); len(s.Counters) != 0 || s.SpansTotal != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil WritePrometheus errored: %v", err)
+	}
+}
+
+// TestRegistryConcurrentWriters is the tier-1 race check: concurrent
+// writers on every instrument type plus snapshotters must be data-race
+// free under -race.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := New()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			level := fmt.Sprintf("L%d", w%3)
+			for i := 0; i < iters; i++ {
+				r.Counter("hits_total", "level", level).Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("wait_ns").Observe(float64(i%1000 + 1))
+				if i%100 == 0 {
+					sp := r.StartSpan("work", nil)
+					sp.SetAttr("worker", level)
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers exercise snapshot/encode paths under writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			_ = r.Spans()
+		}
+	}()
+	wg.Wait()
+
+	var total uint64
+	for _, v := range r.Snapshot().Counters {
+		total += v
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := r.Histogram("wait_ns").Snapshot().Count; got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("depth").Value(); got != workers*iters {
+		t.Errorf("gauge = %g, want %d", got, workers*iters)
+	}
+}
+
+func TestInstrumentID(t *testing.T) {
+	if got := instrumentID("n", nil); got != "n" {
+		t.Errorf("bare id = %q", got)
+	}
+	if got := instrumentID("n", []string{"a", "1", "b", "2"}); got != `n{a="1",b="2"}` {
+		t.Errorf("labeled id = %q", got)
+	}
+	// A trailing key with no value is dropped.
+	if got := instrumentID("n", []string{"a", "1", "orphan"}); got != `n{a="1"}` {
+		t.Errorf("odd-labeled id = %q", got)
+	}
+}

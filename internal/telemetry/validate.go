@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// promSampleRe matches one exposition-format sample line:
+// name{label="v",...} value
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4) as WritePrometheus produces it:
+// every non-comment line is a valid sample, every sample's metric
+// family has a preceding # TYPE header, and histogram bucket series are
+// cumulative and terminated by an le="+Inf" bucket. It returns every
+// violation joined, or nil. Used by the endpoint tests and available as
+// a self-check for scrape consumers.
+func ValidateExposition(r io.Reader) error {
+	var errs []error
+	types := map[string]string{}
+	var lastBucketName string
+	var lastCum uint64
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			errs = append(errs, fmt.Errorf("invalid sample line %q", line))
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := types[family]; !ok {
+			errs = append(errs, fmt.Errorf("sample %q has no # TYPE header", line))
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			val, _ := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if name == lastBucketName && val < lastCum {
+				errs = append(errs, fmt.Errorf("non-cumulative bucket series at %q", line))
+			}
+			lastBucketName, lastCum = name, val
+			if strings.Contains(line, `le="+Inf"`) {
+				lastBucketName = ""
+			}
+		}
+	}
+	if lastBucketName != "" {
+		errs = append(errs, fmt.Errorf("histogram %s not terminated by le=\"+Inf\"", lastBucketName))
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
