@@ -1,0 +1,193 @@
+// Command benchreport measures the simulator hot loop with both core
+// schedulers — the min-heap default and the historical linear scan —
+// plus the trace generator, and writes the results as JSON. The
+// committed BENCH_hotloop.json at the repository root is this program's
+// output: the repo's perf baseline, regenerated whenever the hot path
+// changes (see the README's Performance section).
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-o BENCH_hotloop.json] [-accesses 100000] [-benchtime 1s] [-count 3]
+//
+// Each configuration is measured -count times with the two schedulers
+// interleaved and the fastest repetition kept, so co-tenant noise and
+// frequency drift do not skew the comparison.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// benchResult is one measured configuration.
+type benchResult struct {
+	Benchmark   string  `json:"benchmark"`
+	Scheduler   string  `json:"scheduler,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerAccess float64 `json:"ns_per_access"`
+}
+
+// comparison pairs the two schedulers on one core count.
+type comparison struct {
+	Benchmark      string  `json:"benchmark"`
+	LinearScanNsOp float64 `json:"linear_scan_ns_per_op"`
+	HeapNsOp       float64 `json:"heap_ns_per_op"`
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// report is the BENCH_hotloop.json schema.
+type report struct {
+	Schema         string        `json:"schema"`
+	GoVersion      string        `json:"go_version"`
+	GOOS           string        `json:"goos"`
+	GOARCH         string        `json:"goarch"`
+	Workload       string        `json:"workload"`
+	AccessesPerRun int           `json:"accesses_per_run"`
+	Results        []benchResult `json:"results"`
+	Comparisons    []comparison  `json:"comparisons"`
+}
+
+func measureSim(cfg system.Config, tr *trace.Trace, sched system.Scheduler) testing.BenchmarkResult {
+	var scratch system.Scratch
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := system.RunScheduled(context.Background(), cfg, tr, sched, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// nsPerOp extracts the float ns/op of a measurement.
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// measureBest repeats the two-scheduler measurement `count` times,
+// interleaving the schedulers within each repetition so machine drift
+// (frequency scaling, co-tenants) biases both sides equally, and keeps
+// each scheduler's fastest repetition — external noise only ever adds
+// time, so the minimum is the most repeatable estimator.
+func measureBest(cfg system.Config, tr *trace.Trace, count int) (scan, heap testing.BenchmarkResult) {
+	for rep := 0; rep < count; rep++ {
+		runtime.GC()
+		s := measureSim(cfg, tr, system.SchedLinearScan)
+		h := measureSim(cfg, tr, system.SchedHeap)
+		if rep == 0 || nsPerOp(s) < nsPerOp(scan) {
+			scan = s
+		}
+		if rep == 0 || nsPerOp(h) < nsPerOp(heap) {
+			heap = h
+		}
+	}
+	return scan, heap
+}
+
+func toResult(name, sched string, accesses int, r testing.BenchmarkResult) benchResult {
+	ns := nsPerOp(r)
+	return benchResult{
+		Benchmark:   name,
+		Scheduler:   sched,
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		NsPerAccess: ns / float64(accesses),
+	}
+}
+
+func main() {
+	testing.Init() // register testing's flags so test.benchtime is settable
+	out := flag.String("o", "BENCH_hotloop.json", "output path ('-' for stdout)")
+	accesses := flag.Int("accesses", 100_000, "base trace length per run")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
+	count := flag.Int("count", 3, "repetitions per configuration (best is kept)")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	const workloadName = "ft"
+	p, err := workload.ByName(workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep := report{
+		Schema:         "nvmllc/bench_hotloop/v1",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Workload:       workloadName,
+		AccessesPerRun: *accesses,
+	}
+	for _, cores := range []int{4, 16, 64} {
+		tr, err := workload.Generate(p, workload.Options{Accesses: *accesses, Threads: cores, Seed: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+		name := fmt.Sprintf("HotLoop_%dCores", cores)
+		n := len(tr.Accesses)
+		fmt.Fprintf(os.Stderr, "measuring %s (best of %d)...\n", name, *count)
+		scan, heap := measureBest(cfg, tr, *count)
+		scanRes := toResult(name, system.SchedLinearScan.String(), n, scan)
+		heapRes := toResult(name, system.SchedHeap.String(), n, heap)
+		rep.Results = append(rep.Results, scanRes, heapRes)
+		rep.Comparisons = append(rep.Comparisons, comparison{
+			Benchmark:      name,
+			LinearScanNsOp: scanRes.NsPerOp,
+			HeapNsOp:       heapRes.NsPerOp,
+			ImprovementPct: 100 * (scanRes.NsPerOp - heapRes.NsPerOp) / scanRes.NsPerOp,
+		})
+	}
+
+	fmt.Fprintln(os.Stderr, "measuring TraceGen...")
+	gen := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.Generate(p, workload.Options{Accesses: *accesses, Threads: 4, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	genTrace, err := workload.Generate(p, workload.Options{Accesses: *accesses, Threads: 4, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.Results = append(rep.Results, toResult("TraceGen", "", len(genTrace.Accesses), gen))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

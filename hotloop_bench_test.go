@@ -1,0 +1,71 @@
+package nvmllc_test
+
+// Hot-loop micro-benchmarks behind BENCH_hotloop.json (see the README's
+// Performance section). BenchmarkHotLoop_{4,16,64}Cores isolate the
+// simulator's per-access path — the min-heap core scheduler, the
+// hierarchy walk and the allocation-free trace split — at the paper's
+// Section V-C core counts; BenchmarkTraceGen isolates the synthetic
+// workload generator. Run with -benchmem; cmd/benchreport re-measures
+// the same loops against the historical linear-scan scheduler and
+// writes the committed baseline.
+
+import (
+	"context"
+	"testing"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// hotLoopTrace generates the multi-threaded trace the hot-loop
+// benchmarks simulate (outside the timed region).
+func hotLoopTrace(b *testing.B, cores int) *trace.Trace {
+	b.Helper()
+	p, err := workload.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(p, workload.Options{Accesses: 100_000, Threads: cores, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchHotLoop(b *testing.B, cores int) {
+	tr := hotLoopTrace(b, cores)
+	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+	var scratch system.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Accesses)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.RunWith(context.Background(), cfg, tr, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotLoop_4Cores(b *testing.B)  { benchHotLoop(b, 4) }
+func BenchmarkHotLoop_16Cores(b *testing.B) { benchHotLoop(b, 16) }
+func BenchmarkHotLoop_64Cores(b *testing.B) { benchHotLoop(b, 64) }
+
+// BenchmarkTraceGen measures the synthetic trace generator's steady
+// state: exact-size buffers, no per-access allocation.
+func BenchmarkTraceGen(b *testing.B) {
+	p, err := workload.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := workload.Generate(p, workload.Options{Accesses: 100_000, Threads: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(tr.Accesses)))
+	}
+}

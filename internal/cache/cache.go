@@ -15,7 +15,10 @@ type Stats struct {
 	Hits, Misses uint64
 	// Writebacks counts dirty lines evicted (writes propagated downstream).
 	Writebacks uint64
-	// Fills counts lines installed (equals Misses for allocate-on-miss).
+	// Fills counts lines installed: one per allocating miss from Access,
+	// WritebackTo or Install. Non-allocating lookups (Touch) miss without
+	// filling, so Fills ≤ Misses in general and the two are equal only
+	// when every lookup goes through the allocate-on-miss Access path.
 	Fills uint64
 }
 

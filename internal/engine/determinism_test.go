@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/workload"
+)
+
+// mtJobs builds a small multi-threaded design-point grid (two workloads
+// at two core counts) whose jobs exercise the scheduler and coherence
+// paths the single-threaded engine tests miss.
+func mtJobs(t *testing.T) []Job {
+	t.Helper()
+	var jobs []Job
+	for _, name := range []string{"ft", "is"} {
+		for _, threads := range []int{2, 8} {
+			p, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := workload.Options{Accesses: 20000, Threads: threads, Seed: 11}
+			tr, err := workload.Generate(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, Job{
+				Workload:  name,
+				TraceOpts: opts,
+				Config:    system.Gainestown(reference.SRAMBaseline()).WithCores(threads),
+				Trace:     tr,
+			})
+		}
+	}
+	return jobs
+}
+
+// marshal renders a Result for byte-level comparison.
+func marshal(t *testing.T, r *system.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEngineSchedulerEquivalence is the engine-level acceptance test for
+// the heap-scheduler swap: every Result the engine produces (through its
+// default heap-scheduled, scratch-pooled path) must be byte-identical to
+// the same design point simulated with the historical linear-scan
+// scheduler, and the cache key must not change — cached results from
+// before the swap stay valid.
+func TestEngineSchedulerEquivalence(t *testing.T) {
+	e := New()
+	for _, j := range mtJobs(t) {
+		key, cacheable := Key(j)
+		if !cacheable {
+			t.Fatalf("%s/%d threads: job unexpectedly uncacheable", j.Workload, j.TraceOpts.Threads)
+		}
+		got, err := e.Run(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := system.RunScheduled(context.Background(), j.Config, j.Trace, system.SchedLinearScan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gb, wb := marshal(t, got), marshal(t, want); !bytes.Equal(gb, wb) {
+			t.Errorf("%s/%d threads: engine result differs from linear-scan scheduler\nengine: %s\nscan:   %s",
+				j.Workload, j.TraceOpts.Threads, gb, wb)
+		}
+		if key2, _ := Key(j); key2 != key {
+			t.Errorf("%s/%d threads: cache key not deterministic: %s vs %s",
+				j.Workload, j.TraceOpts.Threads, key, key2)
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossParallelism runs the same design-point
+// grid twice through shared engines — once serialized, once at the
+// engine's default GOMAXPROCS parallelism — and requires identical cache
+// keys and byte-identical Result fields. Worker scheduling, the scratch
+// pool and cache races must not leak into results.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	jobs := mtJobs(t)
+	// Duplicate the grid so the parallel engine also exercises its
+	// concurrent same-key dedup path.
+	jobs = append(jobs, jobs...)
+
+	serial := New(WithParallelism(1))
+	serialRes, err := serial.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := New()
+	parallelRes, err := parallel.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if serialRes[i] == nil || parallelRes[i] == nil {
+			t.Fatalf("job %d: nil result without error", i)
+		}
+		sb, pb := marshal(t, serialRes[i]), marshal(t, parallelRes[i])
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("job %d (%s/%d threads): results differ across parallelism\nserial:   %s\nparallel: %s",
+				i, jobs[i].Workload, jobs[i].TraceOpts.Threads, sb, pb)
+		}
+	}
+	// Same grid, same keys: both engines must agree job-for-job.
+	for i := range jobs {
+		ks, _ := Key(jobs[i])
+		kp, _ := Key(jobs[i])
+		if ks == "" || ks != kp {
+			t.Errorf("job %d: unstable cache key %q vs %q", i, ks, kp)
+		}
+	}
+}

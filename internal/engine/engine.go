@@ -154,6 +154,11 @@ type Engine struct {
 	mu      sync.Mutex
 	results map[string]*entry
 
+	// scratch pools per-run simulator buffers (the trace split) across
+	// the worker pool, so steady-state simulation is allocation-free on
+	// the trace pipeline.
+	scratch sync.Pool
+
 	simulated atomic.Uint64
 	cached    atomic.Uint64
 	failed    atomic.Uint64
@@ -252,9 +257,14 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 	span := e.reg.StartSpan("simulate", telemetry.SpanFromContext(ctx))
 	span.SetAttr("workload", j.Workload)
 	span.SetAttr("llc", j.LLCName())
+	scratch, _ := e.scratch.Get().(*system.Scratch)
+	if scratch == nil {
+		scratch = new(system.Scratch)
+	}
 	start := time.Now()
-	res, err := system.Run(ctx, j.Config, j.Trace)
+	res, err := system.RunWith(ctx, j.Config, j.Trace, scratch)
 	wall := time.Since(start).Nanoseconds()
+	e.scratch.Put(scratch)
 	e.simWallNS.Add(wall)
 	e.reg.Histogram("engine_job_wall_ns").Observe(float64(wall))
 	if err != nil {

@@ -24,34 +24,180 @@ type DirectoryStats struct {
 
 // directory is a full-map sharers table keyed by line address. A bit set
 // in the mask means the corresponding core may hold the line in L1/L2.
+// The table is consulted on every private-cache miss, fill and eviction,
+// so it uses a specialized open-addressed hash table instead of a Go map
+// — line-address keys need no generic hashing, and the sharer mask is
+// never zero for a stored entry (noteEvict deletes emptied lines), which
+// lets mask==0 mark empty slots.
 type directory struct {
-	sharers map[uint64]uint64
+	sharers sharerTable
 	stats   DirectoryStats
 }
 
 func newDirectory() *directory {
-	return &directory{sharers: make(map[uint64]uint64)}
+	return newDirectoryWith(sharerTable{})
+}
+
+// newDirectoryWith builds a directory on recycled table storage (from a
+// Scratch), clearing any previous contents; a zero table allocates
+// fresh.
+func newDirectoryWith(t sharerTable) *directory {
+	d := &directory{sharers: t}
+	if len(d.sharers.keys) == 0 {
+		d.sharers.init(1 << 10)
+	} else {
+		d.sharers.clear()
+	}
+	return d
 }
 
 // noteFill records that core holds the line after a fill.
 func (d *directory) noteFill(line uint64, core int) {
-	d.sharers[line] |= 1 << uint(core)
+	d.sharers.orBit(line, 1<<uint(core))
 }
 
 // noteEvict clears core's sharer bit (called when a private cache drops
 // the line entirely).
 func (d *directory) noteEvict(line uint64, core int) {
-	m := d.sharers[line] &^ (1 << uint(core))
-	if m == 0 {
-		delete(d.sharers, line)
-	} else {
-		d.sharers[line] = m
-	}
+	d.sharers.clearBit(line, 1<<uint(core))
 }
 
 // othersHolding returns the sharer mask excluding the requesting core.
 func (d *directory) othersHolding(line uint64, core int) uint64 {
-	return d.sharers[line] &^ (1 << uint(core))
+	return d.sharers.get(line) &^ (1 << uint(core))
+}
+
+// sharerTable is an open-addressed, linear-probed uint64→uint64 hash
+// table holding the directory's line→sharer-mask entries. Invariant: a
+// stored mask is never zero, so masks[i]==0 means slot i is empty.
+// Entries bounded by total private-cache lines keep the load factor low;
+// the table doubles at 3/4 full.
+type sharerTable struct {
+	keys  []uint64
+	masks []uint64
+	shift uint // 64 - log2(len(keys)), for fibonacci hashing
+	used  int
+}
+
+// clear empties the table, keeping its capacity.
+func (t *sharerTable) clear() {
+	for i := range t.masks {
+		t.masks[i] = 0
+	}
+	t.used = 0
+}
+
+func (t *sharerTable) init(size int) {
+	t.keys = make([]uint64, size)
+	t.masks = make([]uint64, size)
+	t.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		t.shift--
+	}
+	t.used = 0
+}
+
+// home is the preferred slot for a key (fibonacci hashing).
+func (t *sharerTable) home(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// get returns the stored mask, or 0 when the line is untracked.
+func (t *sharerTable) get(line uint64) uint64 {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
+		if t.masks[i] == 0 {
+			return 0
+		}
+		if t.keys[i] == line {
+			return t.masks[i]
+		}
+	}
+}
+
+// orBit sets bit in the line's mask, inserting the entry if absent.
+func (t *sharerTable) orBit(line, bit uint64) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
+		if t.masks[i] == 0 {
+			t.keys[i] = line
+			t.masks[i] = bit
+			if t.used++; 4*t.used >= 3*len(t.keys) {
+				t.grow()
+			}
+			return
+		}
+		if t.keys[i] == line {
+			t.masks[i] |= bit
+			return
+		}
+	}
+}
+
+// clearBit clears bit in the line's mask, deleting the entry when the
+// mask empties. Unknown lines are a no-op.
+func (t *sharerTable) clearBit(line, bit uint64) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
+		if t.masks[i] == 0 {
+			return
+		}
+		if t.keys[i] == line {
+			if t.masks[i] &^= bit; t.masks[i] == 0 {
+				t.del(i)
+			}
+			return
+		}
+	}
+}
+
+// del empties slot i and backward-shifts the probe chain so lookups
+// never cross a false hole (standard linear-probing deletion).
+func (t *sharerTable) del(i int) {
+	mask := uint64(len(t.keys) - 1)
+	t.used--
+	j := i
+	for {
+		j = int((uint64(j) + 1) & mask)
+		if t.masks[j] == 0 {
+			break
+		}
+		k := t.home(t.keys[j])
+		// Slot j's entry may move into the hole at i only if i lies in
+		// its probe path [k, j) (cyclically).
+		if j > i {
+			if k <= i || k > j {
+				t.keys[i] = t.keys[j]
+				t.masks[i] = t.masks[j]
+				i = j
+			}
+		} else if k <= i && k > j {
+			t.keys[i] = t.keys[j]
+			t.masks[i] = t.masks[j]
+			i = j
+		}
+	}
+	t.masks[i] = 0
+}
+
+// grow doubles the table and rehashes every live entry.
+func (t *sharerTable) grow() {
+	oldKeys, oldMasks := t.keys, t.masks
+	t.init(2 * len(oldKeys))
+	mask := uint64(len(t.keys) - 1)
+	for i, m := range oldMasks {
+		if m == 0 {
+			continue
+		}
+		line := oldKeys[i]
+		j := t.home(line)
+		for t.masks[j] != 0 {
+			j = int((uint64(j) + 1) & mask)
+		}
+		t.keys[j] = line
+		t.masks[j] = m
+		t.used++
+	}
 }
 
 // invalidateOthers removes every other core's copy, returning how many
@@ -82,7 +228,7 @@ func (s *simulator) invalidateOthers(line uint64, core int) (dropped, dirtyWb in
 		}
 		s.dir.noteEvict(line, c)
 	}
-	s.dir.sharers[line] |= 1 << uint(core)
+	s.dir.sharers.orBit(line, 1<<uint(core))
 	d := &s.dir.stats
 	d.Invalidations += uint64(dropped)
 	d.RemoteWritebacks += uint64(dirtyWb)

@@ -164,7 +164,53 @@ func TestDirectoryUnitOps(t *testing.T) {
 		t.Error("evicted sharer still tracked")
 	}
 	d.noteEvict(7, 0)
-	if len(d.sharers) != 0 {
+	if d.sharers.used != 0 {
 		t.Error("empty entry not reclaimed")
+	}
+}
+
+// TestSharerTableMatchesMap cross-checks the open-addressed sharer table
+// against a plain map under a long random op sequence: set bits, clear
+// bits (including on absent lines, a no-op), and lookups. Keys are drawn
+// from a small range so probe chains collide, grow triggers, and the
+// backward-shift deletion gets exercised across wrapped chains.
+func TestSharerTableMatchesMap(t *testing.T) {
+	var tab sharerTable
+	tab.init(8) // tiny, so growth and collisions happen immediately
+	ref := map[uint64]uint64{}
+	rng := uint64(0x2545F4914F6CDD1D)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	for op := 0; op < 200000; op++ {
+		line := next(512)
+		bit := uint64(1) << next(64)
+		switch next(3) {
+		case 0:
+			tab.orBit(line, bit)
+			ref[line] |= bit
+		case 1:
+			tab.clearBit(line, bit)
+			if m := ref[line] &^ bit; m == 0 {
+				delete(ref, line)
+			} else {
+				ref[line] = m
+			}
+		case 2:
+			if got, want := tab.get(line), ref[line]; got != want {
+				t.Fatalf("op %d: get(%d) = %b, want %b", op, line, got, want)
+			}
+		}
+	}
+	if tab.used != len(ref) {
+		t.Fatalf("table tracks %d lines, map %d", tab.used, len(ref))
+	}
+	for line, want := range ref {
+		if got := tab.get(line); got != want {
+			t.Fatalf("final: get(%d) = %b, want %b", line, got, want)
+		}
 	}
 }

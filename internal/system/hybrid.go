@@ -130,6 +130,18 @@ func (hl *hybridLLC) lookup(line uint64) (hit bool, latencyNS float64) {
 	return false, hl.cfg.NVM.TagLatencyNS
 }
 
+// readLatencyNS is the cost of reading a line back out of the hybrid
+// LLC: the tag+data latency of the partition holding it, or the NVM
+// (worst-case) path for an absent line. Pure timing — no statistics or
+// replacement state are touched — used to price coherence
+// cache-to-cache transfers routed through the LLC.
+func (hl *hybridLLC) readLatencyNS(line uint64) float64 {
+	if hl.sram.Probe(line) {
+		return hl.cfg.SRAM.TagLatencyNS + hl.cfg.SRAM.ReadLatencyNS
+	}
+	return hl.cfg.NVM.TagLatencyNS + hl.cfg.NVM.ReadLatencyNS
+}
+
 // fill installs a line after a DRAM fetch. Store-allocations go to SRAM
 // (they are about to be written), load fills to the dense NVM.
 func (hl *hybridLLC) fill(line uint64, forStore bool) (dramWbs []uint64) {

@@ -150,6 +150,27 @@ func TestBiggerLLCNeverMoreMisses(t *testing.T) {
 	}
 }
 
+// TestInstructionsSumExactlyPrimeThreads: retired instructions must sum
+// exactly to the trace's InstrCount for every thread count — prime
+// thread counts against a non-divisible instruction count historically
+// dropped the InstrCount % Threads remainder of the integer per-thread
+// split.
+func TestInstructionsSumExactlyPrimeThreads(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 5, 7, 11, 13} {
+		tr := randomTrace(int64(threads), 6000, threads, 4096)
+		tr.InstrCount = 6000*3 + 29 // 18029, prime: never divisible by threads > 1
+		cfg := sramConfig().WithCores(threads)
+		r, err := Run(context.Background(), cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Instructions != tr.InstrCount {
+			t.Errorf("%d threads: retired %d instructions, want exactly %d (dropped %d)",
+				threads, r.Instructions, tr.InstrCount, tr.InstrCount-r.Instructions)
+		}
+	}
+}
+
 // TestSweepDeterministicAcrossParallelism: the concurrent harness must
 // produce identical results regardless of worker count.
 func TestSweepDeterministicAcrossParallelism(t *testing.T) {

@@ -206,6 +206,10 @@ type Result struct {
 	// run (nil when Config.Memory replaces the default DRAM model). Run
 	// manifests report its quantile summary per design point.
 	DRAMWait *telemetry.HistogramSnapshot
+	// ClockGHz is the core frequency the run was configured with
+	// (Config.Core.ClockGHz), recorded so IPC is computed against the
+	// clock that actually ran rather than a hardcoded default.
+	ClockGHz float64
 }
 
 // Seconds returns execution time in seconds.
@@ -229,13 +233,18 @@ func (r *Result) LLCMPKI() float64 {
 	return float64(r.LLC.Misses) / float64(r.Instructions) * 1000
 }
 
-// IPC is aggregate instructions per cycle.
+// IPC is aggregate instructions per cycle at the run's configured core
+// clock (Result.ClockGHz). Hand-built Results that predate the ClockGHz
+// field fall back to the 2.66 GHz Gainestown default.
 func (r *Result) IPC() float64 {
 	if r.TimeNS == 0 {
 		return 0
 	}
-	cycles := r.TimeNS / (1.0 / 2.66) // informational; uses Gainestown clock
-	return float64(r.Instructions) / cycles
+	ghz := r.ClockGHz
+	if ghz == 0 {
+		ghz = 2.66
+	}
+	return float64(r.Instructions) / (r.TimeNS * ghz)
 }
 
 // coreState bundles one core's pipeline and private caches with its share
@@ -277,10 +286,39 @@ type simulator struct {
 	bankStallEvents []uint64
 }
 
+// Scratch holds reusable per-run buffers for the trace pipeline: the
+// backing array and slice headers of the per-thread access split. The
+// zero value is ready to use; after the first run the buffers are
+// retained, making the split allocation-free in steady state. A Scratch
+// must not be shared by concurrent simulations — the engine pools them
+// across its workers via sync.Pool.
+type Scratch struct {
+	split []trace.Access
+	parts [][]trace.Access
+	// sharers recycles the coherence directory's hash-table storage, so
+	// repeated multi-threaded runs skip the grow-and-rehash ramp.
+	sharers sharerTable
+}
+
 // Run simulates the trace on the configured machine. The context is
 // checked periodically inside the simulation loop, so cancelling it
 // aborts even a multi-million-access run in bounded time with ctx.Err().
 func Run(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
+	return RunScheduled(ctx, cfg, tr, SchedHeap, nil)
+}
+
+// RunWith is Run reusing the caller's Scratch buffers, avoiding the
+// per-run trace-split allocation on repeated simulations.
+func RunWith(ctx context.Context, cfg Config, tr *trace.Trace, scratch *Scratch) (*Result, error) {
+	return RunScheduled(ctx, cfg, tr, SchedHeap, scratch)
+}
+
+// RunScheduled is Run with an explicit core-interleaving scheduler and
+// optional scratch buffers (both may be zero values). The schedulers are
+// step-for-step equivalent; SchedLinearScan exists so equivalence tests
+// and the benchmark baseline can compare against the historical
+// implementation.
+func RunScheduled(ctx context.Context, cfg Config, tr *trace.Trace, sched Scheduler, scratch *Scratch) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -296,17 +334,22 @@ func Run(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
 	if tr.Threads > cfg.Cores {
 		return nil, fmt.Errorf("system: trace %s has %d threads but only %d cores", tr.Name, tr.Threads, cfg.Cores)
 	}
-	sim, err := newSimulator(cfg, tr)
+	sim, err := newSimulator(cfg, tr, scratch)
 	if err != nil {
 		return nil, err
 	}
-	if err := sim.run(ctx); err != nil {
+	if scratch != nil && sim.dir != nil {
+		// Return the directory's table storage to the scratch for the next
+		// run, whatever the outcome.
+		defer func() { scratch.sharers = sim.dir.sharers }()
+	}
+	if err := sim.run(ctx, sched); err != nil {
 		return nil, err
 	}
 	return sim.result(tr), nil
 }
 
-func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
+func newSimulator(cfg Config, tr *trace.Trace, scratch *Scratch) (*simulator, error) {
 	blockBits := uint(0)
 	for 1<<blockBits < cfg.BlockBytes {
 		blockBits++
@@ -344,8 +387,18 @@ func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
 		}
 		mem = dramMem
 	}
-	perThread := trace.SplitByThread(tr.Accesses, tr.Threads)
+	if scratch == nil {
+		scratch = new(Scratch)
+	}
+	perThread, err := trace.SplitByThreadInto(tr.Accesses, tr.Threads, &scratch.split, &scratch.parts)
+	if err != nil {
+		return nil, err
+	}
+	// Spread the instruction budget over the threads, distributing the
+	// remainder across the first ones so retired instructions sum exactly
+	// to tr.InstrCount.
 	instrPerThread := tr.InstrCount / uint64(tr.Threads)
+	instrRemainder := tr.InstrCount % uint64(tr.Threads)
 	sim := &simulator{
 		cfg:             cfg,
 		blockBits:       blockBits,
@@ -368,7 +421,10 @@ func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
 		sim.bypass = newDeadBlockPredictor()
 	}
 	if !cfg.DisableCoherence && tr.Threads > 1 {
-		sim.dir = newDirectory()
+		// Take over the scratch's recycled table storage (returned by
+		// RunScheduled once the run completes).
+		sim.dir = newDirectoryWith(scratch.sharers)
+		scratch.sharers = sharerTable{}
 	}
 	for t := 0; t < tr.Threads; t++ {
 		core, err := cpu.NewCore(cfg.Core)
@@ -387,14 +443,18 @@ func newSimulator(cfg Config, tr *trace.Trace) (*simulator, error) {
 		if err != nil {
 			return nil, err
 		}
+		budget := instrPerThread
+		if uint64(t) < instrRemainder {
+			budget++
+		}
 		cs := &coreState{
 			idx:  t,
 			core: core, l1i: l1i, l1d: l1d, l2: l2,
 			accs:        perThread[t],
-			instrBudget: instrPerThread,
+			instrBudget: budget,
 		}
 		if n := len(cs.accs); n > 0 {
-			cs.instrPerAccess = float64(instrPerThread) / float64(n)
+			cs.instrPerAccess = float64(budget) / float64(n)
 		}
 		sim.cores = append(sim.cores, cs)
 	}
@@ -408,8 +468,40 @@ const cancelCheckInterval = 4096
 
 // run interleaves the per-core access streams in core-local time order:
 // each step advances the core with the earliest local clock, which keeps
-// shared-resource (LLC, DRAM) interactions approximately causal.
-func (s *simulator) run(ctx context.Context) error {
+// shared-resource (LLC, DRAM) interactions approximately causal. The
+// next core comes from a min-heap keyed on (local time, core index), so
+// each step costs O(log cores) instead of the historical O(cores) scan;
+// the index tie-break makes the two schedulers step-for-step identical.
+func (s *simulator) run(ctx context.Context, sched Scheduler) error {
+	if sched == SchedLinearScan {
+		return s.runLinearScan(ctx)
+	}
+	h := newCoreHeap(s.cores)
+	steps := 0
+	for h.len() > 0 {
+		cs := h.min()
+		s.step(cs)
+		if cs.pos >= len(cs.accs) {
+			h.popMin()
+		} else {
+			// Stepping only moves the core's clock forward.
+			h.fixMin(cs.core.TimeNS())
+		}
+		if steps++; steps >= cancelCheckInterval {
+			steps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	s.retireRemainder()
+	return nil
+}
+
+// runLinearScan is the historical O(cores)-per-access scheduler, kept as
+// the reference implementation for the equivalence tests and the
+// BENCH_hotloop.json before/after comparison.
+func (s *simulator) runLinearScan(ctx context.Context) error {
 	steps := 0
 	for {
 		var next *coreState
@@ -432,7 +524,13 @@ func (s *simulator) run(ctx context.Context) error {
 			}
 		}
 	}
-	// Retire any instruction remainder so totals match the trace.
+	s.retireRemainder()
+	return nil
+}
+
+// retireRemainder retires any instruction remainder so totals match the
+// trace.
+func (s *simulator) retireRemainder() {
 	for _, cs := range s.cores {
 		if cs.instrRetired < cs.instrBudget {
 			rem := cs.instrBudget - cs.instrRetired
@@ -440,10 +538,11 @@ func (s *simulator) run(ctx context.Context) error {
 			cs.instrRetired += rem
 		}
 	}
-	return nil
 }
 
-// step executes one access on the given core.
+// step executes one access on the given core. The core-local clock is
+// read once after retirement and threaded through the hierarchy walk
+// (it only changes when a StallLoad lands, and those sites re-read it).
 func (s *simulator) step(cs *coreState) {
 	a := cs.accs[cs.pos]
 	cs.pos++
@@ -458,73 +557,75 @@ func (s *simulator) step(cs *coreState) {
 	cs.core.Retire(n)
 	cs.instrRetired += n
 
+	now := cs.core.TimeNS()
 	line := a.Addr >> s.blockBits
 	switch a.Kind {
 	case trace.Read:
-		s.load(cs, line)
+		s.load(cs, line, now)
 	case trace.Ifetch:
-		s.ifetch(cs, line)
+		s.ifetch(cs, line, now)
 	case trace.Write:
-		s.store(cs, line)
+		s.store(cs, line, now)
 	}
 }
 
 // load walks a demand read down the hierarchy, stalling the core on the
 // completion time of wherever it hits.
-func (s *simulator) load(cs *coreState, line uint64) {
+func (s *simulator) load(cs *coreState, line uint64, now float64) {
 	if hit, ev := cs.l1d.Access(line, false); hit {
 		return // L1 hit time is covered by base CPI
 	} else if ev.Valid && ev.Dirty {
-		s.l2Writeback(cs, ev.LineAddr)
+		s.l2Writeback(cs, ev.LineAddr, now)
 	}
 	if s.dir != nil {
-		s.downgradeOthers(cs, line)
+		now = s.downgradeOthers(cs, line, now)
 		s.dir.noteFill(line, cs.idx)
 	}
-	s.fromL2(cs, line, true)
+	s.fromL2(cs, line, true, now)
 }
 
 // ifetch is a load through the L1I.
-func (s *simulator) ifetch(cs *coreState, line uint64) {
+func (s *simulator) ifetch(cs *coreState, line uint64, now float64) {
 	if hit, ev := cs.l1i.Access(line, false); hit {
 		return
 	} else if ev.Valid && ev.Dirty {
-		s.l2Writeback(cs, ev.LineAddr)
+		s.l2Writeback(cs, ev.LineAddr, now)
 	}
-	s.fromL2(cs, line, true)
+	s.fromL2(cs, line, true, now)
 }
 
 // store performs a write-back write-allocate store. Stores retire through
 // the store queue and never stall the core, but their allocations and
 // writebacks consume LLC energy and DRAM bandwidth.
-func (s *simulator) store(cs *coreState, line uint64) {
+func (s *simulator) store(cs *coreState, line uint64, now float64) {
 	if s.dir != nil {
 		// A store needs exclusive ownership: invalidate remote copies,
 		// flushing any dirty one through the LLC first.
 		if _, dirtyWb := s.invalidateOthers(line, cs.idx); dirtyWb > 0 {
 			for i := 0; i < dirtyWb; i++ {
-				s.llcWrite(line, cs.core.TimeNS())
+				s.llcWrite(line, now)
 			}
 		}
 	}
 	if hit, ev := cs.l1d.Access(line, true); hit {
 		return
 	} else if ev.Valid && ev.Dirty {
-		s.l2Writeback(cs, ev.LineAddr)
+		s.l2Writeback(cs, ev.LineAddr, now)
 	}
 	if s.dir != nil {
 		s.dir.noteFill(line, cs.idx)
 	}
-	s.fromL2(cs, line, false)
+	s.fromL2(cs, line, false, now)
 }
 
 // downgradeOthers handles a read to a line another core may hold dirty:
 // remote copies are cleaned (Modified -> Shared) and a dirty copy is
-// flushed through the LLC, with the reader paying an intervention latency.
-func (s *simulator) downgradeOthers(cs *coreState, line uint64) {
+// flushed through the LLC, with the reader paying an intervention
+// latency. It returns the core's (possibly advanced) local clock.
+func (s *simulator) downgradeOthers(cs *coreState, line uint64, now float64) float64 {
 	mask := s.dir.othersHolding(line, cs.idx)
 	if mask == 0 {
-		return
+		return now
 	}
 	flushed := false
 	for c := 0; mask != 0; c++ {
@@ -542,19 +643,28 @@ func (s *simulator) downgradeOthers(cs *coreState, line uint64) {
 		}
 	}
 	if flushed {
-		now := cs.core.TimeNS()
 		s.llcWrite(line, now)
 		s.dir.stats.RemoteWritebacks++
 		s.dir.stats.InterventionStalls++
-		// Cache-to-cache transfer via the LLC.
-		cs.core.StallLoad(now + s.cfg.LLC.TagLatencyNS + s.cfg.LLC.ReadLatencyNS)
+		// Cache-to-cache transfer via the LLC: the reader pays the LLC
+		// read that picks the flushed line back up. Config.LLC is
+		// zero-valued in hybrid mode, so route the latency through the
+		// hybrid partition actually holding the line.
+		var lat float64
+		if s.hybrid != nil {
+			lat = s.hybrid.readLatencyNS(line)
+		} else {
+			lat = s.cfg.LLC.TagLatencyNS + s.cfg.LLC.ReadLatencyNS
+		}
+		cs.core.StallLoad(now + lat)
+		now = cs.core.TimeNS()
 	}
+	return now
 }
 
 // fromL2 services an L1 miss from the L2 and below. stalls controls
 // whether the core waits for the data (loads) or not (stores).
-func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool) {
-	now := cs.core.TimeNS()
+func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool, now float64) {
 	if hit, ev := cs.l2.Access(line, false); hit {
 		if stalls {
 			cs.core.StallLoad(now + s.cfg.L2LatencyNS)
@@ -574,16 +684,15 @@ func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool) {
 			s.llcWrite(ev.LineAddr, now)
 		}
 	}
-	s.fromLLC(cs, line, stalls)
+	s.fromLLC(cs, line, stalls, now)
 }
 
 // fromLLC services an L2 miss at the shared LLC and, on miss, DRAM.
-func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool) {
+func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64) {
 	if s.hybrid != nil {
-		s.fromHybridLLC(cs, line, stalls)
+		s.fromHybridLLC(cs, line, stalls, now)
 		return
 	}
-	now := cs.core.TimeNS()
 	llcModel := &s.cfg.LLC
 	// Dead-block bypass: a line predicted dead skips the NVM fill and is
 	// served straight from DRAM (tag probe energy still counts as a miss).
@@ -638,8 +747,7 @@ func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool) {
 }
 
 // fromHybridLLC services an L2 miss at the hybrid SRAM/NVM LLC.
-func (s *simulator) fromHybridLLC(cs *coreState, line uint64, stalls bool) {
-	now := cs.core.TimeNS()
+func (s *simulator) fromHybridLLC(cs *coreState, line uint64, stalls bool, now float64) {
 	hit, lat := s.hybrid.lookup(line)
 	if hit {
 		s.stats.Hits++
@@ -661,9 +769,9 @@ func (s *simulator) fromHybridLLC(cs *coreState, line uint64, stalls bool) {
 
 // l2Writeback propagates an L1 dirty eviction into the L2; a dirty L2
 // victim continues to the LLC as a write.
-func (s *simulator) l2Writeback(cs *coreState, line uint64) {
+func (s *simulator) l2Writeback(cs *coreState, line uint64, now float64) {
 	if present, ev := cs.l2.WritebackTo(line); !present && ev.Valid && ev.Dirty {
-		s.llcWrite(ev.LineAddr, cs.core.TimeNS())
+		s.llcWrite(ev.LineAddr, now)
 	}
 }
 
@@ -749,6 +857,7 @@ func (s *simulator) result(tr *trace.Trace) *Result {
 		LLCName:  llcName,
 		Cores:    s.cfg.Cores,
 		LLC:      s.stats,
+		ClockGHz: s.cfg.Core.ClockGHz,
 	}
 	if s.dir != nil {
 		r.Directory = s.dir.stats

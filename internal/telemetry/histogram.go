@@ -34,6 +34,7 @@ func (s Scale) valid() bool {
 type Histogram struct {
 	scale        Scale
 	invLogFactor float64
+	pow2         bool            // Min 1, Factor 2: bucketIndex reduces to Frexp
 	bounds       []float64       // inclusive upper bounds, len = Buckets
 	counts       []atomic.Uint64 // len = Buckets+1, last is overflow
 	count        atomic.Uint64
@@ -51,6 +52,7 @@ func NewHistogram(s Scale) *Histogram {
 	h := &Histogram{
 		scale:        s,
 		invLogFactor: 1 / math.Log(s.Factor),
+		pow2:         s.Min == 1 && s.Factor == 2,
 		bounds:       make([]float64, s.Buckets),
 		counts:       make([]atomic.Uint64, s.Buckets+1),
 	}
@@ -68,6 +70,21 @@ func NewHistogram(s Scale) *Histogram {
 func (h *Histogram) bucketIndex(v float64) int {
 	if v <= h.scale.Min {
 		return 0
+	}
+	if h.pow2 {
+		// Factor-2 buckets with Min 1: bucket i covers (2^(i-1), 2^i], so
+		// the index is the binary exponent — exact, no log or fuzz guard.
+		if math.IsInf(v, 1) {
+			return len(h.bounds)
+		}
+		frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+		if frac == 0.5 {
+			exp-- // exact power of two: inclusive upper bound
+		}
+		if exp > len(h.bounds) {
+			exp = len(h.bounds)
+		}
+		return exp
 	}
 	idx := int(math.Ceil(math.Log(v/h.scale.Min) * h.invLogFactor))
 	// Guard the float fuzz around exact bucket bounds: the bound is an

@@ -24,6 +24,45 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+// TestHistogramPow2FastPathSemantics checks the Frexp-based factor-2
+// fast path against the bucket definition directly — bucket i covers
+// (bound[i-1], bound[i]] — across magnitudes, exact powers of two
+// (inclusive upper bounds), nearby off-by-one-ulp values and overflow.
+func TestHistogramPow2FastPathSemantics(t *testing.T) {
+	h := NewHistogram(DefaultScale())
+	if !h.pow2 {
+		t.Fatal("default scale did not select the pow2 fast path")
+	}
+	check := func(v float64) {
+		t.Helper()
+		idx := h.bucketIndex(v)
+		switch {
+		case idx == 0:
+			if v > h.bounds[0] {
+				t.Errorf("bucketIndex(%g) = 0, but %g > bound %g", v, v, h.bounds[0])
+			}
+		case idx == len(h.bounds):
+			if v <= h.bounds[len(h.bounds)-1] {
+				t.Errorf("bucketIndex(%g) = overflow, but %g ≤ last bound %g", v, v, h.bounds[len(h.bounds)-1])
+			}
+		default:
+			if !(h.bounds[idx-1] < v && v <= h.bounds[idx]) {
+				t.Errorf("bucketIndex(%g) = %d, but %g ∉ (%g, %g]", v, idx, v, h.bounds[idx-1], h.bounds[idx])
+			}
+		}
+	}
+	for exp := -2; exp < 50; exp++ {
+		p := math.Ldexp(1, exp)
+		for _, v := range []float64{p, math.Nextafter(p, 0), math.Nextafter(p, math.Inf(1)), p * 1.5} {
+			check(v)
+		}
+	}
+	check(math.Inf(1))
+	if got := h.bucketIndex(math.Inf(1)); got != len(h.bounds) {
+		t.Errorf("bucketIndex(+Inf) = %d, want overflow %d", got, len(h.bounds))
+	}
+}
+
 func TestHistogramSnapshotStats(t *testing.T) {
 	h := NewHistogram(DefaultScale())
 	for _, v := range []float64{3, 1, 100, 7} {

@@ -101,7 +101,10 @@ func TestFilterKind(t *testing.T) {
 
 func TestSplitByThread(t *testing.T) {
 	tr := sampleTrace()
-	parts := SplitByThread(tr.Accesses, tr.Threads)
+	parts, err := SplitByThread(tr.Accesses, tr.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(parts) != 2 {
 		t.Fatalf("SplitByThread returned %d parts", len(parts))
 	}
@@ -111,6 +114,53 @@ func TestSplitByThread(t *testing.T) {
 	// Order within each thread preserved.
 	if parts[0][0].Addr != 0x1000 || parts[0][1].Addr != 0x0fff {
 		t.Error("thread 0 order not preserved")
+	}
+}
+
+// TestSplitByThreadRejectsOutOfRangeTid: a tid ≥ threads must be an
+// error, not a silently dropped access.
+func TestSplitByThreadRejectsOutOfRangeTid(t *testing.T) {
+	accs := []Access{{Addr: 0x40, Tid: 0}, {Addr: 0x80, Tid: 3}}
+	if _, err := SplitByThread(accs, 2); err == nil {
+		t.Fatal("SplitByThread accepted tid 3 with 2 threads")
+	}
+	if _, err := SplitByThread(accs, 0); err == nil {
+		t.Fatal("SplitByThread accepted 0 threads")
+	}
+}
+
+// TestSplitByThreadIntoReusesBuffers: the second split with the same
+// scratch must not grow the buffers and must produce the same partitions.
+func TestSplitByThreadIntoReusesBuffers(t *testing.T) {
+	tr := sampleTrace()
+	var buf []Access
+	var parts [][]Access
+	first, err := SplitByThreadInto(tr.Accesses, tr.Threads, &buf, &parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufCap, partsCap := cap(buf), cap(parts)
+	want := make([][]Access, len(first))
+	for i := range first {
+		want[i] = append([]Access(nil), first[i]...)
+	}
+	second, err := SplitByThreadInto(tr.Accesses, tr.Threads, &buf, &parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(buf) != bufCap || cap(parts) != partsCap {
+		t.Errorf("buffers grew on reuse: cap(buf) %d→%d, cap(parts) %d→%d",
+			bufCap, cap(buf), partsCap, cap(parts))
+	}
+	for i := range want {
+		if len(second[i]) != len(want[i]) {
+			t.Fatalf("thread %d: %d accesses on reuse, want %d", i, len(second[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if second[i][j] != want[i][j] {
+				t.Fatalf("thread %d access %d differs on reuse", i, j)
+			}
+		}
 	}
 }
 

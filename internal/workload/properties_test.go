@@ -80,7 +80,10 @@ func TestThreadBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parts := trace.SplitByThread(tr.Accesses, 8)
+	parts, err := trace.SplitByThread(tr.Accesses, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := len(tr.Accesses) / 8
 	for tid, part := range parts {
 		if len(part) != want {

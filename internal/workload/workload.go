@@ -182,7 +182,10 @@ const (
 	lineBytes      = 64
 )
 
-// generatorState holds one thread's per-component cursors and RNG.
+// generatorState holds one thread's per-component cursors and RNG. The
+// zipfs and cursors slices are windows into flat threads×components
+// arrays shared by all states, so per-thread setup costs two allocations
+// (the RNG and its Zipf samplers) instead of four.
 type generatorState struct {
 	rng     *rand.Rand
 	zipfs   []*rand.Zipf
@@ -215,14 +218,16 @@ func Generate(p Profile, opts Options) (*trace.Trace, error) {
 		cum[i] = sum
 	}
 
-	states := make([]*generatorState, threads)
+	nc := len(p.Components)
+	states := make([]generatorState, threads)
+	zipfsFlat := make([]*rand.Zipf, threads*nc)
+	cursorsFlat := make([]int64, threads*nc)
 	for t := 0; t < threads; t++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919 + hashName(p.Name)))
-		st := &generatorState{
-			rng:     rng,
-			zipfs:   make([]*rand.Zipf, len(p.Components)),
-			cursors: make([]int64, len(p.Components)),
-		}
+		st := &states[t]
+		st.rng = rng
+		st.zipfs = zipfsFlat[t*nc : (t+1)*nc]
+		st.cursors = cursorsFlat[t*nc : (t+1)*nc]
 		for i, c := range p.Components {
 			if c.Kind == Hot {
 				s := c.ZipfS
@@ -236,18 +241,21 @@ func Generate(p Profile, opts Options) (*trace.Trace, error) {
 				st.cursors[i] = (c.Lines / int64(threads)) * int64(t)
 			}
 		}
-		states[t] = st
 	}
 
+	// The trace buffer is sized exactly up front (total rounded down to a
+	// multiple of threads) and filled by index: generation allocates
+	// nothing per access.
+	perThread := total / threads
+	accs := make([]trace.Access, perThread*threads)
 	tr := &trace.Trace{
 		Name:     p.Name,
 		Threads:  threads,
-		Accesses: make([]trace.Access, 0, total),
+		Accesses: accs,
 	}
-	perThread := total / threads
-	for i := 0; i < perThread*threads; i++ {
+	for i := range accs {
 		t := i % threads
-		st := states[t]
+		st := &states[t]
 		ci := pickComponent(st.rng, cum, sum)
 		c := &p.Components[ci]
 
@@ -269,7 +277,7 @@ func Generate(p Profile, opts Options) (*trace.Trace, error) {
 		if st.rng.Float64() < c.WriteFrac {
 			kind = trace.Write
 		}
-		tr.Accesses = append(tr.Accesses, trace.Access{Addr: addr, Kind: kind, Tid: uint8(t)})
+		accs[i] = trace.Access{Addr: addr, Kind: kind, Tid: uint8(t)}
 	}
 	tr.InstrCount = uint64(float64(len(tr.Accesses)) * p.InstrPerAccess)
 	if err := tr.Validate(); err != nil {

@@ -239,7 +239,10 @@ func TestMultiThreadedScalesToThreadCount(t *testing.T) {
 		if tr.Threads != threads {
 			t.Errorf("threads = %d, want %d", tr.Threads, threads)
 		}
-		parts := trace.SplitByThread(tr.Accesses, threads)
+		parts, err := trace.SplitByThread(tr.Accesses, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for tid, part := range parts {
 			if len(part) == 0 {
 				t.Errorf("thread %d of %d got no accesses", tid, threads)
@@ -256,7 +259,10 @@ func TestSharedVsPrivateRegions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	perThread := trace.SplitByThread(tr.Accesses, 4)
+	perThread, err := trace.SplitByThread(tr.Accesses, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := func(accs []trace.Access) map[uint64]bool {
 		m := make(map[uint64]bool)
 		for _, a := range accs {
