@@ -1,0 +1,78 @@
+package nvmllc_test
+
+// Allocation gate for the streaming trace pipeline: the chunked
+// double-buffer exists to make simulation memory O(chunk), so a
+// regression that re-introduces per-access or per-chunk allocation must
+// fail CI, not just drift the committed numbers. The gate replays the
+// BenchmarkHotLoop_Streaming configuration and compares allocations per
+// run against the committed BENCH_hotloop.json streaming row.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+	"nvmllc/internal/workload"
+)
+
+// benchBaseline mirrors the BENCH_hotloop.json fields the gate needs.
+type benchBaseline struct {
+	Results []struct {
+		Benchmark   string `json:"benchmark"`
+		Input       string `json:"input"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+	} `json:"results"`
+}
+
+func TestStreamingAllocGate(t *testing.T) {
+	data, err := os.ReadFile("BENCH_hotloop.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing BENCH_hotloop.json: %v", err)
+	}
+	budget := int64(-1)
+	for _, r := range base.Results {
+		if r.Benchmark == "HotLoop_64Cores" && r.Input == "streaming" {
+			budget = r.AllocsPerOp
+			break
+		}
+	}
+	if budget < 0 {
+		t.Fatal("BENCH_hotloop.json has no streaming HotLoop_64Cores row; regenerate it with cmd/benchreport")
+	}
+
+	const cores = 64
+	p, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(p, workload.Options{Accesses: 100_000, Threads: cores, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+	var scratch system.Scratch
+	run := func() {
+		gen.Reset()
+		if _, err := system.RunStreamWith(context.Background(), cfg, gen, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch buffers, as the benchmark's steady state does
+
+	got := int64(testing.AllocsPerRun(5, run))
+	// 25% slack plus a small absolute floor absorbs runtime-internal
+	// allocation jitter (goroutine wakeups, channel ops) without letting a
+	// real per-chunk regression through.
+	limit := budget + budget/4 + 16
+	if got > limit {
+		t.Errorf("streaming run allocates %d objects, committed baseline %d (limit %d): the chunked pipeline must stay allocation-free per chunk", got, budget, limit)
+	}
+}

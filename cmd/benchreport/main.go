@@ -1,17 +1,22 @@
-// Command benchreport measures the simulator hot loop with both core
-// schedulers — the min-heap default and the historical linear scan —
-// plus the trace generator, and writes the results as JSON. The
-// committed BENCH_hotloop.json at the repository root is this program's
-// output: the repo's perf baseline, regenerated whenever the hot path
-// changes (see the README's Performance section).
+// Command benchreport measures the simulator hot loop across its three
+// performance dimensions — core scheduler (min-heap default vs the
+// historical linear scan), tag-store layout (packed struct-of-arrays vs
+// the retained slice-of-struct reference), and trace input (whole-trace
+// materialization vs the chunked streaming pipeline) — plus the trace
+// generator, and writes the results as JSON. The committed
+// BENCH_hotloop.json at the repository root is this program's output:
+// the repo's perf baseline, regenerated whenever the hot path changes
+// (see the README's Performance section).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_hotloop.json] [-accesses 100000] [-benchtime 1s] [-count 3]
+//	go run ./cmd/benchreport [-o BENCH_hotloop.json] [-accesses 100000]
+//	    [-benchtime 1s] [-count 3] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
-// Each configuration is measured -count times with the two schedulers
-// interleaved and the fastest repetition kept, so co-tenant noise and
-// frequency drift do not skew the comparison.
+// Each configuration is measured -count times with every variant
+// interleaved within a repetition and the fastest repetition kept, so
+// co-tenant noise and frequency drift bias all variants equally and the
+// minimum is the most repeatable estimator.
 package main
 
 import (
@@ -21,12 +26,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
+	"nvmllc/internal/cache"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
-	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
 
@@ -34,6 +40,8 @@ import (
 type benchResult struct {
 	Benchmark   string  `json:"benchmark"`
 	Scheduler   string  `json:"scheduler,omitempty"`
+	Layout      string  `json:"layout,omitempty"`
+	Input       string  `json:"input,omitempty"` // "materialized" or "streaming"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -41,12 +49,19 @@ type benchResult struct {
 	NsPerAccess float64 `json:"ns_per_access"`
 }
 
-// comparison pairs the two schedulers on one core count.
+// comparison pairs two variants along one dimension on one core count.
 type comparison struct {
 	Benchmark      string  `json:"benchmark"`
-	LinearScanNsOp float64 `json:"linear_scan_ns_per_op"`
-	HeapNsOp       float64 `json:"heap_ns_per_op"`
+	Dimension      string  `json:"dimension"` // "scheduler", "layout" or "input"
+	Baseline       string  `json:"baseline"`
+	Contender      string  `json:"contender"`
+	BaselineNsOp   float64 `json:"baseline_ns_per_op"`
+	ContenderNsOp  float64 `json:"contender_ns_per_op"`
 	ImprovementPct float64 `json:"improvement_pct"`
+	// BytesReductionX is baseline bytes_per_op over contender bytes_per_op
+	// (only reported for the input dimension, where the streaming
+	// pipeline's O(chunk) memory is the point of the comparison).
+	BytesReductionX float64 `json:"bytes_reduction_x,omitempty"`
 }
 
 // report is the BENCH_hotloop.json schema.
@@ -61,16 +76,12 @@ type report struct {
 	Comparisons    []comparison  `json:"comparisons"`
 }
 
-func measureSim(cfg system.Config, tr *trace.Trace, sched system.Scheduler) testing.BenchmarkResult {
-	var scratch system.Scratch
-	return testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := system.RunScheduled(context.Background(), cfg, tr, sched, &scratch); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+// variant is one measurable configuration of the hot loop.
+type variant struct {
+	scheduler string
+	layout    string
+	input     string
+	bench     func(b *testing.B)
 }
 
 // nsPerOp extracts the float ns/op of a measurement.
@@ -78,31 +89,32 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
-// measureBest repeats the two-scheduler measurement `count` times,
-// interleaving the schedulers within each repetition so machine drift
-// (frequency scaling, co-tenants) biases both sides equally, and keeps
-// each scheduler's fastest repetition — external noise only ever adds
-// time, so the minimum is the most repeatable estimator.
-func measureBest(cfg system.Config, tr *trace.Trace, count int) (scan, heap testing.BenchmarkResult) {
+// measureBest repeats the whole variant set `count` times, interleaving
+// the variants within each repetition so machine drift (frequency
+// scaling, co-tenants) biases every side equally, and keeps each
+// variant's fastest repetition — external noise only ever adds time, so
+// the minimum is the most repeatable estimator.
+func measureBest(variants []variant, count int) []testing.BenchmarkResult {
+	best := make([]testing.BenchmarkResult, len(variants))
 	for rep := 0; rep < count; rep++ {
-		runtime.GC()
-		s := measureSim(cfg, tr, system.SchedLinearScan)
-		h := measureSim(cfg, tr, system.SchedHeap)
-		if rep == 0 || nsPerOp(s) < nsPerOp(scan) {
-			scan = s
-		}
-		if rep == 0 || nsPerOp(h) < nsPerOp(heap) {
-			heap = h
+		for i, v := range variants {
+			runtime.GC()
+			r := testing.Benchmark(v.bench)
+			if rep == 0 || nsPerOp(r) < nsPerOp(best[i]) {
+				best[i] = r
+			}
 		}
 	}
-	return scan, heap
+	return best
 }
 
-func toResult(name, sched string, accesses int, r testing.BenchmarkResult) benchResult {
+func toResult(name string, v variant, accesses int, r testing.BenchmarkResult) benchResult {
 	ns := nsPerOp(r)
 	return benchResult{
 		Benchmark:   name,
-		Scheduler:   sched,
+		Scheduler:   v.scheduler,
+		Layout:      v.layout,
+		Input:       v.input,
 		Iterations:  r.N,
 		NsPerOp:     ns,
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -111,52 +123,133 @@ func toResult(name, sched string, accesses int, r testing.BenchmarkResult) bench
 	}
 }
 
+// compare builds the comparison row for one dimension from the baseline
+// and contender results.
+func compare(name, dimension string, base, cont benchResult) comparison {
+	c := comparison{
+		Benchmark:      name,
+		Dimension:      dimension,
+		BaselineNsOp:   base.NsPerOp,
+		ContenderNsOp:  cont.NsPerOp,
+		ImprovementPct: 100 * (base.NsPerOp - cont.NsPerOp) / base.NsPerOp,
+	}
+	switch dimension {
+	case "scheduler":
+		c.Baseline, c.Contender = base.Scheduler, cont.Scheduler
+	case "layout":
+		c.Baseline, c.Contender = base.Layout, cont.Layout
+	case "input":
+		c.Baseline, c.Contender = base.Input, cont.Input
+		if cont.BytesPerOp > 0 {
+			c.BytesReductionX = float64(base.BytesPerOp) / float64(cont.BytesPerOp)
+		}
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}
+
 func main() {
 	testing.Init() // register testing's flags so test.benchtime is settable
 	out := flag.String("o", "BENCH_hotloop.json", "output path ('-' for stdout)")
 	accesses := flag.Int("accesses", 100_000, "base trace length per run")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
 	count := flag.Int("count", 3, "repetitions per configuration (best is kept)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	const workloadName = "ft"
 	p, err := workload.ByName(workloadName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	rep := report{
-		Schema:         "nvmllc/bench_hotloop/v1",
+		Schema:         "nvmllc/bench_hotloop/v2",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		Workload:       workloadName,
 		AccessesPerRun: *accesses,
 	}
+	ctx := context.Background()
 	for _, cores := range []int{4, 16, 64} {
-		tr, err := workload.Generate(p, workload.Options{Accesses: *accesses, Threads: cores, Seed: 1})
+		opts := workload.Options{Accesses: *accesses, Threads: cores, Seed: 1}
+		tr, err := workload.Generate(p, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchreport:", err)
-			os.Exit(1)
+			fatal(err)
+		}
+		gen, err := workload.NewGenerator(p, opts)
+		if err != nil {
+			fatal(err)
 		}
 		cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
 		name := fmt.Sprintf("HotLoop_%dCores", cores)
 		n := len(tr.Accesses)
-		fmt.Fprintf(os.Stderr, "measuring %s (best of %d)...\n", name, *count)
-		scan, heap := measureBest(cfg, tr, *count)
-		scanRes := toResult(name, system.SchedLinearScan.String(), n, scan)
-		heapRes := toResult(name, system.SchedHeap.String(), n, heap)
-		rep.Results = append(rep.Results, scanRes, heapRes)
-		rep.Comparisons = append(rep.Comparisons, comparison{
-			Benchmark:      name,
-			LinearScanNsOp: scanRes.NsPerOp,
-			HeapNsOp:       heapRes.NsPerOp,
-			ImprovementPct: 100 * (scanRes.NsPerOp - heapRes.NsPerOp) / scanRes.NsPerOp,
-		})
+
+		runBench := func(run func(scratch *system.Scratch) error) func(b *testing.B) {
+			var scratch system.Scratch
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := run(&scratch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		variants := []variant{
+			{scheduler: system.SchedLinearScan.String(), layout: cache.LayoutSoA.String(), input: "materialized",
+				bench: runBench(func(scratch *system.Scratch) error {
+					_, err := system.RunScheduled(ctx, cfg, tr, system.SchedLinearScan, scratch)
+					return err
+				})},
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutAoS.String(), input: "materialized",
+				bench: runBench(func(scratch *system.Scratch) error {
+					_, err := system.RunLayout(ctx, cfg, tr, cache.LayoutAoS, scratch)
+					return err
+				})},
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "materialized",
+				bench: runBench(func(scratch *system.Scratch) error {
+					_, err := system.RunWith(ctx, cfg, tr, scratch)
+					return err
+				})},
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "streaming",
+				bench: runBench(func(scratch *system.Scratch) error {
+					gen.Reset()
+					_, err := system.RunStreamWith(ctx, cfg, gen, scratch)
+					return err
+				})},
+		}
+		fmt.Fprintf(os.Stderr, "measuring %s (%d variants, best of %d)...\n", name, len(variants), *count)
+		results := measureBest(variants, *count)
+		scanRes := toResult(name, variants[0], n, results[0])
+		aosRes := toResult(name, variants[1], n, results[1])
+		soaRes := toResult(name, variants[2], n, results[2])
+		streamRes := toResult(name, variants[3], n, results[3])
+		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes)
+		rep.Comparisons = append(rep.Comparisons,
+			compare(name, "scheduler", scanRes, soaRes),
+			compare(name, "layout", aosRes, soaRes),
+			compare(name, "input", soaRes, streamRes),
+		)
 	}
 
 	fmt.Fprintln(os.Stderr, "measuring TraceGen...")
@@ -170,15 +263,25 @@ func main() {
 	})
 	genTrace, err := workload.Generate(p, workload.Options{Accesses: *accesses, Threads: 4, Seed: 1})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	rep.Results = append(rep.Results, toResult("TraceGen", "", len(genTrace.Accesses), gen))
+	rep.Results = append(rep.Results, toResult("TraceGen", variant{}, len(genTrace.Accesses), gen))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	data = append(data, '\n')
 	if *out == "-" {
@@ -186,8 +289,7 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }

@@ -52,6 +52,35 @@ func BenchmarkHotLoop_4Cores(b *testing.B)  { benchHotLoop(b, 4) }
 func BenchmarkHotLoop_16Cores(b *testing.B) { benchHotLoop(b, 16) }
 func BenchmarkHotLoop_64Cores(b *testing.B) { benchHotLoop(b, 64) }
 
+// BenchmarkHotLoop_Streaming measures the chunked streaming pipeline at
+// the 64-core configuration where whole-trace materialization costs the
+// most memory: the generator produces chunk N+1 while the simulator
+// consumes chunk N, and per-iteration memory stays O(chunk) regardless
+// of trace length (the bytes/op here is the BENCH_hotloop.json
+// allocation-gate baseline; see TestStreamingAllocGate).
+func BenchmarkHotLoop_Streaming(b *testing.B) {
+	const cores = 64
+	p, err := workload.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(p, workload.Options{Accesses: 100_000, Threads: cores, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+	var scratch system.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(gen.Meta().Accesses))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		if _, err := system.RunStreamWith(context.Background(), cfg, gen, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraceGen measures the synthetic trace generator's steady
 // state: exact-size buffers, no per-access allocation.
 func BenchmarkTraceGen(b *testing.B) {

@@ -1,0 +1,84 @@
+package cache
+
+// Arena recycles tag-store storage across cache constructions. A
+// simulator builds dozens to hundreds of caches per run (three private
+// levels × up to 64 cores plus the LLC); carving their tags/meta/stamps
+// arrays out of one reusable arena makes repeated runs — the engine's
+// steady state and the hot-loop benchmarks — allocation-free on cache
+// storage instead of several megabytes per run at 64 cores.
+//
+// Usage: Reset() once per construction cycle, then NewIn for every cache
+// of that cycle. Windows handed out before a Reset must no longer be in
+// use when the next cycle begins — the caller (internal/system's Scratch)
+// guarantees a Scratch is owned by one run at a time. The zero value is
+// ready to use. An Arena must not be shared by concurrent simulations.
+type Arena struct {
+	tags   []uint64
+	meta   []uint8
+	stamps []uint64
+
+	tagOff, metaOff, stampOff int
+}
+
+// Reset starts a new construction cycle: previously carved windows are
+// abandoned (their backing arrays are reused) and capacity is retained.
+func (a *Arena) Reset() {
+	a.tagOff, a.metaOff, a.stampOff = 0, 0, 0
+}
+
+// take carves an n-element window out of buf, growing to a fresh backing
+// array when full. Earlier windows keep aliasing the old array, so the
+// grow path is safe mid-cycle; capacity doubles relative to the running
+// total, reaching a single steady-state backing within a few cycles.
+func take[T uint64 | uint8](buf *[]T, off *int, n int) []T {
+	if *off+n > len(*buf) {
+		*buf = make([]T, 2*(*off+n))
+		*off = 0
+	}
+	s := (*buf)[*off : *off+n : *off+n]
+	*off += n
+	return s
+}
+
+// takeTags returns an n-line tag window with every way empty (the
+// invalidTag sentinel findWay's residency scan relies on).
+func (a *Arena) takeTags(n int) []uint64 {
+	var s []uint64
+	if a == nil {
+		s = make([]uint64, n)
+	} else {
+		s = take(&a.tags, &a.tagOff, n)
+	}
+	for i := range s {
+		s[i] = invalidTag
+	}
+	return s
+}
+
+// takeMeta returns an n-line meta window, zeroed (all ways invalid).
+func (a *Arena) takeMeta(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	s := take(&a.meta, &a.metaOff, n)
+	clear(s)
+	return s
+}
+
+// takeStamps returns an n-line LRU-stamp window, zeroed (stamps are
+// (re)assigned from the owning cache's clock as ways fill, and only
+// valid ways' stamps are ever compared).
+func (a *Arena) takeStamps(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	s := take(&a.stamps, &a.stampOff, n)
+	clear(s)
+	return s
+}
+
+// takeOcc returns an n-set occupancy window, zeroed (all sets empty). It
+// shares the meta backing array — both are per-construction uint8 state.
+func (a *Arena) takeOcc(n int) []uint8 {
+	return a.takeMeta(n)
+}

@@ -5,9 +5,22 @@
 // Cache models a single level with true-LRU replacement, write-back and
 // write-allocate policy, operating on line addresses (byte address >>
 // log2(block size) is performed by the caller or via the Line helper).
+//
+// The tag store is a packed struct-of-arrays layout: a flat tags []uint64
+// array scanned per set (one cache line covers an 8-way set; empty ways
+// hold a reserved sentinel so the residency scan is a single uint64
+// compare per way with no metadata load), valid/dirty/RRPV bits packed
+// into a parallel meta []uint8 array, and LRU recency kept as monotonic
+// per-line stamps — a hit is one store instead of shuffling 16-byte line
+// structs. The pre-SoA slice-of-struct implementation is retained
+// (reference.go) behind Config{Layout: LayoutAoS} as the bit-identical
+// baseline for equivalence tests and layout benchmarks.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Stats counts cache events.
 type Stats struct {
@@ -57,25 +70,73 @@ func (s *Stats) Add(o Stats) {
 	s.Fills += o.Fills
 }
 
-// line is one cache way.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	rrpv  uint8 // SRRIP re-reference prediction value
+// Layout selects the tag-store memory layout.
+type Layout int
+
+const (
+	// LayoutSoA is the packed struct-of-arrays store (the default).
+	LayoutSoA Layout = iota
+	// LayoutAoS is the retained pre-SoA slice-of-struct reference
+	// implementation, kept for equivalence tests and the
+	// BENCH_hotloop.json old-vs-new layout comparison.
+	LayoutAoS
+)
+
+// String names the layout ("soa", "aos").
+func (l Layout) String() string {
+	switch l {
+	case LayoutSoA:
+		return "soa"
+	case LayoutAoS:
+		return "aos"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
 }
+
+// meta bit layout: valid and dirty flags plus the 2-bit SRRIP RRPV.
+const (
+	metaValid     uint8 = 1 << 0
+	metaDirty     uint8 = 1 << 1
+	metaRRPVShift       = 2
+	metaRRPVMask  uint8 = 3 << metaRRPVShift
+)
+
+// invalidTag occupies empty ways in the packed tag array, so the
+// residency scan needs no metadata load: a way matches iff its tag
+// equals the probed line address, and no real line address can equal the
+// sentinel (a line address is a byte address right-shifted by at least
+// one bit for any block size ≥ 2 — every configuration this simulator
+// builds uses 64-byte blocks).
+const invalidTag = ^uint64(0)
 
 // Cache is a single-level set-associative write-back cache.
 type Cache struct {
-	name      string
-	ways      int
-	sets      int
-	setMask   uint64
-	lines     []line // sets × ways; LRU keeps index 0 = MRU
+	name    string
+	ways    int
+	sets    int
+	setMask uint64
+	// tags and meta are the packed struct-of-arrays tag store: sets×ways
+	// entries, empty ways holding invalidTag with the matching meta valid
+	// bit clear.
+	tags []uint64
+	meta []uint8
+	// stamps holds per-line LRU recency (larger = more recent, assigned
+	// from lruClock); nil under SRRIP and Random, whose state lives in
+	// meta/rngState. The clock is per cache and monotonic, so stamps are
+	// unique and a uint64 cannot wrap within any feasible run.
+	stamps   []uint64
+	lruClock uint64
+	// occ counts valid ways per set, so steady-state fills (every set
+	// full) skip the empty-way scan and go straight to victim selection.
+	occ       []uint8
 	stats     Stats
 	blockBits uint
 	policy    Policy
-	rngState  uint64 // Random policy xorshift state
+	rngState  uint64 // Random policy victim-selection state
+	// ref, when non-nil, is the retained slice-of-struct implementation
+	// (Config.Layout == LayoutAoS); every operation delegates to it.
+	ref *refStore
 }
 
 // Config describes a cache level.
@@ -90,42 +151,113 @@ type Config struct {
 	Ways int
 	// Policy is the replacement policy (zero value: LRU).
 	Policy Policy
+	// VictimSeed seeds the Random policy's victim RNG. Zero (the
+	// default) derives the seed from the level name and geometry, so
+	// same-shaped caches at different levels pick independent victim
+	// sequences; set it explicitly to pin a seed when seed-state
+	// comparisons must stay reproducible across differently-named caches.
+	VictimSeed uint64
+	// Layout selects the tag-store memory layout (default LayoutSoA).
+	Layout Layout
+}
+
+// Validate checks the configuration; New and the hybrid-LLC construction
+// path in internal/system both run it before building a cache.
+func (cfg Config) Validate() error {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size %d must be a positive power of two", cfg.Name, cfg.BlockBytes)
+	}
+	if cfg.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d must be positive", cfg.Name, cfg.Ways)
+	}
+	if cfg.Ways > 255 {
+		return fmt.Errorf("cache %s: ways %d exceeds the associativity limit 255", cfg.Name, cfg.Ways)
+	}
+	if !cfg.Policy.Valid() {
+		return fmt.Errorf("cache %s: unknown replacement policy %d", cfg.Name, int(cfg.Policy))
+	}
+	if cfg.Layout != LayoutSoA && cfg.Layout != LayoutAoS {
+		return fmt.Errorf("cache %s: unknown tag-store layout %d", cfg.Name, int(cfg.Layout))
+	}
+	setBytes := int64(cfg.BlockBytes) * int64(cfg.Ways)
+	if cfg.CapacityBytes <= 0 || cfg.CapacityBytes%setBytes != 0 {
+		return fmt.Errorf("cache %s: capacity %d not a positive multiple of set size %d", cfg.Name, cfg.CapacityBytes, setBytes)
+	}
+	sets := cfg.CapacityBytes / setBytes
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, sets)
+	}
+	return nil
+}
+
+// sets returns the validated set count.
+func (cfg Config) numSets() int {
+	return int(cfg.CapacityBytes / (int64(cfg.BlockBytes) * int64(cfg.Ways)))
+}
+
+// victimSeed resolves the Random-policy RNG seed: the explicit override
+// when set, otherwise a per-level derivation mixing the name and geometry
+// so same-shaped caches at different levels (or levels at different
+// cores) do not replay identical victim sequences.
+func (cfg Config) victimSeed(sets int) uint64 {
+	if cfg.VictimSeed != 0 {
+		return cfg.VictimSeed
+	}
+	// FNV-1a over the name, then splitmix64-style finalization with the
+	// geometry folded in. The additive constant keeps the zero-name,
+	// zero-geometry corner away from a zero state.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(cfg.Name); i++ {
+		h ^= uint64(cfg.Name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(sets)<<32 ^ uint64(cfg.Ways)
+	h += 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	if h == 0 {
+		h = 0x9E3779B97F4A7C15
+	}
+	return h
 }
 
 // New builds a cache. Capacity must be a power-of-two multiple of
 // BlockBytes×Ways so the set count is a power of two.
-func New(cfg Config) (*Cache, error) {
-	if cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
-		return nil, fmt.Errorf("cache %s: block size %d must be a positive power of two", cfg.Name, cfg.BlockBytes)
+func New(cfg Config) (*Cache, error) { return NewIn(nil, cfg) }
+
+// NewIn is New carving the tag-store arrays out of the arena, recycling
+// their storage across simulator constructions (a nil arena allocates
+// fresh). The reference LayoutAoS always allocates fresh, preserving the
+// historical allocation behavior it exists to represent.
+func NewIn(a *Arena, cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Ways <= 0 {
-		return nil, fmt.Errorf("cache %s: ways %d must be positive", cfg.Name, cfg.Ways)
-	}
-	if !cfg.Policy.Valid() {
-		return nil, fmt.Errorf("cache %s: unknown replacement policy %d", cfg.Name, int(cfg.Policy))
-	}
-	setBytes := int64(cfg.BlockBytes) * int64(cfg.Ways)
-	if cfg.CapacityBytes <= 0 || cfg.CapacityBytes%setBytes != 0 {
-		return nil, fmt.Errorf("cache %s: capacity %d not a positive multiple of set size %d", cfg.Name, cfg.CapacityBytes, setBytes)
-	}
-	sets := cfg.CapacityBytes / setBytes
-	if sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, sets)
-	}
-	blockBits := uint(0)
-	for 1<<blockBits < cfg.BlockBytes {
-		blockBits++
-	}
-	return &Cache{
+	sets := cfg.numSets()
+	c := &Cache{
 		name:      cfg.Name,
 		ways:      cfg.Ways,
-		sets:      int(sets),
+		sets:      sets,
 		setMask:   uint64(sets - 1),
-		lines:     make([]line, int(sets)*cfg.Ways),
-		blockBits: blockBits,
+		blockBits: uint(bits.TrailingZeros64(uint64(cfg.BlockBytes))),
 		policy:    cfg.Policy,
-		rngState:  0x9E3779B97F4A7C15,
-	}, nil
+		rngState:  cfg.victimSeed(sets),
+	}
+	if cfg.Layout == LayoutAoS {
+		c.ref = newRefStore(sets, cfg.Ways, cfg.Policy, c.rngState)
+		return c, nil
+	}
+	lines := sets * cfg.Ways
+	c.tags = a.takeTags(lines)
+	c.meta = a.takeMeta(lines)
+	c.occ = a.takeOcc(sets)
+	if cfg.Policy == LRU {
+		c.stamps = a.takeStamps(lines)
+	}
+	return c, nil
 }
 
 // Line converts a byte address to this cache's line address.
@@ -144,10 +276,21 @@ func (c *Cache) Name() string { return c.name }
 func (c *Cache) ReplacementPolicy() Policy { return c.policy }
 
 // Stats returns the accumulated event counts.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	if c.ref != nil {
+		return c.ref.stats
+	}
+	return c.stats
+}
 
 // ResetStats zeroes the counters without touching cache contents.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	if c.ref != nil {
+		c.ref.stats = Stats{}
+		return
+	}
+	c.stats = Stats{}
+}
 
 // Eviction describes a line displaced by a fill.
 type Eviction struct {
@@ -159,41 +302,61 @@ type Eviction struct {
 	Valid bool
 }
 
+// setBase returns the index of the first way of lineAddr's set.
+func (c *Cache) setBase(lineAddr uint64) int {
+	return int(lineAddr&c.setMask) * c.ways
+}
+
+// findWay scans the set's packed tags for lineAddr, returning the way
+// index or -1: one uint64 compare per way over a single contiguous run
+// of tags, with no metadata load — empty ways hold invalidTag, which no
+// probed line address can equal.
+func (c *Cache) findWay(base int, lineAddr uint64) int {
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
 // Access performs a lookup for a line address, allocating on miss.
 // isWrite marks the line dirty on hit or after the allocate (write-back,
 // write-allocate). It returns whether the lookup hit and the eviction, if
 // any, caused by the allocation.
 func (c *Cache) Access(lineAddr uint64, isWrite bool) (hit bool, ev Eviction) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			c.stats.Hits++
-			if isWrite {
-				set[i].dirty = true
-			}
-			c.onHit(set, i)
-			return true, Eviction{}
+	if c.ref != nil {
+		return c.ref.Access(lineAddr, isWrite)
+	}
+	base := c.setBase(lineAddr)
+	if i := c.findWay(base, lineAddr); i >= 0 {
+		c.stats.Hits++
+		if isWrite {
+			c.meta[base+i] |= metaDirty
 		}
+		c.touchHit(base, i)
+		return true, Eviction{}
 	}
 	c.stats.Misses++
-	ev = c.fill(set, lineAddr, isWrite)
-	return false, ev
+	return false, c.fill(base, lineAddr, isWrite)
 }
 
 // Touch performs a non-allocating lookup: a hit updates replacement
 // state (and optionally dirtiness) and returns true; a miss changes
 // nothing. Statistics are counted like Access.
 func (c *Cache) Touch(lineAddr uint64, isWrite bool) bool {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			c.stats.Hits++
-			if isWrite {
-				set[i].dirty = true
-			}
-			c.onHit(set, i)
-			return true
+	if c.ref != nil {
+		return c.ref.Touch(lineAddr, isWrite)
+	}
+	base := c.setBase(lineAddr)
+	if i := c.findWay(base, lineAddr); i >= 0 {
+		c.stats.Hits++
+		if isWrite {
+			c.meta[base+i] |= metaDirty
 		}
+		c.touchHit(base, i)
+		return true
 	}
 	c.stats.Misses++
 	return false
@@ -201,108 +364,116 @@ func (c *Cache) Touch(lineAddr uint64, isWrite bool) bool {
 
 // Probe checks residency without updating LRU state or statistics.
 func (c *Cache) Probe(lineAddr uint64) bool {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return true
-		}
+	if c.ref != nil {
+		return c.ref.Probe(lineAddr)
 	}
-	return false
+	return c.findWay(c.setBase(lineAddr), lineAddr) >= 0
 }
 
 // Install inserts a line (e.g. a fill from below in a non-lookup path)
 // and returns any eviction. The line is installed clean unless dirty.
 func (c *Cache) Install(lineAddr uint64, dirty bool) Eviction {
-	set := c.set(lineAddr)
-	// If already present, just update dirtiness and recency.
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].dirty = set[i].dirty || dirty
-			c.onHit(set, i)
-			return Eviction{}
-		}
+	if c.ref != nil {
+		return c.ref.Install(lineAddr, dirty)
 	}
-	return c.fill(set, lineAddr, dirty)
+	base := c.setBase(lineAddr)
+	// If already present, just update dirtiness and recency.
+	if i := c.findWay(base, lineAddr); i >= 0 {
+		if dirty {
+			c.meta[base+i] |= metaDirty
+		}
+		c.touchHit(base, i)
+		return Eviction{}
+	}
+	return c.fill(base, lineAddr, dirty)
 }
 
 // WritebackTo marks a resident line dirty (a writeback arriving from an
 // upper level). If the line is absent it is installed dirty
 // (write-allocate) and the displaced line is returned.
 func (c *Cache) WritebackTo(lineAddr uint64) (wasPresent bool, ev Eviction) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].dirty = true
-			c.onHit(set, i)
-			return true, Eviction{}
-		}
+	if c.ref != nil {
+		return c.ref.WritebackTo(lineAddr)
 	}
-	return false, c.fill(set, lineAddr, true)
+	base := c.setBase(lineAddr)
+	if i := c.findWay(base, lineAddr); i >= 0 {
+		c.meta[base+i] |= metaDirty
+		c.touchHit(base, i)
+		return true, Eviction{}
+	}
+	return false, c.fill(base, lineAddr, true)
 }
 
 // Clean clears a resident line's dirty bit without evicting it (a
 // coherence downgrade: Modified -> Shared). It reports residency and
 // whether the line had been dirty.
 func (c *Cache) Clean(lineAddr uint64) (present, wasDirty bool) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			wasDirty = set[i].dirty
-			set[i].dirty = false
-			return true, wasDirty
-		}
+	if c.ref != nil {
+		return c.ref.Clean(lineAddr)
 	}
-	return false, false
+	base := c.setBase(lineAddr)
+	i := c.findWay(base, lineAddr)
+	if i < 0 {
+		return false, false
+	}
+	wasDirty = c.meta[base+i]&metaDirty != 0
+	c.meta[base+i] &^= metaDirty
+	return true, wasDirty
 }
 
 // Invalidate drops a line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			present, dirty = true, set[i].dirty
-			if c.policy == LRU {
-				// Keep LRU sets compacted: valid lines first.
-				copy(set[i:], set[i+1:])
-				set[len(set)-1] = line{}
-			} else {
-				set[i] = line{}
-			}
-			return present, dirty
-		}
+	if c.ref != nil {
+		return c.ref.Invalidate(lineAddr)
 	}
-	return false, false
+	base := c.setBase(lineAddr)
+	i := c.findWay(base, lineAddr)
+	if i < 0 {
+		return false, false
+	}
+	dirty = c.meta[base+i]&metaDirty != 0
+	// Dropping a line needs no LRU bookkeeping: the surviving stamps keep
+	// their relative order, exactly as the reference layout's compaction
+	// preserves the survivors' order.
+	c.tags[base+i] = invalidTag
+	c.meta[base+i] = 0
+	c.occ[lineAddr&c.setMask]--
+	return true, dirty
 }
 
-// fill installs a tag, evicting the policy's victim if the set is full.
-func (c *Cache) fill(set []line, tag uint64, dirty bool) Eviction {
+// fill installs a tag at the set starting at base, evicting the policy's
+// victim if the set is full. The occupancy count routes full sets (the
+// steady state) straight to victim selection; non-full sets find a free
+// way by scanning the tags for the invalidTag sentinel.
+func (c *Cache) fill(base int, tag uint64, dirty bool) Eviction {
 	c.stats.Fills++
-	vi := emptyWayIndex(set)
+	si := int(tag & c.setMask)
 	ev := Eviction{}
-	if vi < 0 {
-		vi = c.victimIndex(set)
-		victim := set[vi]
-		ev = Eviction{LineAddr: victim.tag, Dirty: victim.dirty, Valid: true}
-		if victim.dirty {
+	var vi int
+	if int(c.occ[si]) == c.ways {
+		vi = c.victimWay(base)
+		m := c.meta[base+vi]
+		ev = Eviction{LineAddr: c.tags[base+vi], Dirty: m&metaDirty != 0, Valid: true}
+		if m&metaDirty != 0 {
 			c.stats.Writebacks++
 		}
+	} else {
+		vi = c.findWay(base, invalidTag)
+		c.occ[si]++
 	}
-	c.place(set, vi, line{tag: tag, valid: true, dirty: dirty})
+	c.place(base, vi, tag, dirty)
 	return ev
-}
-
-// set returns the ways of the set holding lineAddr, MRU first.
-func (c *Cache) set(lineAddr uint64) []line {
-	idx := int(lineAddr&c.setMask) * c.ways
-	return c.lines[idx : idx+c.ways]
 }
 
 // OccupiedLines counts currently valid lines (for tests and capacity
 // diagnostics).
 func (c *Cache) OccupiedLines() int {
+	if c.ref != nil {
+		return c.ref.occupiedLines()
+	}
 	n := 0
-	for _, l := range c.lines {
-		if l.valid {
+	for _, m := range c.meta {
+		if m&metaValid != 0 {
 			n++
 		}
 	}
@@ -311,9 +482,12 @@ func (c *Cache) OccupiedLines() int {
 
 // DirtyLines counts currently dirty lines.
 func (c *Cache) DirtyLines() int {
+	if c.ref != nil {
+		return c.ref.dirtyLines()
+	}
 	n := 0
-	for _, l := range c.lines {
-		if l.valid && l.dirty {
+	for _, m := range c.meta {
+		if m&(metaValid|metaDirty) == metaValid|metaDirty {
 			n++
 		}
 	}

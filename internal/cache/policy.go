@@ -16,8 +16,8 @@ const (
 	// al.): lines insert at "long" re-reference, promote to "immediate"
 	// on hit, and the victim is the first line predicted "distant".
 	SRRIP
-	// Random evicts a pseudo-random way (xorshift, deterministic per
-	// cache instance).
+	// Random evicts a pseudo-random way (deterministic per cache
+	// instance; seeded per level, see Config.VictimSeed).
 	Random
 )
 
@@ -44,70 +44,72 @@ const (
 	rrpvInsert = 2 // long re-reference: insertion value
 )
 
-// onHit updates replacement state for a hit at index i of the set and
-// returns the (possibly moved) index of the line afterwards.
-func (c *Cache) onHit(set []line, i int) int {
+// touchHit updates replacement state for a hit on way i of the set at
+// base. Under LRU the hit line takes the next clock stamp — one store,
+// against the reference layout's copy-to-front shuffle of 16-byte
+// structs; the stamps record the same recency order.
+func (c *Cache) touchHit(base, i int) {
 	switch c.policy {
 	case LRU:
-		l := set[i]
-		copy(set[1:i+1], set[:i])
-		set[0] = l
-		return 0
+		c.lruClock++
+		c.stamps[base+i] = c.lruClock
 	case SRRIP:
-		set[i].rrpv = 0
-		return i
+		c.meta[base+i] &^= metaRRPVMask
 	default: // Random: no state
-		return i
 	}
 }
 
-// victimIndex picks the way to evict from a full set.
-func (c *Cache) victimIndex(set []line) int {
+// victimWay picks the way to evict from a full set (every way valid).
+func (c *Cache) victimWay(base int) int {
 	switch c.policy {
 	case LRU:
-		return len(set) - 1
+		// The LRU line holds the set's minimum stamp (stamps are unique:
+		// the clock is monotonic, and a full set means every way was
+		// stamped by this cache instance).
+		stamps := c.stamps[base : base+c.ways]
+		vi, min := 0, stamps[0]
+		for j := 1; j < len(stamps); j++ {
+			if stamps[j] < min {
+				vi, min = j, stamps[j]
+			}
+		}
+		return vi
 	case SRRIP:
+		meta := c.meta[base : base+c.ways]
 		for {
-			for i := range set {
-				if set[i].rrpv >= rrpvMax {
+			for i := range meta {
+				if (meta[i]&metaRRPVMask)>>metaRRPVShift >= rrpvMax {
 					return i
 				}
 			}
-			for i := range set {
-				if set[i].rrpv < rrpvMax {
-					set[i].rrpv++
+			for i := range meta {
+				if (meta[i]&metaRRPVMask)>>metaRRPVShift < rrpvMax {
+					meta[i] += 1 << metaRRPVShift
 				}
 			}
 		}
 	default: // Random
 		c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
-		return int((c.rngState >> 33) % uint64(len(set)))
+		return int((c.rngState >> 33) % uint64(c.ways))
 	}
 }
 
-// place installs a new line over the victim at index vi, maintaining
-// policy state.
-func (c *Cache) place(set []line, vi int, l line) {
+// place installs a new line over way vi (an empty way or the victim),
+// maintaining policy state. Under LRU the filled line takes the next
+// clock stamp, making it the set's most recent whether the way was empty
+// or the evicted minimum.
+func (c *Cache) place(base, vi int, tag uint64, dirty bool) {
+	m := metaValid
+	if dirty {
+		m |= metaDirty
+	}
 	switch c.policy {
 	case LRU:
-		copy(set[1:vi+1], set[:vi])
-		l.rrpv = 0
-		set[0] = l
+		c.lruClock++
+		c.stamps[base+vi] = c.lruClock
 	case SRRIP:
-		l.rrpv = rrpvInsert
-		set[vi] = l
-	default:
-		set[vi] = l
+		m |= rrpvInsert << metaRRPVShift
 	}
-}
-
-// emptyWayIndex returns the index of an invalid way, or -1 if the set is
-// full.
-func emptyWayIndex(set []line) int {
-	for i := range set {
-		if !set[i].valid {
-			return i
-		}
-	}
-	return -1
+	c.tags[base+vi] = tag
+	c.meta[base+vi] = m
 }

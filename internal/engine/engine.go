@@ -35,12 +35,18 @@ import (
 	"nvmllc/internal/workload"
 )
 
-// Job is one design point: a generated trace and the machine
-// configuration to simulate it on. Workload and TraceOpts identify the
-// trace's provenance and, with Config, form the cache key — callers must
-// pass the same Options the trace was generated with (a hand-built trace
+// Job is one design point: an access trace and the machine configuration
+// to simulate it on. Workload and TraceOpts identify the trace's
+// provenance and, with Config, form the cache key — callers must pass
+// the same Options the trace was generated with (a hand-built trace
 // that did not come from workload.Generate should disable caching via
 // NoCache).
+//
+// The trace arrives either materialized (Trace) or streamed (Source).
+// The two forms are interchangeable: the simulator produces byte-
+// identical results for the same access sequence, and the cache key does
+// not distinguish them, so a streamed job can be answered by a cached
+// whole-trace result and vice versa.
 type Job struct {
 	// Workload is the trace/workload name.
 	Workload string
@@ -50,9 +56,30 @@ type Job struct {
 	Config system.Config
 	// Trace is the access trace to simulate.
 	Trace *trace.Trace
+	// Source, when Trace is nil, supplies the trace as a chunked stream:
+	// the factory is called once per actual simulation (cache hits skip
+	// it) and must return a fresh, unconsumed source each time — sources
+	// are single-pass and owned by the run (see system.RunStream). The
+	// engine holds O(chunk) access memory per worker instead of the whole
+	// trace.
+	Source func() (trace.ChunkSource, error)
 	// NoCache forces a fresh simulation and keeps the result out of the
 	// cache (for traces whose provenance the key cannot capture).
 	NoCache bool
+}
+
+// StreamJob builds a streaming job for a named workload: the generator
+// is constructed per simulation from the same (profile, options) pair
+// the materialized form would use, so the job hits the same cache entry.
+func StreamJob(p workload.Profile, opts workload.Options, cfg system.Config) Job {
+	return Job{
+		Workload:  p.Name,
+		TraceOpts: opts,
+		Config:    cfg,
+		Source: func() (trace.ChunkSource, error) {
+			return workload.NewGenerator(p, opts)
+		},
+	}
 }
 
 // LLCName labels the job's LLC for error and progress reporting.
@@ -262,7 +289,22 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 		scratch = new(system.Scratch)
 	}
 	start := time.Now()
-	res, err := system.RunWith(ctx, j.Config, j.Trace, scratch)
+	var res *system.Result
+	var err error
+	var accesses uint64
+	switch {
+	case j.Trace != nil:
+		res, err = system.RunWith(ctx, j.Config, j.Trace, scratch)
+		accesses = uint64(len(j.Trace.Accesses))
+	case j.Source != nil:
+		var src trace.ChunkSource
+		if src, err = j.Source(); err == nil {
+			res, err = system.RunStreamWith(ctx, j.Config, src, scratch)
+			accesses = uint64(src.Meta().Accesses)
+		}
+	default:
+		err = fmt.Errorf("engine: job %s on %s has neither a trace nor a source", j.Workload, j.LLCName())
+	}
 	wall := time.Since(start).Nanoseconds()
 	e.scratch.Put(scratch)
 	e.simWallNS.Add(wall)
@@ -273,7 +315,7 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 		span.SetAttr("error", err.Error())
 	} else {
 		e.simulated.Add(1)
-		e.accesses.Add(uint64(len(j.Trace.Accesses)))
+		e.accesses.Add(accesses)
 		e.reg.Counter("engine_jobs_total", "outcome", "simulated").Inc()
 		e.reg.Histogram("engine_job_llc_hits").Observe(float64(res.LLC.Hits))
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"nvmllc/internal/cache"
 	"nvmllc/internal/nvsim"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/trace"
@@ -54,7 +55,7 @@ func TestHybridInterventionChargesLatency(t *testing.T) {
 			{Addr: 0x10040, Kind: trace.Read, Tid: 1},
 		},
 	}
-	sim, err := newSimulator(cfg, tr, nil)
+	sim, err := newSimulator(cfg, tr.Threads, new(Scratch), cache.LayoutSoA)
 	if err != nil {
 		t.Fatal(err)
 	}

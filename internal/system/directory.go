@@ -43,7 +43,7 @@ func newDirectory() *directory {
 // fresh.
 func newDirectoryWith(t sharerTable) *directory {
 	d := &directory{sharers: t}
-	if len(d.sharers.keys) == 0 {
+	if len(d.sharers.entries) == 0 {
 		d.sharers.init(1 << 10)
 	} else {
 		d.sharers.clear()
@@ -67,29 +67,37 @@ func (d *directory) othersHolding(line uint64, core int) uint64 {
 	return d.sharers.get(line) &^ (1 << uint(core))
 }
 
+// sharerEntry is one slot of the table: the line address and its sharer
+// mask side by side, so a probe touches one cache line instead of two
+// parallel arrays (the table is probed on every private-cache miss, fill
+// and eviction — it profiles as one of the simulator's hottest data
+// structures, and its misses are DRAM-bound).
+type sharerEntry struct {
+	key  uint64
+	mask uint64
+}
+
 // sharerTable is an open-addressed, linear-probed uint64→uint64 hash
 // table holding the directory's line→sharer-mask entries. Invariant: a
-// stored mask is never zero, so masks[i]==0 means slot i is empty.
-// Entries bounded by total private-cache lines keep the load factor low;
-// the table doubles at 3/4 full.
+// stored mask is never zero, so mask==0 marks an empty slot. Entries
+// bounded by total private-cache lines keep the load factor low; the
+// table doubles at 3/4 full.
 type sharerTable struct {
-	keys  []uint64
-	masks []uint64
-	shift uint // 64 - log2(len(keys)), for fibonacci hashing
-	used  int
+	entries []sharerEntry
+	shift   uint // 64 - log2(len(entries)), for fibonacci hashing
+	used    int
 }
 
 // clear empties the table, keeping its capacity.
 func (t *sharerTable) clear() {
-	for i := range t.masks {
-		t.masks[i] = 0
+	for i := range t.entries {
+		t.entries[i] = sharerEntry{}
 	}
 	t.used = 0
 }
 
 func (t *sharerTable) init(size int) {
-	t.keys = make([]uint64, size)
-	t.masks = make([]uint64, size)
+	t.entries = make([]sharerEntry, size)
 	t.shift = 64
 	for s := size; s > 1; s >>= 1 {
 		t.shift--
@@ -104,31 +112,33 @@ func (t *sharerTable) home(key uint64) int {
 
 // get returns the stored mask, or 0 when the line is untracked.
 func (t *sharerTable) get(line uint64) uint64 {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.entries) - 1)
 	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
-		if t.masks[i] == 0 {
+		e := t.entries[i]
+		if e.mask == 0 {
 			return 0
 		}
-		if t.keys[i] == line {
-			return t.masks[i]
+		if e.key == line {
+			return e.mask
 		}
 	}
 }
 
 // orBit sets bit in the line's mask, inserting the entry if absent.
 func (t *sharerTable) orBit(line, bit uint64) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.entries) - 1)
 	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
-		if t.masks[i] == 0 {
-			t.keys[i] = line
-			t.masks[i] = bit
-			if t.used++; 4*t.used >= 3*len(t.keys) {
+		e := &t.entries[i]
+		if e.mask == 0 {
+			e.key = line
+			e.mask = bit
+			if t.used++; 4*t.used >= 3*len(t.entries) {
 				t.grow()
 			}
 			return
 		}
-		if t.keys[i] == line {
-			t.masks[i] |= bit
+		if e.key == line {
+			e.mask |= bit
 			return
 		}
 	}
@@ -137,13 +147,14 @@ func (t *sharerTable) orBit(line, bit uint64) {
 // clearBit clears bit in the line's mask, deleting the entry when the
 // mask empties. Unknown lines are a no-op.
 func (t *sharerTable) clearBit(line, bit uint64) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.entries) - 1)
 	for i := t.home(line); ; i = int((uint64(i) + 1) & mask) {
-		if t.masks[i] == 0 {
+		e := &t.entries[i]
+		if e.mask == 0 {
 			return
 		}
-		if t.keys[i] == line {
-			if t.masks[i] &^= bit; t.masks[i] == 0 {
+		if e.key == line {
+			if e.mask &^= bit; e.mask == 0 {
 				t.del(i)
 			}
 			return
@@ -154,48 +165,44 @@ func (t *sharerTable) clearBit(line, bit uint64) {
 // del empties slot i and backward-shifts the probe chain so lookups
 // never cross a false hole (standard linear-probing deletion).
 func (t *sharerTable) del(i int) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.entries) - 1)
 	t.used--
 	j := i
 	for {
 		j = int((uint64(j) + 1) & mask)
-		if t.masks[j] == 0 {
+		if t.entries[j].mask == 0 {
 			break
 		}
-		k := t.home(t.keys[j])
+		k := t.home(t.entries[j].key)
 		// Slot j's entry may move into the hole at i only if i lies in
 		// its probe path [k, j) (cyclically).
 		if j > i {
 			if k <= i || k > j {
-				t.keys[i] = t.keys[j]
-				t.masks[i] = t.masks[j]
+				t.entries[i] = t.entries[j]
 				i = j
 			}
 		} else if k <= i && k > j {
-			t.keys[i] = t.keys[j]
-			t.masks[i] = t.masks[j]
+			t.entries[i] = t.entries[j]
 			i = j
 		}
 	}
-	t.masks[i] = 0
+	t.entries[i] = sharerEntry{}
 }
 
 // grow doubles the table and rehashes every live entry.
 func (t *sharerTable) grow() {
-	oldKeys, oldMasks := t.keys, t.masks
-	t.init(2 * len(oldKeys))
-	mask := uint64(len(t.keys) - 1)
-	for i, m := range oldMasks {
-		if m == 0 {
+	old := t.entries
+	t.init(2 * len(old))
+	mask := uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.mask == 0 {
 			continue
 		}
-		line := oldKeys[i]
-		j := t.home(line)
-		for t.masks[j] != 0 {
+		j := t.home(e.key)
+		for t.entries[j].mask != 0 {
 			j = int((uint64(j) + 1) & mask)
 		}
-		t.keys[j] = line
-		t.masks[j] = m
+		t.entries[j] = e
 		t.used++
 	}
 }

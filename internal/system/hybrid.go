@@ -79,8 +79,11 @@ type hybridLLC struct {
 
 // newHybridLLC builds the partitions: the NVM model's capacity defines the
 // set count at the machine's total associativity; each partition gets its
-// share of ways at that set count.
-func newHybridLLC(h *HybridConfig, blockBytes, totalWays int) (*hybridLLC, error) {
+// share of ways at that set count. Both partition configs go through
+// cache.Config.Validate before construction, so a bad hybrid geometry is
+// reported against the partition that causes it rather than surfacing as
+// a generic cache.New error.
+func newHybridLLC(h *HybridConfig, blockBytes, totalWays int, layout cache.Layout) (*hybridLLC, error) {
 	if err := h.Validate(totalWays); err != nil {
 		return nil, err
 	}
@@ -89,17 +92,24 @@ func newHybridLLC(h *HybridConfig, blockBytes, totalWays int) (*hybridLLC, error
 		return nil, fmt.Errorf("system: hybrid set count %d must be a positive power of two", sets)
 	}
 	nvmWays := totalWays - h.SRAMWays
-	sram, err := cache.New(cache.Config{
+	sramCfg := cache.Config{
 		Name: "LLC-SRAM", CapacityBytes: sets * int64(h.SRAMWays) * int64(blockBytes),
-		BlockBytes: blockBytes, Ways: h.SRAMWays,
-	})
+		BlockBytes: blockBytes, Ways: h.SRAMWays, Layout: layout,
+	}
+	nvmCfg := cache.Config{
+		Name: "LLC-NVM", CapacityBytes: sets * int64(nvmWays) * int64(blockBytes),
+		BlockBytes: blockBytes, Ways: nvmWays, Layout: layout,
+	}
+	for _, cfg := range []cache.Config{sramCfg, nvmCfg} {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("system: hybrid partition: %w", err)
+		}
+	}
+	sram, err := cache.New(sramCfg)
 	if err != nil {
 		return nil, err
 	}
-	nvm, err := cache.New(cache.Config{
-		Name: "LLC-NVM", CapacityBytes: sets * int64(nvmWays) * int64(blockBytes),
-		BlockBytes: blockBytes, Ways: nvmWays,
-	})
+	nvm, err := cache.New(nvmCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,279 @@
+package system
+
+// Streaming simulation: RunStream consumes a trace.ChunkSource chunk by
+// chunk instead of a materialized trace, holding O(chunk) access memory
+// regardless of trace length, and overlaps generation of chunk N+1 with
+// simulation of chunk N through a bounded double buffer (a producer
+// goroutine cycling two chunk buffers through free/out channels).
+//
+// The scheduling is provably identical to the whole-trace path: the same
+// min-heap picks the core with the earliest (local time, index) key, a
+// core stays in the heap while it has stream accesses left anywhere in
+// the trace (streamLeft, from Meta.PerThread), and when the earliest
+// core's queue has not been generated yet the loop refills — which steps
+// no other core — until it is. Per-core FIFO append preserves program
+// order, and the instruction pacing divides the same up-front PerThread
+// counts, so results are byte-identical to Run on the same sequence.
+
+import (
+	"context"
+	"fmt"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/trace"
+)
+
+// DefaultChunkAccesses is the streaming chunk size (accesses per
+// ReadChunk): large enough to amortize the channel handoff to well under
+// a nanosecond per access, small enough that the double buffer stays a
+// few hundred KB.
+const DefaultChunkAccesses = 8192
+
+// RunStream simulates a chunked trace source on the configured machine.
+// The source is consumed exactly once, sequentially, from a single
+// producer goroutine that runs ahead of the simulation by at most two
+// chunks; it must not be shared with other concurrent runs.
+func RunStream(ctx context.Context, cfg Config, src trace.ChunkSource) (*Result, error) {
+	return RunStreamWith(ctx, cfg, src, nil)
+}
+
+// RunStreamWith is RunStream reusing the caller's Scratch buffers (chunk
+// double buffer, per-core queues, cache arena, directory tables), making
+// repeated streaming simulations allocation-free on those paths.
+func RunStreamWith(ctx context.Context, cfg Config, src trace.ChunkSource, scratch *Scratch) (*Result, error) {
+	return runStreamChunked(ctx, cfg, src, scratch, DefaultChunkAccesses)
+}
+
+func runStreamChunked(ctx context.Context, cfg Config, src trace.ChunkSource, scratch *Scratch, chunkAccesses int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if meta.Threads > cfg.Cores {
+		return nil, fmt.Errorf("system: trace %s has %d threads but only %d cores", meta.Name, meta.Threads, cfg.Cores)
+	}
+	if chunkAccesses <= 0 {
+		return nil, fmt.Errorf("system: chunk size %d, want positive", chunkAccesses)
+	}
+	if scratch == nil {
+		scratch = new(Scratch)
+	}
+	sim, err := newSimulator(cfg, meta.Threads, scratch, cache.LayoutSoA)
+	if err != nil {
+		return nil, err
+	}
+	if sim.dir != nil {
+		defer func() { scratch.sharers = sim.dir.sharers }()
+	}
+
+	// Wire the stream: queues start empty, streamLeft counts everything
+	// the core will consume (generated or not), pacing divides the same
+	// PerThread totals loadTrace derives from a materialized split.
+	if cap(scratch.queues) < meta.Threads {
+		scratch.queues = make([][]trace.Access, meta.Threads)
+	}
+	scratch.queues = scratch.queues[:meta.Threads]
+	for t, cs := range sim.cores {
+		cs.accs = scratch.queues[t][:0]
+		cs.streamLeft = meta.PerThread[t]
+	}
+	sim.spreadBudgets(meta.InstrCount, func(t int) int64 { return meta.PerThread[t] })
+	// Return the (possibly regrown) queue storage to the scratch whatever
+	// the outcome.
+	defer func() {
+		for t, cs := range sim.cores {
+			scratch.queues[t] = cs.accs[:0]
+		}
+	}()
+
+	st := newStreamState(src, scratch, chunkAccesses, meta)
+	defer st.shutdown()
+	if err := sim.runStream(ctx, st); err != nil {
+		return nil, err
+	}
+	return sim.result(meta.Name), nil
+}
+
+// chunkMsg is one producer→consumer handoff: a filled chunk (nil when
+// the source failed) and the source's error, if any.
+type chunkMsg struct {
+	accs []trace.Access
+	err  error
+}
+
+// streamState runs the producer goroutine and distributes its chunks
+// into the per-core queues.
+type streamState struct {
+	meta trace.Meta
+	// free carries empty chunk buffers back to the producer; out carries
+	// filled ones forward. Capacity 2 on both sides bounds the producer's
+	// lead at two chunks (the double buffer).
+	free chan []trace.Access
+	out  chan chunkMsg
+	// stop aborts the producer early; the producer closes out on exit, so
+	// shutdown can drain to completion.
+	stop chan struct{}
+	// produced counts per-thread accesses distributed so far, checked
+	// against meta.PerThread so a source that lies about its Meta fails
+	// loudly instead of corrupting the pacing.
+	produced []int64
+	done     bool
+}
+
+func newStreamState(src trace.ChunkSource, scratch *Scratch, chunkAccesses int, meta trace.Meta) *streamState {
+	st := &streamState{
+		meta:     meta,
+		free:     make(chan []trace.Access, 2),
+		out:      make(chan chunkMsg, 2),
+		stop:     make(chan struct{}),
+		produced: make([]int64, meta.Threads),
+	}
+	for i := range scratch.chunks {
+		if cap(scratch.chunks[i]) < chunkAccesses {
+			scratch.chunks[i] = make([]trace.Access, chunkAccesses)
+		}
+		st.free <- scratch.chunks[i][:chunkAccesses]
+	}
+	go st.produce(src)
+	return st
+}
+
+// produce runs the source ahead of the simulation, one chunk per free
+// buffer. It owns src: ReadChunk is only ever called here, sequentially.
+func (st *streamState) produce(src trace.ChunkSource) {
+	defer close(st.out)
+	for {
+		var buf []trace.Access
+		select {
+		case buf = <-st.free:
+		case <-st.stop:
+			return
+		}
+		n, err := src.ReadChunk(buf)
+		if err != nil {
+			select {
+			case st.out <- chunkMsg{err: err}:
+			case <-st.stop:
+			}
+			return
+		}
+		if n == 0 {
+			return // exhausted
+		}
+		select {
+		case st.out <- chunkMsg{accs: buf[:n]}:
+		case <-st.stop:
+			return
+		}
+	}
+}
+
+// shutdown stops the producer and drains its output, so the chunk
+// buffers are quiescent (safe to reuse from the scratch) on return.
+func (st *streamState) shutdown() {
+	close(st.stop)
+	for range st.out {
+	}
+}
+
+// refill distributes the next chunk into the per-core queues. It returns
+// false with a nil error when the source is exhausted.
+func (s *simulator) refill(st *streamState) (bool, error) {
+	if st.done {
+		return false, nil
+	}
+	msg, ok := <-st.out
+	if !ok {
+		st.done = true
+		return false, nil
+	}
+	if msg.err != nil {
+		st.done = true
+		return false, msg.err
+	}
+	for _, a := range msg.accs {
+		if int(a.Tid) >= st.meta.Threads {
+			return false, fmt.Errorf("trace %s: streamed access has tid %d ≥ threads %d", st.meta.Name, a.Tid, st.meta.Threads)
+		}
+		if a.Kind > trace.Ifetch {
+			return false, fmt.Errorf("trace %s: streamed access has invalid kind %d", st.meta.Name, a.Kind)
+		}
+		if st.produced[a.Tid]++; st.produced[a.Tid] > st.meta.PerThread[a.Tid] {
+			return false, fmt.Errorf("trace %s: thread %d produced more than its declared %d accesses", st.meta.Name, a.Tid, st.meta.PerThread[a.Tid])
+		}
+		cs := s.cores[a.Tid]
+		if len(cs.accs) == cap(cs.accs) && cs.pos > 0 {
+			// Compact the consumed prefix before growing the queue.
+			n := copy(cs.accs, cs.accs[cs.pos:])
+			cs.accs = cs.accs[:n]
+			cs.pos = 0
+		}
+		cs.accs = append(cs.accs, a)
+	}
+	// Return the drained buffer for the producer's next chunk (capacity 2
+	// matches the two buffers in flight, so this never blocks).
+	st.free <- msg.accs[:cap(msg.accs)]
+	return true, nil
+}
+
+// runStream is the heap scheduler over a chunked source: identical step
+// order to run(), with membership keyed on streamLeft instead of queue
+// length and an inline refill whenever the earliest core's next access
+// has not been generated yet.
+func (s *simulator) runStream(ctx context.Context, st *streamState) error {
+	h := newStreamHeap(s.cores)
+	steps := 0
+	for h.len() > 0 {
+		cs := h.min()
+		if cs.pos >= len(cs.accs) {
+			more, err := s.refill(st)
+			if err != nil {
+				return err
+			}
+			if !more {
+				return fmt.Errorf("trace %s: stream ended with %d accesses of thread %d undelivered", st.meta.Name, cs.streamLeft, cs.idx)
+			}
+			continue
+		}
+		s.step(cs)
+		cs.streamLeft--
+		if cs.streamLeft == 0 {
+			h.popMin()
+		} else {
+			h.fixMin(cs.core.TimeNS())
+		}
+		if steps++; steps >= cancelCheckInterval {
+			steps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	s.retireRemainder()
+	return nil
+}
+
+// newStreamHeap heapifies the cores that will consume any stream
+// accesses (their queues may still be empty — membership is the thread's
+// total remaining count, not what has been generated so far).
+func newStreamHeap(cores []*coreState) *coreHeap {
+	h := &coreHeap{cores: cores, ents: make([]heapEnt, 0, len(cores))}
+	for _, cs := range cores {
+		if cs.streamLeft > 0 {
+			h.ents = append(h.ents, heapEnt{timeNS: cs.core.TimeNS(), idx: int32(cs.idx)})
+		}
+	}
+	for i := len(h.ents)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}

@@ -1,0 +1,288 @@
+package system
+
+// Equivalence tests for the streaming pipeline and the tag-store layout
+// swap at the whole-simulator level: RunStream must be byte-identical to
+// Run on the same access sequence (every counter, clock and energy
+// figure), and RunLayout(LayoutAoS) byte-identical to the default SoA
+// layout, across machine variants that exercise every optional subsystem
+// (coherence, hybrid LLC, wear tracking, dead-block bypass, write
+// contention).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/trace"
+	"nvmllc/internal/workload"
+)
+
+// machineVariants are the configs the equivalence suites sweep. Each
+// returns a config for the given core count.
+func machineVariants(t *testing.T) map[string]func(cores int) Config {
+	t.Helper()
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func(cores int) Config{
+		"sram": func(cores int) Config {
+			return sramConfig().WithCores(cores)
+		},
+		"nvm-wear-bypass": func(cores int) Config {
+			cfg := Gainestown(kang).WithCores(cores)
+			cfg.TrackWear = true
+			cfg.LLCBypass = BypassDeadBlock
+			return cfg
+		},
+		"nvm-contention-srrip": func(cores int) Config {
+			cfg := Gainestown(kang).WithCores(cores)
+			cfg.ModelWriteContention = true
+			cfg.LLCPolicy = cache.SRRIP
+			return cfg
+		},
+		"nvm-random-nocoherence": func(cores int) Config {
+			cfg := Gainestown(kang).WithCores(cores)
+			cfg.LLCPolicy = cache.Random
+			cfg.DisableCoherence = true
+			return cfg
+		},
+		"hybrid": func(cores int) Config {
+			cfg := Gainestown(kang).WithCores(cores)
+			cfg.Hybrid = &HybridConfig{SRAM: reference.SRAMBaseline(), NVM: kang, SRAMWays: 4}
+			return cfg
+		},
+	}
+}
+
+func marshalResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamMatchesWholeTrace: simulating a workload through the chunked
+// streaming path (generator → double buffer → per-core queues) must be
+// byte-identical to materializing the whole trace and running it, for
+// every machine variant, thread count and chunk size — including chunks
+// far smaller than a scheduling quantum, which force mid-flight refills.
+func TestStreamMatchesWholeTrace(t *testing.T) {
+	prof, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mkCfg := range machineVariants(t) {
+		for _, threads := range []int{1, 2, 8} {
+			opts := workload.Options{Accesses: 20000, Threads: threads}
+			tr, err := workload.Generate(prof, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mkCfg(threads)
+			want, err := Run(context.Background(), cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB := marshalResult(t, want)
+			for _, chunk := range []int{64, 1000, DefaultChunkAccesses} {
+				gen, err := workload.NewGenerator(prof, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := runStreamChunked(context.Background(), cfg, gen, nil, chunk)
+				if err != nil {
+					t.Fatalf("%s/%dt/chunk=%d: %v", name, threads, chunk, err)
+				}
+				if gotB := marshalResult(t, got); !bytes.Equal(gotB, wantB) {
+					t.Errorf("%s/%dt/chunk=%d: streaming diverged\nstream: %s\nwhole:  %s", name, threads, chunk, gotB, wantB)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceSourceStreaming: streaming a materialized trace back through
+// trace.TraceSource must reproduce the whole-trace result, and reusing
+// one Scratch across repeated streaming runs must not change anything.
+func TestTraceSourceStreaming(t *testing.T) {
+	prof, err := workload.ByName("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(prof, workload.Options{Accesses: 15000, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sramConfig().WithCores(4)
+	want, err := Run(context.Background(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := marshalResult(t, want)
+	scratch := new(Scratch)
+	for i := 0; i < 3; i++ {
+		src, err := trace.NewTraceSource(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunStreamWith(context.Background(), cfg, src, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotB := marshalResult(t, got); !bytes.Equal(gotB, wantB) {
+			t.Errorf("run %d: TraceSource streaming diverged\nstream: %s\nwhole:  %s", i, gotB, wantB)
+		}
+	}
+}
+
+// TestRunLayoutEquivalence: the packed SoA tag store and the retained
+// reference layout must produce byte-identical results through the full
+// simulator on every machine variant.
+func TestRunLayoutEquivalence(t *testing.T) {
+	prof, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mkCfg := range machineVariants(t) {
+		for _, threads := range []int{1, 4} {
+			tr, err := workload.Generate(prof, workload.Options{Accesses: 20000, Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mkCfg(threads)
+			soa, err := RunLayout(context.Background(), cfg, tr, cache.LayoutSoA, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aos, err := RunLayout(context.Background(), cfg, tr, cache.LayoutAoS, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, ab := marshalResult(t, soa), marshalResult(t, aos)
+			if !bytes.Equal(sb, ab) {
+				t.Errorf("%s/%dt: layouts disagree\nsoa: %s\naos: %s", name, threads, sb, ab)
+			}
+		}
+	}
+}
+
+// lyingSource wraps a ChunkSource and misdeclares or corrupts its stream.
+type lyingSource struct {
+	trace.ChunkSource
+	meta     trace.Meta
+	truncate int64 // stop after this many accesses (0 = no truncation)
+	sent     int64
+	badTid   bool
+	badKind  bool
+}
+
+func (s *lyingSource) Meta() trace.Meta { return s.meta }
+
+func (s *lyingSource) ReadChunk(buf []trace.Access) (int, error) {
+	if s.truncate > 0 && s.sent >= s.truncate {
+		return 0, nil
+	}
+	n, err := s.ChunkSource.ReadChunk(buf)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	if s.truncate > 0 && s.sent+int64(n) > s.truncate {
+		n = int(s.truncate - s.sent)
+	}
+	s.sent += int64(n)
+	if s.badTid {
+		buf[0].Tid = 63
+	}
+	if s.badKind {
+		buf[0].Kind = trace.Kind(200)
+	}
+	return n, nil
+}
+
+// TestStreamSourceValidation: sources that end early, overrun their
+// declared per-thread counts, or emit malformed accesses must fail the
+// run with an error instead of corrupting the pacing.
+func TestStreamSourceValidation(t *testing.T) {
+	prof, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workload.Options{Accesses: 5000, Threads: 2}
+	mk := func() (*workload.Generator, trace.Meta) {
+		g, err := workload.NewGenerator(prof, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, g.Meta()
+	}
+	cfg := sramConfig().WithCores(2)
+	run := func(src trace.ChunkSource) error {
+		_, err := RunStream(context.Background(), cfg, src)
+		return err
+	}
+
+	g, meta := mk()
+	if err := run(&lyingSource{ChunkSource: g, meta: meta, truncate: meta.Accesses / 2}); err == nil {
+		t.Error("stream ending early must error")
+	}
+	g, meta = mk()
+	over := meta
+	over.Accesses /= 2
+	per := make([]int64, meta.Threads)
+	for t := range per {
+		per[t] = over.Accesses / int64(meta.Threads)
+	}
+	over.PerThread = per
+	if err := run(&lyingSource{ChunkSource: g, meta: over}); err == nil {
+		t.Error("producing more than the declared per-thread counts must error")
+	}
+	g, meta = mk()
+	if err := run(&lyingSource{ChunkSource: g, meta: meta, badTid: true}); err == nil {
+		t.Error("out-of-range tid must error")
+	}
+	g, meta = mk()
+	if err := run(&lyingSource{ChunkSource: g, meta: meta, badKind: true}); err == nil {
+		t.Error("invalid access kind must error")
+	}
+	g, meta = mk()
+	bad := meta
+	bad.PerThread = nil
+	if err := run(&lyingSource{ChunkSource: g, meta: bad}); err == nil {
+		t.Error("inconsistent Meta must fail validation")
+	}
+}
+
+// TestStreamCancellation: cancelling the context aborts a streaming run
+// promptly with ctx.Err() and shuts the producer down cleanly.
+func TestStreamCancellation(t *testing.T) {
+	prof, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(prof, workload.Options{Accesses: 2_000_000, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunStream(ctx, sramConfig().WithCores(4), g); err == nil {
+		t.Fatal("cancelled streaming run returned no error")
+	} else if err != context.Canceled {
+		// Pre-flight rejection also acceptable; anything but success is.
+		if !errorsIsContext(err) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func errorsIsContext(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded ||
+		fmt.Sprint(err) == context.Canceled.Error()
+}

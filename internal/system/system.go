@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"nvmllc/internal/cache"
 	"nvmllc/internal/cpu"
@@ -256,6 +257,10 @@ type coreState struct {
 	l2       *cache.Cache
 	accs     []trace.Access
 	pos      int
+	// streamLeft is the number of accesses this core has not yet
+	// consumed in streaming mode (including ones not yet generated);
+	// unused (zero) on the whole-trace path.
+	streamLeft int64
 	// instrPerAccess is the instruction gap represented by each access;
 	// instrCarry accumulates the fractional remainder.
 	instrPerAccess float64
@@ -286,18 +291,27 @@ type simulator struct {
 	bankStallEvents []uint64
 }
 
-// Scratch holds reusable per-run buffers for the trace pipeline: the
-// backing array and slice headers of the per-thread access split. The
-// zero value is ready to use; after the first run the buffers are
-// retained, making the split allocation-free in steady state. A Scratch
-// must not be shared by concurrent simulations — the engine pools them
-// across its workers via sync.Pool.
+// Scratch holds reusable per-run buffers for the trace pipeline and the
+// tag stores: the backing array and slice headers of the per-thread
+// access split, the cache arena every level's tags/meta/rank arrays are
+// carved from, and the streaming path's chunk buffers and per-core
+// queues. The zero value is ready to use; after the first run the
+// buffers are retained, making repeated simulations allocation-free on
+// these paths. A Scratch must not be shared by concurrent simulations —
+// the engine pools them across its workers via sync.Pool.
 type Scratch struct {
 	split []trace.Access
 	parts [][]trace.Access
 	// sharers recycles the coherence directory's hash-table storage, so
 	// repeated multi-threaded runs skip the grow-and-rehash ramp.
 	sharers sharerTable
+	// arena recycles every cache level's tag-store storage (several MB
+	// per 64-core run when allocated fresh).
+	arena cache.Arena
+	// chunks are the streaming double buffer; queues the per-core access
+	// FIFOs chunk contents are split into.
+	chunks [2][]trace.Access
+	queues [][]trace.Access
 }
 
 // Run simulates the trace on the configured machine. The context is
@@ -319,6 +333,19 @@ func RunWith(ctx context.Context, cfg Config, tr *trace.Trace, scratch *Scratch)
 // and the benchmark baseline can compare against the historical
 // implementation.
 func RunScheduled(ctx context.Context, cfg Config, tr *trace.Trace, sched Scheduler, scratch *Scratch) (*Result, error) {
+	return runTrace(ctx, cfg, tr, sched, scratch, cache.LayoutSoA)
+}
+
+// RunLayout is Run with an explicit tag-store layout. cache.LayoutAoS
+// replays the retained pre-SoA slice-of-struct store through the full
+// simulator — the system-level leg of the layout-equivalence tests and
+// cmd/benchreport's old-vs-new comparison. Results are byte-identical
+// across layouts by design.
+func RunLayout(ctx context.Context, cfg Config, tr *trace.Trace, layout cache.Layout, scratch *Scratch) (*Result, error) {
+	return runTrace(ctx, cfg, tr, SchedHeap, scratch, layout)
+}
+
+func runTrace(ctx context.Context, cfg Config, tr *trace.Trace, sched Scheduler, scratch *Scratch, layout cache.Layout) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -334,11 +361,17 @@ func RunScheduled(ctx context.Context, cfg Config, tr *trace.Trace, sched Schedu
 	if tr.Threads > cfg.Cores {
 		return nil, fmt.Errorf("system: trace %s has %d threads but only %d cores", tr.Name, tr.Threads, cfg.Cores)
 	}
-	sim, err := newSimulator(cfg, tr, scratch)
+	if scratch == nil {
+		scratch = new(Scratch)
+	}
+	sim, err := newSimulator(cfg, tr.Threads, scratch, layout)
 	if err != nil {
 		return nil, err
 	}
-	if scratch != nil && sim.dir != nil {
+	if err := sim.loadTrace(tr, scratch); err != nil {
+		return nil, err
+	}
+	if sim.dir != nil {
 		// Return the directory's table storage to the scratch for the next
 		// run, whatever the outcome.
 		defer func() { scratch.sharers = sim.dir.sharers }()
@@ -346,30 +379,38 @@ func RunScheduled(ctx context.Context, cfg Config, tr *trace.Trace, sched Schedu
 	if err := sim.run(ctx, sched); err != nil {
 		return nil, err
 	}
-	return sim.result(tr), nil
+	return sim.result(tr.Name), nil
 }
 
-func newSimulator(cfg Config, tr *trace.Trace, scratch *Scratch) (*simulator, error) {
+// newSimulator builds the machine — LLC or hybrid, main memory, banks,
+// wear/bypass/coherence structures and `threads` cores with private
+// caches — without wiring any access stream: loadTrace (whole-trace) or
+// initStream (chunked) supplies that. Cache tag stores are carved from
+// the scratch's arena, so repeated runs recycle their storage.
+func newSimulator(cfg Config, threads int, scratch *Scratch, layout cache.Layout) (*simulator, error) {
 	blockBits := uint(0)
-	for 1<<blockBits < cfg.BlockBytes {
-		blockBits++
+	if cfg.BlockBytes > 0 {
+		blockBits = uint(bits.TrailingZeros64(uint64(cfg.BlockBytes)))
 	}
+	arena := &scratch.arena
+	arena.Reset()
 	var llc *cache.Cache
 	var hybrid *hybridLLC
 	if cfg.Hybrid != nil {
 		var err error
-		hybrid, err = newHybridLLC(cfg.Hybrid, cfg.BlockBytes, cfg.LLCWays)
+		hybrid, err = newHybridLLC(cfg.Hybrid, cfg.BlockBytes, cfg.LLCWays, layout)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		var err error
-		llc, err = cache.New(cache.Config{
+		llc, err = cache.NewIn(arena, cache.Config{
 			Name:          "LLC",
 			CapacityBytes: cfg.LLC.CapacityBytes,
 			BlockBytes:    cfg.BlockBytes,
 			Ways:          cfg.LLCWays,
 			Policy:        cfg.LLCPolicy,
+			Layout:        layout,
 		})
 		if err != nil {
 			return nil, err
@@ -387,18 +428,6 @@ func newSimulator(cfg Config, tr *trace.Trace, scratch *Scratch) (*simulator, er
 		}
 		mem = dramMem
 	}
-	if scratch == nil {
-		scratch = new(Scratch)
-	}
-	perThread, err := trace.SplitByThreadInto(tr.Accesses, tr.Threads, &scratch.split, &scratch.parts)
-	if err != nil {
-		return nil, err
-	}
-	// Spread the instruction budget over the threads, distributing the
-	// remainder across the first ones so retired instructions sum exactly
-	// to tr.InstrCount.
-	instrPerThread := tr.InstrCount / uint64(tr.Threads)
-	instrRemainder := tr.InstrCount % uint64(tr.Threads)
 	sim := &simulator{
 		cfg:             cfg,
 		blockBits:       blockBits,
@@ -420,45 +449,69 @@ func newSimulator(cfg Config, tr *trace.Trace, scratch *Scratch) (*simulator, er
 	if cfg.LLCBypass == BypassDeadBlock {
 		sim.bypass = newDeadBlockPredictor()
 	}
-	if !cfg.DisableCoherence && tr.Threads > 1 {
+	if !cfg.DisableCoherence && threads > 1 {
 		// Take over the scratch's recycled table storage (returned by
-		// RunScheduled once the run completes).
+		// runTrace/RunStreamWith once the run completes).
 		sim.dir = newDirectoryWith(scratch.sharers)
 		scratch.sharers = sharerTable{}
 	}
-	for t := 0; t < tr.Threads; t++ {
+	for t := 0; t < threads; t++ {
 		core, err := cpu.NewCore(cfg.Core)
 		if err != nil {
 			return nil, err
 		}
-		l1i, err := cache.New(cache.Config{Name: "L1I", CapacityBytes: cfg.L1IBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1IWays})
+		l1i, err := cache.NewIn(arena, cache.Config{Name: "L1I", CapacityBytes: cfg.L1IBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1IWays, Layout: layout})
 		if err != nil {
 			return nil, err
 		}
-		l1d, err := cache.New(cache.Config{Name: "L1D", CapacityBytes: cfg.L1DBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1DWays})
+		l1d, err := cache.NewIn(arena, cache.Config{Name: "L1D", CapacityBytes: cfg.L1DBytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L1DWays, Layout: layout})
 		if err != nil {
 			return nil, err
 		}
-		l2, err := cache.New(cache.Config{Name: "L2", CapacityBytes: cfg.L2Bytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L2Ways})
+		l2, err := cache.NewIn(arena, cache.Config{Name: "L2", CapacityBytes: cfg.L2Bytes, BlockBytes: cfg.BlockBytes, Ways: cfg.L2Ways, Layout: layout})
 		if err != nil {
 			return nil, err
 		}
+		sim.cores = append(sim.cores, &coreState{
+			idx:  t,
+			core: core, l1i: l1i, l1d: l1d, l2: l2,
+		})
+	}
+	return sim, nil
+}
+
+// spreadBudgets distributes the trace's instruction count over the
+// threads, the remainder across the first ones, so retired instructions
+// sum exactly to instrCount. perThread[t] is thread t's total access
+// count — the whole-trace knowledge the per-access pacing divides by,
+// identical whether the accesses are materialized or streamed.
+func (s *simulator) spreadBudgets(instrCount uint64, perThread func(t int) int64) {
+	threads := uint64(len(s.cores))
+	instrPerThread := instrCount / threads
+	instrRemainder := instrCount % threads
+	for t, cs := range s.cores {
 		budget := instrPerThread
 		if uint64(t) < instrRemainder {
 			budget++
 		}
-		cs := &coreState{
-			idx:  t,
-			core: core, l1i: l1i, l1d: l1d, l2: l2,
-			accs:        perThread[t],
-			instrBudget: budget,
-		}
-		if n := len(cs.accs); n > 0 {
+		cs.instrBudget = budget
+		if n := perThread(t); n > 0 {
 			cs.instrPerAccess = float64(budget) / float64(n)
 		}
-		sim.cores = append(sim.cores, cs)
 	}
-	return sim, nil
+}
+
+// loadTrace wires a materialized trace into the cores.
+func (s *simulator) loadTrace(tr *trace.Trace, scratch *Scratch) error {
+	perThread, err := trace.SplitByThreadInto(tr.Accesses, tr.Threads, &scratch.split, &scratch.parts)
+	if err != nil {
+		return err
+	}
+	for t, cs := range s.cores {
+		cs.accs = perThread[t]
+	}
+	s.spreadBudgets(tr.InstrCount, func(t int) int64 { return int64(len(perThread[t])) })
+	return nil
 }
 
 // cancelCheckInterval is how many accesses the simulation loop executes
@@ -847,13 +900,13 @@ func (s *simulator) setBankBusy(line uint64, until float64) {
 }
 
 // result assembles the Result, integrating LLC energy over the run.
-func (s *simulator) result(tr *trace.Trace) *Result {
+func (s *simulator) result(name string) *Result {
 	llcName := s.cfg.LLC.Name
 	if s.hybrid != nil {
 		llcName = fmt.Sprintf("hybrid(%s+%s)", s.cfg.Hybrid.SRAM.Name, s.cfg.Hybrid.NVM.Name)
 	}
 	r := &Result{
-		Workload: tr.Name,
+		Workload: name,
 		LLCName:  llcName,
 		Cores:    s.cfg.Cores,
 		LLC:      s.stats,

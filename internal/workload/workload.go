@@ -192,94 +192,30 @@ type generatorState struct {
 	cursors []int64
 }
 
-// Generate produces the profile's trace.
+// Generate produces the profile's trace: one ReadChunk over an
+// exactly-sized whole-trace buffer, so the materialized and streamed
+// (NewGenerator) paths yield identical sequences by construction.
+// Generation allocates nothing per access.
 func Generate(p Profile, opts Options) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
+	g, err := NewGenerator(p, opts)
+	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
-	threads := 1
-	if p.MT {
-		threads = opts.Threads
+	meta := g.Meta()
+	accs := make([]trace.Access, meta.Accesses)
+	n, err := g.ReadChunk(accs)
+	if err != nil {
+		return nil, err
 	}
-	if threads > 64 {
-		return nil, fmt.Errorf("workload %s: %d threads exceeds limit 64", p.Name, threads)
+	if int64(n) != meta.Accesses {
+		return nil, fmt.Errorf("workload %s: generated %d of %d accesses", p.Name, n, meta.Accesses)
 	}
-	total := int(float64(opts.Accesses) * p.LengthFactor)
-	if total < 1000 {
-		total = 1000
-	}
-
-	// Cumulative weights for component selection.
-	cum := make([]float64, len(p.Components))
-	var sum float64
-	for i, c := range p.Components {
-		sum += c.Weight
-		cum[i] = sum
-	}
-
-	nc := len(p.Components)
-	states := make([]generatorState, threads)
-	zipfsFlat := make([]*rand.Zipf, threads*nc)
-	cursorsFlat := make([]int64, threads*nc)
-	for t := 0; t < threads; t++ {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919 + hashName(p.Name)))
-		st := &states[t]
-		st.rng = rng
-		st.zipfs = zipfsFlat[t*nc : (t+1)*nc]
-		st.cursors = cursorsFlat[t*nc : (t+1)*nc]
-		for i, c := range p.Components {
-			if c.Kind == Hot {
-				s := c.ZipfS
-				if s == 0 {
-					s = 1.3
-				}
-				st.zipfs[i] = rand.NewZipf(rng, s, 1, uint64(c.Lines-1))
-			}
-			if c.Kind == Stream {
-				// Stagger stream starts across threads of shared regions.
-				st.cursors[i] = (c.Lines / int64(threads)) * int64(t)
-			}
-		}
-	}
-
-	// The trace buffer is sized exactly up front (total rounded down to a
-	// multiple of threads) and filled by index: generation allocates
-	// nothing per access.
-	perThread := total / threads
-	accs := make([]trace.Access, perThread*threads)
 	tr := &trace.Trace{
-		Name:     p.Name,
-		Threads:  threads,
-		Accesses: accs,
+		Name:       meta.Name,
+		Threads:    meta.Threads,
+		Accesses:   accs,
+		InstrCount: meta.InstrCount,
 	}
-	for i := range accs {
-		t := i % threads
-		st := &states[t]
-		ci := pickComponent(st.rng, cum, sum)
-		c := &p.Components[ci]
-
-		var line int64
-		switch c.Kind {
-		case Hot:
-			line = int64(st.zipfs[ci].Uint64())
-		case Stream:
-			line = st.cursors[ci]
-			st.cursors[ci]++
-			if st.cursors[ci] >= c.Lines {
-				st.cursors[ci] = 0
-			}
-		case Random:
-			line = st.rng.Int63n(c.Lines)
-		}
-		addr := componentBase(p.Name, ci, t, c.Shared) + uint64(line)*lineBytes
-		kind := trace.Read
-		if st.rng.Float64() < c.WriteFrac {
-			kind = trace.Write
-		}
-		accs[i] = trace.Access{Addr: addr, Kind: kind, Tid: uint8(t)}
-	}
-	tr.InstrCount = uint64(float64(len(tr.Accesses)) * p.InstrPerAccess)
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
