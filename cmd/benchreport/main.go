@@ -1,9 +1,11 @@
-// Command benchreport measures the simulator hot loop across its three
+// Command benchreport measures the simulator hot loop across its four
 // performance dimensions — core scheduler (min-heap default vs the
 // historical linear scan), tag-store layout (packed struct-of-arrays vs
-// the retained slice-of-struct reference), and trace input (whole-trace
-// materialization vs the chunked streaming pipeline) — plus the trace
-// generator, and writes the results as JSON. The committed
+// the retained slice-of-struct reference), trace input (whole-trace
+// materialization vs the chunked streaming pipeline), and wear-driven
+// fault injection (disabled vs enabled-but-quiescent, expected ~0%
+// disabled overhead since a zero-value fault config skips every fault
+// branch) — plus the trace generator, and writes the results as JSON. The committed
 // BENCH_hotloop.json at the repository root is this program's output:
 // the repo's perf baseline, regenerated whenever the hot path changes
 // (see the README's Performance section).
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"nvmllc/internal/cache"
+	"nvmllc/internal/fault"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/workload"
@@ -41,7 +44,8 @@ type benchResult struct {
 	Benchmark   string  `json:"benchmark"`
 	Scheduler   string  `json:"scheduler,omitempty"`
 	Layout      string  `json:"layout,omitempty"`
-	Input       string  `json:"input,omitempty"` // "materialized" or "streaming"
+	Input       string  `json:"input,omitempty"`  // "materialized" or "streaming"
+	Faults      string  `json:"faults,omitempty"` // "disabled" or "enabled"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -52,7 +56,7 @@ type benchResult struct {
 // comparison pairs two variants along one dimension on one core count.
 type comparison struct {
 	Benchmark      string  `json:"benchmark"`
-	Dimension      string  `json:"dimension"` // "scheduler", "layout" or "input"
+	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input" or "faults"
 	Baseline       string  `json:"baseline"`
 	Contender      string  `json:"contender"`
 	BaselineNsOp   float64 `json:"baseline_ns_per_op"`
@@ -81,6 +85,7 @@ type variant struct {
 	scheduler string
 	layout    string
 	input     string
+	faults    string
 	bench     func(b *testing.B)
 }
 
@@ -115,6 +120,7 @@ func toResult(name string, v variant, accesses int, r testing.BenchmarkResult) b
 		Scheduler:   v.scheduler,
 		Layout:      v.layout,
 		Input:       v.input,
+		Faults:      v.faults,
 		Iterations:  r.N,
 		NsPerOp:     ns,
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -143,6 +149,8 @@ func compare(name, dimension string, base, cont benchResult) comparison {
 		if cont.BytesPerOp > 0 {
 			c.BytesReductionX = float64(base.BytesPerOp) / float64(cont.BytesPerOp)
 		}
+	case "faults":
+		c.Baseline, c.Contender = base.Faults, cont.Faults
 	}
 	return c
 }
@@ -201,6 +209,8 @@ func main() {
 			fatal(err)
 		}
 		cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+		cfgFault := cfg
+		cfgFault.Fault = fault.Config{Options: fault.Options{EnduranceWrites: 1e15}}
 		name := fmt.Sprintf("HotLoop_%dCores", cores)
 		n := len(tr.Accesses)
 
@@ -237,18 +247,32 @@ func main() {
 					_, err := system.RunStreamWith(ctx, cfg, gen, scratch)
 					return err
 				})},
+			// Faults enabled but quiescent: a finite endurance far beyond
+			// the trace's wear, so the per-write fault bookkeeping runs
+			// without any condemnations. The SoA materialized variant above
+			// doubles as the faults-disabled baseline (zero-value fault
+			// config ⇒ nil injector ⇒ the historical hot path, ~0%
+			// overhead by construction).
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "materialized", faults: "enabled",
+				bench: runBench(func(scratch *system.Scratch) error {
+					_, err := system.RunWith(ctx, cfgFault, tr, scratch)
+					return err
+				})},
 		}
+		variants[2].faults = "disabled"
 		fmt.Fprintf(os.Stderr, "measuring %s (%d variants, best of %d)...\n", name, len(variants), *count)
 		results := measureBest(variants, *count)
 		scanRes := toResult(name, variants[0], n, results[0])
 		aosRes := toResult(name, variants[1], n, results[1])
 		soaRes := toResult(name, variants[2], n, results[2])
 		streamRes := toResult(name, variants[3], n, results[3])
-		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes)
+		faultRes := toResult(name, variants[4], n, results[4])
+		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes, faultRes)
 		rep.Comparisons = append(rep.Comparisons,
 			compare(name, "scheduler", scanRes, soaRes),
 			compare(name, "layout", aosRes, soaRes),
 			compare(name, "input", soaRes, streamRes),
+			compare(name, "faults", soaRes, faultRes),
 		)
 	}
 

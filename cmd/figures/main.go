@@ -1,24 +1,28 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation from this reproduction: Figures 1a/1b (fixed-capacity),
 // Figures 2a/2b (fixed-area), the Section V-C core sweep, Table V (LLC
-// MPKI), Table VI (workload features) and the Figure 4 correlation
-// heatmaps.
+// MPKI), Table VI (workload features), the Figure 4 correlation
+// heatmaps, the lifetime/prediction/ablation studies and the
+// wear-driven degradation sweep.
 //
-// Every requested artifact runs through one shared experiment engine, so
-// design points common to several figures (most prominently the SRAM
-// baselines) simulate exactly once. SIGINT aborts the run cleanly and
-// prints the partial engine statistics.
+// Artifacts are selected by registry name through -artifact (see -help
+// for the list); the historical one-flag-per-artifact spellings are kept
+// as deprecated aliases. Every requested artifact runs through one
+// shared experiment engine, so design points common to several figures
+// (most prominently the SRAM baselines) simulate exactly once. SIGINT
+// aborts the run cleanly and prints the partial engine statistics.
 //
 // Usage:
 //
 //	figures -all
-//	figures -fig1a -fig4
-//	figures -coresweep -accesses 800000
-//	figures -fig1a -contention      (write-contention ablation)
+//	figures -artifact fig1a,fig4
+//	figures -artifact degradation
+//	figures -coresweep -accesses 800000      (deprecated alias)
+//	figures -artifact fig1a -contention      (write-contention ablation)
 //	figures -all -timeout 5m -parallelism 4
 //	figures -manifest run.jsonl -debug-addr localhost:0
 //
-// With no artifact flag, Table V is regenerated. -manifest writes a
+// With no artifact selected, Table V is regenerated. -manifest writes a
 // JSONL run manifest (one design_point event per answered design point)
 // and -debug-addr serves live /metrics, expvar and pprof.
 package main
@@ -33,28 +37,35 @@ import (
 
 	"nvmllc/internal/cliutil"
 	"nvmllc/internal/sweep"
-	"nvmllc/internal/tablefmt"
 	"nvmllc/internal/workload"
 )
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "regenerate everything")
-		fig1a     = flag.Bool("fig1a", false, "Figure 1a: fixed-capacity, single-threaded")
-		fig1b     = flag.Bool("fig1b", false, "Figure 1b: fixed-capacity, multi-threaded")
-		fig2a     = flag.Bool("fig2a", false, "Figure 2a: fixed-area, single-threaded")
-		fig2b     = flag.Bool("fig2b", false, "Figure 2b: fixed-area, multi-threaded")
-		coresweep = flag.Bool("coresweep", false, "Section V-C core sweep")
-		fig4      = flag.Bool("fig4", false, "Figure 4 correlation heatmaps")
-		table5    = flag.Bool("table5", false, "Table V: workload LLC MPKI")
-		table6    = flag.Bool("table6", false, "Table VI: workload features")
-		lifetime  = flag.Bool("lifetime", false, "endurance/lifetime study (Section VII future work)")
-		predict   = flag.Bool("predict", false, "train energy predictors on non-AI workloads, predict the AI domain")
-		ablations = flag.Bool("ablations", false, "design-lever ablation table (workload 'is' on Kang_P)")
-		contend   = flag.Bool("contention", false, "model LLC write contention (ablation of the paper's off-critical-path writes)")
-		measured  = flag.Bool("measuredfeatures", false, "use prism-measured features for Figure 4 instead of the paper's Table VI")
-		progress  = flag.Duration("progress", 2*time.Second, "engine progress reporting interval on stderr (0 disables)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		contend  = flag.Bool("contention", false, "model LLC write contention (ablation of the paper's off-critical-path writes)")
+		measured = flag.Bool("measuredfeatures", false, "use prism-measured features for Figure 4 instead of the paper's Table VI")
+		progress = flag.Duration("progress", 2*time.Second, "engine progress reporting interval on stderr (0 disables)")
 	)
+	artifactSel := cliutil.ArtifactFlag(nil, sweep.ArtifactNames())
+	// The pre-registry spellings, kept as deprecated aliases for -artifact.
+	aliases := map[string]*bool{}
+	for _, a := range []struct{ flagName, artifact, help string }{
+		{"table5", "table5", "Table V: workload LLC MPKI"},
+		{"table6", "table6", "Table VI: workload features"},
+		{"fig1a", "fig1a", "Figure 1a: fixed-capacity, single-threaded"},
+		{"fig1b", "fig1b", "Figure 1b: fixed-capacity, multi-threaded"},
+		{"fig2a", "fig2a", "Figure 2a: fixed-area, single-threaded"},
+		{"fig2b", "fig2b", "Figure 2b: fixed-area, multi-threaded"},
+		{"coresweep", "coresweep", "Section V-C core sweep"},
+		{"fig4", "fig4", "Figure 4 correlation heatmaps"},
+		{"lifetime", "lifetime", "endurance/lifetime study (Section VII future work)"},
+		{"predict", "predict", "train energy predictors on non-AI workloads, predict the AI domain"},
+		{"ablations", "ablations", "design-lever ablation table (workload 'is' on Kang_P)"},
+	} {
+		aliases[a.artifact] = flag.Bool(a.flagName, false,
+			fmt.Sprintf("%s (deprecated: use -artifact %s)", a.help, a.artifact))
+	}
 	std := cliutil.StandardFlags(nil, 600_000)
 	std.ManifestFlag(nil)
 	flag.Parse()
@@ -88,41 +99,42 @@ func main() {
 		stopProgress := cliutil.StartProgress(eng, *progress)
 		defer stopProgress()
 
-		type job struct {
-			enabled bool
-			run     func(context.Context) error
+		selected := map[string]bool{}
+		for _, name := range artifactSel.Names() {
+			selected[name] = true
 		}
-		jobs := []job{
-			{*all || *table5, func(ctx context.Context) error { return printTableV(ctx, cfg) }},
-			{*all || *table6, func(ctx context.Context) error { return printTableVI(ctx, cfg) }},
-			{*all || *fig1a, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure1a, cfg) }},
-			{*all || *fig1b, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure1b, cfg) }},
-			{*all || *fig2a, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure2a, cfg) }},
-			{*all || *fig2b, func(ctx context.Context) error { return printFigure(ctx, sweep.Figure2b, cfg) }},
-			{*all || *coresweep, func(ctx context.Context) error { return printCoreSweep(ctx, cfg) }},
-			{*all || *fig4, func(ctx context.Context) error { return printFigure4(ctx, cfg, *measured) }},
-			{*all || *lifetime, func(ctx context.Context) error { return printLifetime(ctx, cfg) }},
-			{*all || *predict, func(ctx context.Context) error { return printPredict(ctx, cfg) }},
-			{*all || *ablations, func(ctx context.Context) error { return printAblations(ctx, cfg) }},
-		}
-		ran := false
-		for _, j := range jobs {
-			if j.enabled {
-				ran = true
+		for name, on := range aliases {
+			if *on {
+				selected[name] = true
+				fmt.Fprintf(os.Stderr, "figures: -%s is deprecated; use -artifact %s\n", name, name)
 			}
 		}
-		if !ran {
+		if *all {
+			for _, a := range sweep.Artifacts() {
+				// -all keeps the paper-feature Figure 4; the measured
+				// variant is an explicit opt-in (below or by name).
+				if a.Name != "fig4measured" {
+					selected[a.Name] = true
+				}
+			}
+		}
+		if *measured && selected["fig4"] {
+			delete(selected, "fig4")
+			selected["fig4measured"] = true
+		}
+		if len(selected) == 0 {
 			// No artifact selected: default to Table V, the lightest
 			// full-workload-grid artifact, so bare invocations (e.g. smoke
 			// runs with -manifest) still produce design points.
-			fmt.Fprintln(os.Stderr, "figures: no artifact selected, defaulting to -table5 (see -help)")
-			jobs[0].enabled = true
+			fmt.Fprintln(os.Stderr, "figures: no artifact selected, defaulting to -artifact table5 (see -help)")
+			selected["table5"] = true
 		}
-		for _, j := range jobs {
-			if !j.enabled {
+
+		for _, a := range sweep.Artifacts() {
+			if !selected[a.Name] {
 				continue
 			}
-			if err := j.run(ctx); err != nil {
+			if err := renderArtifact(ctx, a.Name, cfg); err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					stopProgress()
 					fmt.Fprintf(os.Stderr, "figures: aborted; partial stats: %s\n", eng.Stats())
@@ -137,186 +149,15 @@ func main() {
 	})
 }
 
-// printFigure renders one bar-chart figure as three tables (speedup, LLC
-// energy, ED²P), each normalized to SRAM = 1.
-func printFigure(ctx context.Context, gen func(context.Context, sweep.Config) (*sweep.FigureResult, error), cfg sweep.Config) error {
-	fig, err := gen(ctx, cfg)
+// renderArtifact runs one registry artifact and prints its renderers.
+func renderArtifact(ctx context.Context, name string, cfg sweep.Config) error {
+	res, err := sweep.Run(ctx, name, cfg)
 	if err != nil {
 		return err
 	}
-	blocks := []struct {
-		name string
-		data [][]float64
-	}{
-		{"normalized speedup", fig.Speedup},
-		{"normalized LLC energy", fig.Energy},
-		{"normalized ED2P", fig.ED2P},
-	}
-	var tables []cliutil.Renderer
-	for _, b := range blocks {
-		t := tablefmt.New(fmt.Sprintf("%s — %s (SRAM = 1.0)", fig.Title, b.name),
-			append([]string{"workload"}, fig.LLCs...)...)
-		for wi, w := range fig.Workloads {
-			row := []interface{}{w}
-			for _, v := range b.data[wi] {
-				row = append(row, v)
-			}
-			t.AddRowf(row...)
-		}
-		tables = append(tables, t)
-	}
-	return cliutil.RenderAll(os.Stdout, tables...)
-}
-
-func printCoreSweep(ctx context.Context, cfg sweep.Config) error {
-	for _, name := range sweep.CoreSweepWorkloads {
-		if err := printCoreSweepOne(ctx, name, cfg); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// printCoreSweepOne renders the Section V-C sweep for one workload.
-func printCoreSweepOne(ctx context.Context, name string, cfg sweep.Config) error {
-	res, err := sweep.CoreSweep(ctx, name, sweep.DefaultCoreCounts, cfg)
-	if err != nil {
-		return err
-	}
-	var tables []cliutil.Renderer
-	for _, block := range []struct {
-		label string
-		data  [][]float64
-	}{{"speedup", res.Speedup}, {"LLC energy", res.Energy}} {
-		t := tablefmt.New(
-			fmt.Sprintf("Core sweep (%s, %s, normalized to 1-core SRAM)", name, block.label),
-			append([]string{"cores"}, res.LLCs...)...)
-		for ci, n := range res.Cores {
-			row := []interface{}{fmt.Sprintf("%d", n)}
-			for _, v := range block.data[ci] {
-				row = append(row, v)
-			}
-			t.AddRowf(row...)
-		}
-		tables = append(tables, t)
-	}
-	if err := cliutil.RenderAll(os.Stdout, tables...); err != nil {
-		return err
-	}
-	fmt.Println()
-	return nil
-}
-
-func printTableV(ctx context.Context, cfg sweep.Config) error {
-	rows, err := sweep.TableV(ctx, cfg)
-	if err != nil {
-		return err
-	}
-	t := tablefmt.New("Table V: workloads and LLC MPKI (simulated vs paper)",
-		"workload", "suite", "MPKI (ours)", "MPKI (paper)")
-	for _, r := range rows {
-		t.AddRowf(r.Workload, r.Suite, r.MPKI, r.PaperMPKI)
-	}
-	return t.Render(os.Stdout)
-}
-
-func printTableVI(ctx context.Context, cfg sweep.Config) error {
-	rows, err := sweep.TableVI(ctx, cfg)
-	if err != nil {
-		return err
-	}
-	t := tablefmt.New(
-		fmt.Sprintf("Table VI: workload features (measured on synthetic traces; paper footprints are ~%d× larger at full scale)", workload.FootprintScale),
-		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
-	for _, r := range rows {
-		m := r.Measured
-		t.AddRowf(r.Workload, m.GlobalReadEntropy, m.LocalReadEntropy,
-			m.GlobalWriteEntropy, m.LocalWriteEntropy,
-			m.UniqueReads, m.UniqueWrites, m.Footprint90Reads, m.Footprint90Writes,
-			m.TotalReads, m.TotalWrites)
-	}
-	tp := tablefmt.New("Table VI: paper values",
-		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
-	for _, r := range rows {
-		p := r.Paper
-		tp.AddRowf(r.Workload, p.GlobalReadEntropy, p.LocalReadEntropy,
-			p.GlobalWriteEntropy, p.LocalWriteEntropy,
-			p.UniqueReads, p.UniqueWrites, p.Footprint90Reads, p.Footprint90Writes,
-			p.TotalReads, p.TotalWrites)
-	}
-	return cliutil.RenderAll(os.Stdout, t, tp)
-}
-
-func printFigure4(ctx context.Context, cfg sweep.Config, measured bool) error {
-	f4 := sweep.Figure4Config{Config: cfg}
-	if measured {
-		f4.Source = sweep.MeasuredFeatures
-	}
-	panels, err := sweep.Figure4(ctx, f4)
-	if err != nil {
-		return err
-	}
-	labels := []string{"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"}
-	var maps []cliutil.Renderer
-	for i, p := range panels {
-		h := p.Heatmap()
-		if i < len(labels) {
-			h.Title = fmt.Sprintf("Figure 4%s: |Pearson r|, %s, AI workloads", labels[i], h.Title)
-		}
-		maps = append(maps, h)
-	}
-	return cliutil.RenderAll(os.Stdout, maps...)
-}
-
-func printLifetime(ctx context.Context, cfg sweep.Config) error {
-	study, err := sweep.Lifetime(ctx, cfg, nil)
-	if err != nil {
-		return err
-	}
-	t := tablefmt.New("LLC lifetime projection (first-cell-failure model; intra-set wear leveling per WriteSmoothing [20])",
-		"workload", "LLC", "class", "hottest-line wr/s", "raw years", "leveled years", "imbalance", "viable 5y")
-	for _, r := range study.Rows {
-		t.AddRowf(r.Workload, r.LLC, r.Class.String(), r.HottestLineWritesPerSec,
-			r.RawYears, r.LeveledYears, r.ImbalanceFactor,
-			fmt.Sprintf("%v", r.Viable(5)))
-	}
-	renderers := []cliutil.Renderer{t}
-	for _, p := range study.Panels {
-		h := p.Heatmap()
-		h.Title = "Wear-rate correlation with workload features: " + h.Title
-		h.Cells = h.Cells[:1]
-		h.RowNames = []string{"wear rate"}
-		renderers = append(renderers, h)
+	renderers := make([]cliutil.Renderer, len(res.Renderers))
+	for i, r := range res.Renderers {
+		renderers[i] = r
 	}
 	return cliutil.RenderAll(os.Stdout, renderers...)
-}
-
-func printPredict(ctx context.Context, cfg sweep.Config) error {
-	study, err := sweep.Predict(ctx, cfg)
-	if err != nil {
-		return err
-	}
-	t := tablefmt.New("Energy prediction: models trained on the 13 non-AI workloads, evaluated on the unseen AI domain (SRAM-normalized energies)",
-		"LLC", "workload", "predictor feature", "predicted", "simulated", "rel. err")
-	for _, r := range study.Rows {
-		t.AddRowf(r.LLC, r.Workload, r.Feature, r.Predicted, r.Simulated, r.RelErr)
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("mean relative error: %.2f\n", study.MeanRelErr)
-	return nil
-}
-
-func printAblations(ctx context.Context, cfg sweep.Config) error {
-	rows, err := sweep.AblationSuite(ctx, "is", "Kang_P", cfg)
-	if err != nil {
-		return err
-	}
-	t := tablefmt.New("Design-lever ablations: is on Kang_P (PCRAM)",
-		"configuration", "time [ms]", "dyn energy [mJ]", "total energy [mJ]", "LLC writes", "LLC hits")
-	for _, r := range rows {
-		t.AddRowf(r.Name, r.TimeMS, r.DynEnergyMJ, r.TotalEnergyMJ, r.LLCWrites, r.Hits)
-	}
-	return t.Render(os.Stdout)
 }

@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 
+	"nvmllc/internal/cliutil"
 	"nvmllc/internal/sweep"
 	"nvmllc/internal/workload"
 )
@@ -13,22 +15,22 @@ func smallCfg() sweep.Config {
 	return sweep.Config{Opts: workload.Options{Accesses: 20000, Seed: 2}}
 }
 
-func TestPrintTableV(t *testing.T) {
-	out := capture(t, func() error { return printTableV(context.Background(), smallCfg()) })
+func TestArtifactTableV(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "table5", smallCfg()) })
 	if !strings.Contains(out, "Table V") || !strings.Contains(out, "deepsjeng") {
 		t.Error("Table V output malformed")
 	}
 }
 
-func TestPrintTableVI(t *testing.T) {
-	out := capture(t, func() error { return printTableVI(context.Background(), smallCfg()) })
+func TestArtifactTableVI(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "table6", smallCfg()) })
 	if !strings.Contains(out, "Table VI") || !strings.Contains(out, "paper values") {
 		t.Error("Table VI output malformed")
 	}
 }
 
-func TestPrintFigure(t *testing.T) {
-	out := capture(t, func() error { return printFigure(context.Background(), sweep.Figure1a, smallCfg()) })
+func TestArtifactFigure(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "fig1a", smallCfg()) })
 	for _, want := range []string{"Figure 1a", "normalized speedup", "normalized LLC energy", "normalized ED2P"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("figure output missing %q", want)
@@ -36,15 +38,15 @@ func TestPrintFigure(t *testing.T) {
 	}
 }
 
-func TestPrintFigure4(t *testing.T) {
-	out := capture(t, func() error { return printFigure4(context.Background(), smallCfg(), false) })
+func TestArtifactFigure4(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "fig4", smallCfg()) })
 	if !strings.Contains(out, "Figure 4(a)") || !strings.Contains(out, "H_wg") {
 		t.Error("Figure 4 output malformed")
 	}
 }
 
-func TestPrintLifetime(t *testing.T) {
-	out := capture(t, func() error { return printLifetime(context.Background(), smallCfg()) })
+func TestArtifactLifetime(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "lifetime", smallCfg()) })
 	for _, want := range []string{"lifetime projection", "Kang_P", "Wear-rate correlation"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("lifetime output missing %q", want)
@@ -52,8 +54,8 @@ func TestPrintLifetime(t *testing.T) {
 	}
 }
 
-func TestPrintPredict(t *testing.T) {
-	out := capture(t, func() error { return printPredict(context.Background(), smallCfg()) })
+func TestArtifactPredict(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "predict", smallCfg()) })
 	for _, want := range []string{"Energy prediction", "deepsjeng", "mean relative error"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("predict output missing %q", want)
@@ -61,16 +63,20 @@ func TestPrintPredict(t *testing.T) {
 	}
 }
 
-func TestPrintCoreSweepOne(t *testing.T) {
-	// Exercise the core-sweep printer on a single small sweep via the
-	// sweep API path used by -coresweep.
+func TestCoreSweepRenderers(t *testing.T) {
+	// The full coresweep artifact runs six workloads at six core counts;
+	// exercise the same rendering on one small sweep instead.
 	out := capture(t, func() error {
 		res, err := sweep.CoreSweep(context.Background(), "ft", []int{1, 2}, smallCfg())
 		if err != nil {
 			return err
 		}
-		_ = res
-		return printCoreSweepOne(context.Background(), "ft", smallCfg())
+		renderers := sweep.CoreSweepRenderers("ft", res)
+		out := make([]cliutil.Renderer, len(renderers))
+		for i, r := range renderers {
+			out[i] = r
+		}
+		return cliutil.RenderAll(os.Stdout, out...)
 	})
 	if !strings.Contains(out, "Core sweep (ft") {
 		t.Errorf("core sweep output malformed:\n%s", out[:min(200, len(out))])
@@ -84,11 +90,18 @@ func min(a, b int) int {
 	return b
 }
 
-func TestPrintAblations(t *testing.T) {
-	out := capture(t, func() error { return printAblations(context.Background(), smallCfg()) })
+func TestArtifactAblations(t *testing.T) {
+	out := capture(t, func() error { return renderArtifact(context.Background(), "ablations", smallCfg()) })
 	for _, want := range []string{"Design-lever ablations", "dead-block bypass", "hybrid"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)
 		}
+	}
+}
+
+func TestUnknownArtifact(t *testing.T) {
+	err := renderArtifact(context.Background(), "nope", smallCfg())
+	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("want unknown-artifact error, got %v", err)
 	}
 }

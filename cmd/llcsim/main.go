@@ -7,6 +7,8 @@
 //	llcsim -workload cg -llc Jan_S -config area -accesses 1000000
 //	llcsim -workload bzip2 -llc SRAM
 //	llcsim -workload is -llc Kang_P -contention   (write-contention ablation)
+//	llcsim -workload is -llc Kang_P -faults -prewear 2.8e7   (aged, faulty LLC)
+//	llcsim -artifact degradation                  (run a registry artifact instead)
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"nvmllc/internal/cliutil"
 	"nvmllc/internal/endurance"
 	"nvmllc/internal/engine"
+	"nvmllc/internal/fault"
 	"nvmllc/internal/mainmem"
 	"nvmllc/internal/reference"
+	"nvmllc/internal/sweep"
 	"nvmllc/internal/system"
 	"nvmllc/internal/tablefmt"
 	"nvmllc/internal/workload"
@@ -33,8 +37,11 @@ func main() {
 	cores := flag.Int("cores", 4, "simulated cores")
 	contention := flag.Bool("contention", false, "model LLC bank write contention (ablation)")
 	wear := flag.Bool("wear", false, "track LLC write wear and project lifetime")
+	faults := flag.Bool("faults", false, "inject wear-driven stuck-at faults (endurance from the LLC's NVM class)")
+	prewear := flag.Float64("prewear", 0, "pre-age the LLC by this many per-cell writes before the run (implies -faults)")
 	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
 	hybridWays := flag.Int("hybridsram", 0, "make the LLC a hybrid with this many SRAM ways (rest NVM from -llc)")
+	artifactSel := cliutil.ArtifactFlag(nil, sweep.ArtifactNames())
 	std := cliutil.StandardFlags(nil, 1_000_000)
 	std.ManifestFlag(nil)
 	flag.Parse()
@@ -51,11 +58,42 @@ func main() {
 				err = cerr
 			}
 		}()
-		return run(obs.Context(ctx), obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *mainMemTech, *hybridWays)
+		ctx = obs.Context(ctx)
+		if names := artifactSel.Names(); len(names) > 0 {
+			return runArtifacts(ctx, obs, std, names, *contention)
+		}
+		return run(ctx, obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *faults || *prewear > 0, *prewear, *mainMemTech, *hybridWays)
 	})
 }
 
-func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear bool, mainMemTech string, hybridSRAMWays int) error {
+// runArtifacts dispatches to the sweep registry: the same tables and
+// figures cmd/figures prints, reachable from llcsim by name.
+func runArtifacts(ctx context.Context, obs *cliutil.Observability, std *cliutil.Flags, names []string, contention bool) error {
+	eng := std.Engine(obs.EngineOptions()...)
+	cfg := sweep.Config{
+		Opts:            workload.Options{Accesses: std.Accesses, Seed: std.Seed},
+		WriteContention: contention,
+		Engine:          eng,
+		Telemetry:       obs.Registry,
+	}
+	for _, name := range names {
+		res, err := sweep.Run(ctx, name, cfg)
+		if err != nil {
+			return err
+		}
+		renderers := make([]cliutil.Renderer, len(res.Renderers))
+		for i, r := range res.Renderers {
+			renderers[i] = r
+		}
+		if err := cliutil.RenderAll(os.Stdout, renderers...); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear, faults bool, prewear float64, mainMemTech string, hybridSRAMWays int) error {
 	models := reference.FixedCapacityModels()
 	if config == "area" {
 		models = reference.FixedAreaModels()
@@ -79,6 +117,15 @@ func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string
 	cfg := system.Gainestown(model).WithCores(cores)
 	cfg.ModelWriteContention = contention
 	cfg.TrackWear = wear
+	if faults {
+		cfg.Fault = fault.Config{
+			Options:       fault.Options{Class: model.Class},
+			PreWearWrites: prewear,
+		}
+		if !cfg.Fault.Enabled() {
+			fmt.Fprintf(os.Stderr, "llcsim: -faults has no effect on %s (infinite write endurance)\n", model.Class)
+		}
+	}
 	if hybridSRAMWays > 0 {
 		cfg.Hybrid = &system.HybridConfig{
 			SRAM:     reference.SRAMBaseline(),
@@ -148,8 +195,23 @@ func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
+	if d := r.Degradation; d != nil {
+		fmt.Println()
+		ft := tablefmt.New("Wear-driven faults and degradation", "metric", "value")
+		ft.AddRowf("endurance [writes/cell]", d.EnduranceWrites)
+		ft.AddRowf("ways condemned (pre-aged)", d.InitialDisabledWays)
+		ft.AddRowf("ways condemned (runtime)", d.CondemnedWays)
+		ft.AddRowf("dead sets", d.DeadSets)
+		ft.AddRowf("write-verify retries", d.WriteRetries)
+		ft.AddRowf("lines lost to faults", d.FailedWrites)
+		ft.AddRowf("dead-set accesses", d.DeadSetAccesses+d.DeadSetWrites)
+		ft.AddRowf("effective capacity", d.CapacityFraction())
+		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if r.Wear != nil {
-		est, err := endurance.FromResult(r, model.Class)
+		est, err := endurance.Estimate(r, endurance.Options{Class: model.Class})
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 0)
 	})
 	for _, want := range []string{"tonto on Jan_S", "LLC MPKI", "ED2P"} {
 		if !strings.Contains(out, want) {
@@ -20,11 +20,14 @@ func TestRunBasic(t *testing.T) {
 	if strings.Contains(out, "lifetime") {
 		t.Error("wear output printed without -wear")
 	}
+	if strings.Contains(out, "degradation") {
+		t.Error("fault output printed without -faults")
+	}
 }
 
 func TestRunWithWear(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, false, 0, "", 0)
 	})
 	for _, want := range []string{"Write wear", "raw lifetime"} {
 		if !strings.Contains(out, want) {
@@ -33,23 +36,36 @@ func TestRunWithWear(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	// Pre-age most of the way to the PCRAM endurance budget so the short
+	// trace still produces visible degradation output.
+	out := capture(t, func() error {
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "cap", 30000, 4, 4, 1, false, false, true, 4e7, "", 0)
+	})
+	for _, want := range []string{"Wear-driven faults and degradation", "effective capacity", "ways condemned (pre-aged)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault output missing %q", want)
+		}
+	}
+}
+
 func TestRunWithNVMMainMemory(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, "pcram", 0)
+		return run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, false, 0, "pcram", 0)
 	})
 	for _, want := range []string{"main memory tech", "PCRAM", "row hit rate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("main-memory output missing %q", want)
 		}
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, "flash", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "flash", 0); err == nil {
 		t.Error("unknown main memory tech accepted")
 	}
 }
 
 func TestRunHybrid(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, "", 4)
+		return run(context.Background(), &cliutil.Observability{}, "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 4)
 	})
 	for _, want := range []string{"hybrid(SRAM+Kang_P)", "migrations"} {
 		if !strings.Contains(out, want) {
@@ -59,13 +75,23 @@ func TestRunHybrid(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), &cliutil.Observability{}, "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, false, 0, "", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0); err == nil {
 		t.Error("unknown LLC accepted")
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, false, 0, "", 0); err == nil {
 		t.Error("unknown config accepted")
+	}
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0); err != nil {
+		t.Errorf("faultless SRAM run failed: %v", err)
+	}
+}
+
+func TestRunArtifactsUnknown(t *testing.T) {
+	err := runArtifacts(context.Background(), &cliutil.Observability{}, &cliutil.Flags{Accesses: 1000, Seed: 1}, []string{"nope"}, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("want unknown-artifact error, got %v", err)
 	}
 }

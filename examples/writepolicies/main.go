@@ -100,11 +100,11 @@ func main() {
 		(contention.TimeNS/base.TimeNS-1)*100)
 
 	// Endurance: what wear leveling buys.
-	est, err := endurance.FromResult(base, kang.Class)
+	est, err := endurance.Estimate(base, endurance.Options{Class: kang.Class})
 	if err != nil {
 		log.Fatal(err)
 	}
-	estBypass, err := endurance.FromResult(bypass, kang.Class)
+	estBypass, err := endurance.Estimate(bypass, endurance.Options{Class: kang.Class})
 	if err != nil {
 		log.Fatal(err)
 	}

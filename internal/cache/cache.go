@@ -129,7 +129,13 @@ type Cache struct {
 	lruClock uint64
 	// occ counts valid ways per set, so steady-state fills (every set
 	// full) skip the empty-way scan and go straight to victim selection.
-	occ       []uint8
+	occ []uint8
+	// disabled, when non-nil, counts condemned ways per set (wear-driven
+	// fault degradation, see internal/fault): a set operates at
+	// associativity ways−disabled, and a set with every way disabled is
+	// dead (fills are refused). Nil — the common case — keeps the fill
+	// path on its historical branch untouched.
+	disabled  []uint8
 	stats     Stats
 	blockBits uint
 	policy    Policy
@@ -444,14 +450,27 @@ func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 // fill installs a tag at the set starting at base, evicting the policy's
 // victim if the set is full. The occupancy count routes full sets (the
 // steady state) straight to victim selection; non-full sets find a free
-// way by scanning the tags for the invalidTag sentinel.
+// way by scanning the tags for the invalidTag sentinel. Sets with
+// disabled ways are full at their reduced associativity, and a dead set
+// (every way disabled) refuses the fill outright.
 func (c *Cache) fill(base int, tag uint64, dirty bool) Eviction {
-	c.stats.Fills++
 	si := int(tag & c.setMask)
+	capWays := c.ways
+	if c.disabled != nil {
+		capWays -= int(c.disabled[si])
+		if capWays == 0 {
+			return Eviction{}
+		}
+	}
+	c.stats.Fills++
 	ev := Eviction{}
 	var vi int
-	if int(c.occ[si]) == c.ways {
-		vi = c.victimWay(base)
+	if occ := int(c.occ[si]); occ >= capWays {
+		if capWays == c.ways {
+			vi = c.victimWay(base)
+		} else {
+			vi = c.victimWayCapped(base, occ)
+		}
 		m := c.meta[base+vi]
 		ev = Eviction{LineAddr: c.tags[base+vi], Dirty: m&metaDirty != 0, Valid: true}
 		if m&metaDirty != 0 {
@@ -464,6 +483,41 @@ func (c *Cache) fill(base int, tag uint64, dirty bool) Eviction {
 	c.place(base, vi, tag, dirty)
 	return ev
 }
+
+// SetOf returns the index of the set holding lineAddr.
+func (c *Cache) SetOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+
+// DisableWay permanently removes one way from a set (a wear-condemned
+// cell, see internal/fault), shrinking its associativity by one; victim
+// selection re-routes over the surviving ways. The caller must have
+// invalidated a resident line first if the set was full at its previous
+// capacity — the cache never holds more lines than a set's enabled ways.
+func (c *Cache) DisableWay(set int) {
+	if c.ref != nil {
+		c.ref.DisableWay(set)
+		return
+	}
+	if c.disabled == nil {
+		c.disabled = make([]uint8, c.sets)
+	}
+	if int(c.disabled[set]) < c.ways {
+		c.disabled[set]++
+	}
+}
+
+// DisabledWays returns the number of condemned ways in a set.
+func (c *Cache) DisabledWays(set int) int {
+	if c.ref != nil {
+		return c.ref.disabledWays(set)
+	}
+	if c.disabled == nil {
+		return 0
+	}
+	return int(c.disabled[set])
+}
+
+// EnabledWays returns a set's surviving associativity.
+func (c *Cache) EnabledWays(set int) int { return c.ways - c.DisabledWays(set) }
 
 // OccupiedLines counts currently valid lines (for tests and capacity
 // diagnostics).

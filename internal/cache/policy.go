@@ -94,6 +94,62 @@ func (c *Cache) victimWay(base int) int {
 	}
 }
 
+// victimWayCapped picks the eviction victim from a set that is full at a
+// reduced associativity (disabled ways leave invalid slots behind, so
+// valid ways must be filtered explicitly — the full-set fast paths above
+// may not assume every way is live). occ is the set's current valid-way
+// count, consumed by the Random policy's index draw. The selections are
+// semantically identical to the reference layout's capped variants: LRU
+// picks the minimum stamp among valid ways (the reference's last
+// compacted line), SRRIP scans and ages only valid ways, and Random maps
+// one RNG draw onto the occ-th valid slot.
+func (c *Cache) victimWayCapped(base, occ int) int {
+	switch c.policy {
+	case LRU:
+		meta := c.meta[base : base+c.ways]
+		stamps := c.stamps[base : base+c.ways]
+		vi := -1
+		var min uint64
+		for j := range meta {
+			if meta[j]&metaValid == 0 {
+				continue
+			}
+			if vi < 0 || stamps[j] < min {
+				vi, min = j, stamps[j]
+			}
+		}
+		return vi
+	case SRRIP:
+		meta := c.meta[base : base+c.ways]
+		for {
+			for i := range meta {
+				if meta[i]&metaValid != 0 && (meta[i]&metaRRPVMask)>>metaRRPVShift >= rrpvMax {
+					return i
+				}
+			}
+			for i := range meta {
+				if meta[i]&metaValid != 0 && (meta[i]&metaRRPVMask)>>metaRRPVShift < rrpvMax {
+					meta[i] += 1 << metaRRPVShift
+				}
+			}
+		}
+	default: // Random
+		c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+		idx := int((c.rngState >> 33) % uint64(occ))
+		meta := c.meta[base : base+c.ways]
+		for i := range meta {
+			if meta[i]&metaValid == 0 {
+				continue
+			}
+			if idx == 0 {
+				return i
+			}
+			idx--
+		}
+		return 0 // unreachable: occ valid ways exist
+	}
+}
+
 // place installs a new line over way vi (an empty way or the victim),
 // maintaining policy state. Under LRU the filled line takes the next
 // clock stamp, making it the set's most recent whether the way was empty

@@ -23,6 +23,12 @@ type refStore struct {
 	stats    Stats
 	policy   Policy
 	rngState uint64 // Random policy victim-selection state
+	// disabled mirrors Cache.disabled for the fault-degradation model
+	// (per-set condemned-way counts); nil keeps every historical path
+	// untouched. The capped variants below are the only post-SoA addition
+	// to this file and are exercised solely by the fault tests' layout
+	// equivalence.
+	disabled []uint8
 }
 
 func newRefStore(sets, ways int, policy Policy, seed uint64) *refStore {
@@ -135,6 +141,11 @@ func (c *refStore) Invalidate(lineAddr uint64) (present, dirty bool) {
 
 // fill installs a tag, evicting the policy's victim if the set is full.
 func (c *refStore) fill(set []line, tag uint64, dirty bool) Eviction {
+	if c.disabled != nil {
+		if d := c.disabled[tag&c.setMask]; d > 0 {
+			return c.fillCapped(set, tag, dirty, int(d))
+		}
+	}
 	c.stats.Fills++
 	vi := emptyWayIndex(set)
 	ev := Eviction{}
@@ -148,6 +159,91 @@ func (c *refStore) fill(set []line, tag uint64, dirty bool) Eviction {
 	}
 	c.place(set, vi, line{tag: tag, valid: true, dirty: dirty})
 	return ev
+}
+
+// fillCapped is fill for a set with d disabled ways: the set is full at
+// occupancy ways−d, and a dead set (d == ways) refuses the install.
+func (c *refStore) fillCapped(set []line, tag uint64, dirty bool, d int) Eviction {
+	capWays := c.ways - d
+	if capWays == 0 {
+		return Eviction{}
+	}
+	valid := 0
+	for i := range set {
+		if set[i].valid {
+			valid++
+		}
+	}
+	c.stats.Fills++
+	ev := Eviction{}
+	var vi int
+	if valid >= capWays {
+		vi = c.victimIndexCapped(set, valid)
+		victim := set[vi]
+		ev = Eviction{LineAddr: victim.tag, Dirty: victim.dirty, Valid: true}
+		if victim.dirty {
+			c.stats.Writebacks++
+		}
+	} else {
+		vi = emptyWayIndex(set)
+	}
+	c.place(set, vi, line{tag: tag, valid: true, dirty: dirty})
+	return ev
+}
+
+// victimIndexCapped picks the eviction victim among the valid ways of a
+// set that is full at reduced associativity. Selections match the packed
+// layout's victimWayCapped line for line: LRU evicts the last compacted
+// (least recent) valid line, SRRIP scans and ages only valid ways, and
+// Random maps one RNG draw onto the valid-th slot.
+func (c *refStore) victimIndexCapped(set []line, valid int) int {
+	switch c.policy {
+	case LRU:
+		return valid - 1 // LRU sets stay compacted, valid lines first
+	case SRRIP:
+		for {
+			for i := range set {
+				if set[i].valid && set[i].rrpv >= rrpvMax {
+					return i
+				}
+			}
+			for i := range set {
+				if set[i].valid && set[i].rrpv < rrpvMax {
+					set[i].rrpv++
+				}
+			}
+		}
+	default: // Random
+		c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+		idx := int((c.rngState >> 33) % uint64(valid))
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if idx == 0 {
+				return i
+			}
+			idx--
+		}
+		return 0 // unreachable: valid ways exist
+	}
+}
+
+// DisableWay mirrors Cache.DisableWay for the reference layout.
+func (c *refStore) DisableWay(set int) {
+	if c.disabled == nil {
+		c.disabled = make([]uint8, int(c.setMask)+1)
+	}
+	if int(c.disabled[set]) < c.ways {
+		c.disabled[set]++
+	}
+}
+
+func (c *refStore) disabledWays(set int) int {
+	if c.disabled == nil {
+		return 0
+	}
+	return int(c.disabled[set])
 }
 
 // set returns the ways of the set holding lineAddr, MRU first under LRU.

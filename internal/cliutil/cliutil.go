@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -149,6 +150,80 @@ func StartProgress(eng *engine.Engine, every time.Duration) (stop func()) {
 		once.Do(func() { close(done) })
 		<-finished
 	}
+}
+
+// ArtifactList collects -artifact flag values: the flag may be repeated
+// and each value may be a comma-separated list, so `-artifact fig1a
+// -artifact table5,lifetime` selects three artifacts. Values are kept in
+// the order given, deduplicated.
+type ArtifactList struct {
+	names []string
+	known map[string]bool
+}
+
+// String implements flag.Value.
+func (l *ArtifactList) String() string {
+	if l == nil {
+		return ""
+	}
+	return strings.Join(l.names, ",")
+}
+
+// Set implements flag.Value: it splits on commas, validates each name
+// against the registry snapshot, and appends new names in order.
+func (l *ArtifactList) Set(v string) error {
+	for _, name := range strings.Split(v, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if len(l.known) > 0 && !l.known[name] {
+			return fmt.Errorf("unknown artifact %q", name)
+		}
+		dup := false
+		for _, have := range l.names {
+			if have == name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			l.names = append(l.names, name)
+		}
+	}
+	return nil
+}
+
+// Names returns the selected artifact names in the order given.
+func (l *ArtifactList) Names() []string { return l.names }
+
+// Selected reports whether name was selected.
+func (l *ArtifactList) Selected(name string) bool {
+	for _, have := range l.names {
+		if have == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ArtifactFlag registers -artifact on fs (flag.CommandLine when nil).
+// known is the registry's name list (e.g. sweep.ArtifactNames()); it is
+// baked into the help text so -help documents every runnable artifact,
+// and values are validated against it at parse time. cliutil stays
+// registry-agnostic: callers pass the snapshot in.
+func ArtifactFlag(fs *flag.FlagSet, known []string) *ArtifactList {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	l := &ArtifactList{known: make(map[string]bool, len(known))}
+	for _, n := range known {
+		l.known[n] = true
+	}
+	fs.Var(l, "artifact",
+		fmt.Sprintf("artifact to run, by registry name (repeatable, comma-separated); one of: %s",
+			strings.Join(known, ", ")))
+	return l
 }
 
 // Renderer is anything that can print itself — tablefmt tables and

@@ -14,43 +14,46 @@
 // to one physical line) and ideally wear-leveled (the hottest set's writes
 // spread evenly across its ways — an upper bound for intra-set schemes
 // like WriteSmoothing).
+//
+// What happens past first failure — the cache serving on at degraded
+// capacity with faulty blocks disabled — is simulated rather than
+// estimated: see internal/fault and the sweep's degradation artifact.
+// Both models share one configuration type: Options is internal/fault's
+// Options, so the endurance budget that parameterizes the analytical
+// projection is exactly the one the fault process draws thresholds from.
 package endurance
 
 import (
 	"fmt"
 	"math"
 
+	"nvmllc/internal/fault"
 	"nvmllc/internal/nvm"
 	"nvmllc/internal/system"
 )
 
+// Options selects the endurance budget for an estimate: the technology
+// class (Table I budget) with an optional explicit override. It is the
+// fault model's configuration core, aliased so the analytical estimate
+// and the fault process cannot drift apart.
+type Options = fault.Options
+
 // WriteEndurance returns the per-cell write endurance for a technology
-// class, from the paper's Table I and Section II discussion: PCRAM suffers
-// stuck-at faults after 10⁷–10⁸ writes (we use the geometric middle),
-// RRAM at 10¹⁰; STTRAM endurance is effectively unbounded for cache
-// lifetimes (10¹⁵ is the figure commonly used), and SRAM does not wear.
-func WriteEndurance(class nvm.Class) float64 {
-	switch class {
-	case nvm.PCRAM:
-		return 3e7
-	case nvm.RRAM:
-		return 1e10
-	case nvm.STTRAM:
-		return 1e15
-	default: // SRAM
-		return math.Inf(1)
-	}
-}
+// class, from the paper's Table I (see nvm.WriteEndurance, where the
+// table now lives).
+func WriteEndurance(class nvm.Class) float64 { return nvm.WriteEndurance(class) }
 
 // SecondsPerYear converts write rates to calendar lifetimes.
 const SecondsPerYear = 365.25 * 24 * 3600
 
-// Estimate is a lifetime projection for one (workload, LLC) run.
-type Estimate struct {
+// Projection is a lifetime projection for one (workload, LLC) run.
+type Projection struct {
 	// Workload and LLC identify the run.
 	Workload, LLC string
 	// Class is the LLC's technology class.
 	Class nvm.Class
+	// EnduranceWrites is the per-cell write budget the projection used.
+	EnduranceWrites float64
 	// HottestLineWritesPerSec is the raw wear rate of the most-written
 	// line.
 	HottestLineWritesPerSec float64
@@ -64,28 +67,37 @@ type Estimate struct {
 	ImbalanceFactor float64
 }
 
-// FromResult derives the lifetime estimate from a simulation run that was
-// executed with system.Config.TrackWear set.
-func FromResult(r *system.Result, class nvm.Class) (Estimate, error) {
+// Estimate derives the lifetime projection from a simulation run that was
+// executed with system.Config.TrackWear set, under the endurance budget
+// the options resolve to.
+func Estimate(r *system.Result, opts Options) (Projection, error) {
 	if r.Wear == nil {
-		return Estimate{}, fmt.Errorf("endurance: result for %s/%s has no wear data (set Config.TrackWear)", r.Workload, r.LLCName)
+		return Projection{}, fmt.Errorf("endurance: result for %s/%s has no wear data (set Config.TrackWear)", r.Workload, r.LLCName)
 	}
 	secs := r.Seconds()
 	if secs <= 0 {
-		return Estimate{}, fmt.Errorf("endurance: result for %s/%s has no execution time", r.Workload, r.LLCName)
+		return Projection{}, fmt.Errorf("endurance: result for %s/%s has no execution time", r.Workload, r.LLCName)
 	}
-	e := Estimate{
+	e := Projection{
 		Workload:                r.Workload,
 		LLC:                     r.LLCName,
-		Class:                   class,
+		Class:                   opts.Class,
+		EnduranceWrites:         opts.Endurance(),
 		HottestLineWritesPerSec: float64(r.Wear.MaxLineWrites) / secs,
 		LeveledWritesPerSec:     float64(r.Wear.LeveledMaxLineWrites()) / secs,
 		ImbalanceFactor:         r.Wear.ImbalanceFactor(),
 	}
-	end := WriteEndurance(class)
-	e.RawYears = years(end, e.HottestLineWritesPerSec)
-	e.LeveledYears = years(end, e.LeveledWritesPerSec)
+	e.RawYears = years(e.EnduranceWrites, e.HottestLineWritesPerSec)
+	e.LeveledYears = years(e.EnduranceWrites, e.LeveledWritesPerSec)
 	return e, nil
+}
+
+// FromResult is Estimate with only a class.
+//
+// Deprecated: use Estimate with an Options struct; FromResult is kept
+// for callers of the positional-parameter API.
+func FromResult(r *system.Result, class nvm.Class) (Projection, error) {
+	return Estimate(r, Options{Class: class})
 }
 
 // years converts an endurance budget and a wear rate to calendar years.
@@ -98,6 +110,6 @@ func years(enduranceWrites, writesPerSec float64) float64 {
 
 // Viable reports whether the raw lifetime clears a deployment threshold
 // (the 5-year server-lifetime bar common in the endurance literature).
-func (e Estimate) Viable(yearsRequired float64) bool {
+func (e Projection) Viable(yearsRequired float64) bool {
 	return e.RawYears >= yearsRequired
 }

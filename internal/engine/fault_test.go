@@ -1,0 +1,138 @@
+package engine
+
+// Engine-level fault-injection properties: the result-cache key must
+// cover the fault configuration (a different fault process is a
+// different design point), a disabled fault config must be inert through
+// the engine path, and faulted runs must memoize like any other job.
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"nvmllc/internal/fault"
+	"nvmllc/internal/reference"
+	"nvmllc/internal/system"
+)
+
+// faultedJob builds a Kang_P design point with faults scaled to fire
+// within the short test trace.
+func faultedJob(t *testing.T, enduranceWrites float64, seed uint64) Job {
+	t.Helper()
+	kang, err := reference.ModelByName(reference.FixedCapacityModels(), "Kang_P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(t, "is", smallOpts())
+	j.Config = system.Gainestown(kang)
+	j.Config.Fault = fault.Config{
+		Options: fault.Options{Class: kang.Class, EnduranceWrites: enduranceWrites},
+		Seed:    seed,
+	}
+	return j
+}
+
+func TestKeyCoversFaultConfig(t *testing.T) {
+	base := faultedJob(t, 0.3, 21)
+	keyOf := func(j Job) string {
+		k, ok := Key(j)
+		if !ok {
+			t.Fatal("job unexpectedly uncacheable")
+		}
+		return k
+	}
+	k0 := keyOf(base)
+	if k1 := keyOf(base); k1 != k0 {
+		t.Error("key not deterministic")
+	}
+	seed := base
+	seed.Config.Fault.Seed = 22
+	if keyOf(seed) == k0 {
+		t.Error("fault seed not covered by the cache key")
+	}
+	prewear := base
+	prewear.Config.Fault.PreWearWrites = 0.1
+	if keyOf(prewear) == k0 {
+		t.Error("pre-wear not covered by the cache key")
+	}
+	endurance := base
+	endurance.Config.Fault.EnduranceWrites = 0.4
+	if keyOf(endurance) == k0 {
+		t.Error("endurance override not covered by the cache key")
+	}
+}
+
+// TestEngineFaultInertness: a populated-but-disabled fault config is a
+// distinct cache key (the config differs) yet must simulate to exactly
+// the same Result as the zero value — the engine-level half of the
+// inertness guarantee.
+func TestEngineFaultInertness(t *testing.T) {
+	e := New()
+	plain := testJob(t, "bzip2", smallOpts())
+	disabled := plain
+	disabled.Config.Fault = fault.Config{Seed: 99, Spread: 2, MaxRetries: 5, SoftFraction: 0.5}
+	if disabled.Config.Fault.Enabled() {
+		t.Fatal("test fault config unexpectedly enabled")
+	}
+	kPlain, _ := Key(plain)
+	kDisabled, _ := Key(disabled)
+	if kPlain == kDisabled {
+		t.Fatal("distinct configs share a cache key; the comparison would be a cache alias")
+	}
+	r1, err := e.Run(context.Background(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(context.Background(), disabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Simulated != 2 {
+		t.Fatalf("stats %+v, want 2 fresh simulations", s)
+	}
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("disabled fault config changed the engine result\nplain:    %s\ndisabled: %s", b1, b2)
+	}
+}
+
+// TestEngineFaultedRunsMemoize: a faulted design point is deterministic,
+// so the engine may cache it; a second identical Run must hit.
+func TestEngineFaultedRunsMemoize(t *testing.T) {
+	e := New()
+	j := faultedJob(t, 0.3, 21)
+	r1, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Degradation == nil || r1.Degradation.CondemnedWays == 0 {
+		t.Fatalf("no degradation in faulted run: %+v", r1.Degradation)
+	}
+	r2, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Simulated != 1 || s.Cached != 1 {
+		t.Fatalf("stats %+v, want 1 simulated / 1 cached", s)
+	}
+	if r1 != r2 {
+		t.Error("faulted result not memoized")
+	}
+	// And a fresh engine reproduces it bit-for-bit: same seed ⇒ same
+	// fault sequence ⇒ same Result.
+	r3, err := New().Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r1.Degradation, *r3.Degradation) {
+		t.Errorf("fault history not reproducible across engines:\n%+v\n%+v", r1.Degradation, r3.Degradation)
+	}
+}

@@ -1,0 +1,304 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"nvmllc/internal/nvm"
+)
+
+func TestZeroValueIsInertAndValid(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if c.Enabled() {
+		t.Fatal("zero config must be disabled (SRAM ⇒ infinite endurance)")
+	}
+	if _, err := New(c, 64, 8); err == nil {
+		t.Fatal("New must reject a disabled config")
+	}
+}
+
+func TestOptionsEndurance(t *testing.T) {
+	if e := (Options{Class: nvm.PCRAM}).Endurance(); e != nvm.WriteEndurance(nvm.PCRAM) {
+		t.Errorf("PCRAM endurance = %g", e)
+	}
+	if e := (Options{Class: nvm.PCRAM, EnduranceWrites: 42}).Endurance(); e != 42 {
+		t.Errorf("override endurance = %g, want 42", e)
+	}
+	if e := (Options{}).Endurance(); !math.IsInf(e, 1) {
+		t.Errorf("zero-value endurance = %g, want +Inf", e)
+	}
+	// An explicit +Inf override is valid and disabled, like SRAM.
+	c := Config{Options: Options{Class: nvm.PCRAM, EnduranceWrites: math.Inf(1)}}
+	if c.Enabled() {
+		t.Error("infinite endurance override must disable the process")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for name, c := range map[string]Config{
+		"negative endurance": {Options: Options{EnduranceWrites: -1}},
+		"negative spread":    {Spread: -1},
+		"negative retries":   {MaxRetries: -1},
+		"soft fraction > 1":  {SoftFraction: 1.5},
+		"negative prewear":   {PreWearWrites: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	c := Config{Options: Options{EnduranceWrites: 100}}
+	for _, g := range []struct{ sets, ways int }{{0, 8}, {-4, 8}, {48, 8}, {64, 0}, {64, 1 << 17}} {
+		if _, err := New(c, g.sets, g.ways); err == nil {
+			t.Errorf("geometry %dx%d accepted", g.sets, g.ways)
+		}
+	}
+}
+
+// writeSet drives n writes at a line in set s and returns the outcomes.
+func writeSet(inj *Injector, s uint64, n int) []Outcome {
+	out := make([]Outcome, 0, n)
+	for i := 0; i < n; i++ {
+		if inj.IsDead(s) {
+			break
+		}
+		out = append(out, inj.OnWrite(s))
+	}
+	return out
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	cfg := Config{Options: Options{EnduranceWrites: 10}, Seed: 7}
+	a, err := New(cfg, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		line := uint64(i * 13)
+		if a.IsDead(line) != b.IsDead(line) {
+			t.Fatalf("write %d: IsDead diverged", i)
+		}
+		if a.IsDead(line) {
+			continue
+		}
+		oa, ob := a.OnWrite(line), b.OnWrite(line)
+		if oa != ob {
+			t.Fatalf("write %d: outcome %+v vs %+v", i, oa, ob)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestSeedChangesThresholds(t *testing.T) {
+	mk := func(seed uint64) *Injector {
+		inj, err := New(Config{Options: Options{EnduranceWrites: 100}, Seed: seed}, 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := mk(1), mk(2)
+	diff := false
+	for s := uint64(0); s < 64 && !diff; s++ {
+		for w := uint64(0); w < 8; w++ {
+			if a.threshold(s, w) != b.threshold(s, w) {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds drew identical thresholds everywhere")
+	}
+	// The derived (Seed == 0) seed depends on geometry.
+	c := Config{Options: Options{EnduranceWrites: 100}}
+	if c.seed(64, 8) == c.seed(128, 8) || c.seed(64, 8) == 0 {
+		t.Error("derived seed must be nonzero and geometry-dependent")
+	}
+}
+
+func TestThresholdRange(t *testing.T) {
+	const endurance, spread = 1000.0, 2.0
+	inj, err := New(Config{Options: Options{EnduranceWrites: endurance}, Spread: spread, Seed: 3}, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := endurance*math.Exp2(-spread), endurance*math.Exp2(spread)
+	for s := uint64(0); s < 32; s++ {
+		for w := uint64(0); w < 8; w++ {
+			th := inj.threshold(s, w)
+			if th < lo || th >= hi {
+				t.Fatalf("threshold(%d,%d) = %g outside [%g, %g)", s, w, th, lo, hi)
+			}
+		}
+	}
+}
+
+// TestGracefulDegradationToDeath wears one set down completely and checks
+// the full soft-window → condemnation → dead-set progression.
+func TestGracefulDegradationToDeath(t *testing.T) {
+	const ways = 4
+	cfg := Config{Options: Options{EnduranceWrites: 8}, Seed: 11, MaxRetries: 2}
+	inj, err := New(cfg, 8, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const line = 3
+	var condemned int
+	sawSoft := false
+	prevEnabled := ways
+	for i := 0; i < 10000 && !inj.IsDead(line); i++ {
+		o := inj.OnWrite(line)
+		switch {
+		case o.Condemned:
+			condemned++
+			if o.Retries != 2 {
+				t.Fatalf("condemnation charged %d retries, want MaxRetries=2", o.Retries)
+			}
+			if got := ways - inj.DisabledWays(line&7); got != prevEnabled-1 {
+				t.Fatalf("condemnation disabled %d ways at once", prevEnabled-got)
+			}
+			prevEnabled--
+		case o.Retries == 1:
+			sawSoft = true
+		}
+	}
+	if condemned != ways {
+		t.Fatalf("set died after %d condemnations, want %d", condemned, ways)
+	}
+	if !sawSoft {
+		t.Error("write-verify soft window never fired before condemnation")
+	}
+	if !inj.IsDead(line) {
+		t.Fatal("set not dead after all ways condemned")
+	}
+	inj.NoteDeadAccess()
+	inj.NoteDeadWrite()
+	st := inj.Stats()
+	if st.CondemnedWays != ways || st.DeadSets != 1 || st.FailedWrites != uint64(ways) {
+		t.Errorf("stats %+v", st)
+	}
+	if st.DeadSetAccesses != 1 || st.DeadSetWrites != 1 {
+		t.Errorf("dead-set counters %+v", st)
+	}
+	if want := 8*ways - ways; st.EnabledLines != want {
+		t.Errorf("EnabledLines = %d, want %d", st.EnabledLines, want)
+	}
+	wantCap := float64(st.EnabledLines) / float64(8*ways)
+	if st.CapacityFraction() != wantCap {
+		t.Errorf("CapacityFraction = %g, want %g", st.CapacityFraction(), wantCap)
+	}
+}
+
+func TestPreAgingCondemnsUpfront(t *testing.T) {
+	const sets, ways = 16, 4
+	base := Config{Options: Options{EnduranceWrites: 100}, Seed: 5}
+	// Past every possible threshold (endurance × 2^spread): the whole
+	// array starts dead.
+	dead := base
+	dead.PreWearWrites = 100 * math.Exp2(1)
+	inj, err := New(dead, sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inj.Stats()
+	if st.InitialDisabledWays != sets*ways || st.DeadSets != sets || st.EnabledLines != 0 {
+		t.Fatalf("full pre-age: %+v", st)
+	}
+	if st.CapacityFraction() != 0 {
+		t.Errorf("dead array capacity %g", st.CapacityFraction())
+	}
+	for s := uint64(0); s < sets; s++ {
+		if !inj.IsDead(s) {
+			t.Fatalf("set %d alive after full pre-age", s)
+		}
+	}
+
+	// Pre-aging exactly to the nominal budget condemns the below-median
+	// cells: roughly half the array, never none, never all.
+	half := base
+	half.PreWearWrites = 100
+	inj2, err := New(half, sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := inj2.Stats()
+	if st2.InitialDisabledWays == 0 || st2.InitialDisabledWays == sets*ways {
+		t.Fatalf("median pre-age disabled %d of %d ways", st2.InitialDisabledWays, sets*ways)
+	}
+	if st2.EnabledLines != sets*ways-st2.InitialDisabledWays {
+		t.Errorf("EnabledLines inconsistent: %+v", st2)
+	}
+
+	// More pre-wear never re-enables capacity.
+	prev := sets * ways
+	for _, w := range []float64{0, 25, 50, 75, 100, 150, 200} {
+		c := base
+		c.PreWearWrites = w
+		inj, err := New(c, sets, ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := inj.Stats().EnabledLines; got > prev {
+			t.Fatalf("prewear %g enabled %d lines > %d at lower wear", w, got, prev)
+		} else {
+			prev = got
+		}
+	}
+}
+
+// TestPreAgeMatchesInSituWear: absorbing W writes per cell at
+// construction must condemn the same ways as accumulating the same wear
+// via OnWrite (outcomes aside), keeping the degradation artifact's
+// pre-aged points consistent with a simulated-through history.
+func TestPreAgeMatchesInSituWear(t *testing.T) {
+	const sets, ways = 4, 4
+	cfg := Config{Options: Options{EnduranceWrites: 50}, Seed: 9}
+	live, err := New(cfg, sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive every set until its cumulative per-cell wear reaches 60.
+	for s := uint64(0); s < sets; s++ {
+		for !live.IsDead(s) && live.sets[s].wear < 60 {
+			live.OnWrite(s)
+		}
+	}
+	aged := Config{Options: Options{EnduranceWrites: 50}, Seed: 9, PreWearWrites: 60}
+	pre, err := New(aged, sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sets; s++ {
+		// The in-situ path stops at the first threshold past wear 60, so it
+		// can be one condemnation behind the pre-aged path at exactly-equal
+		// boundaries; allow the wear overshoot to settle by comparing
+		// against both the target wear and what the live run reached.
+		lw, pw := live.DisabledWays(s), pre.DisabledWays(s)
+		if lw != pw {
+			t.Errorf("set %d: in-situ disabled %d ways, pre-aged %d (wear %g)",
+				s, lw, pw, live.sets[s].wear)
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Sets: 4, Ways: 4, EnabledLines: 12}
+	if s.TotalLines() != 16 || s.CapacityFraction() != 0.75 {
+		t.Errorf("TotalLines=%d CapacityFraction=%g", s.TotalLines(), s.CapacityFraction())
+	}
+	if (Stats{}).CapacityFraction() != 1 {
+		t.Error("empty stats capacity must be 1")
+	}
+}

@@ -1,0 +1,26 @@
+package nvm
+
+import "math"
+
+// WriteEndurance returns the per-cell write endurance for a technology
+// class, from the paper's Table I and Section II discussion: PCRAM suffers
+// stuck-at faults after 10⁷–10⁸ writes (we use the geometric middle),
+// RRAM at 10¹⁰; STTRAM endurance is effectively unbounded for cache
+// lifetimes (10¹⁵ is the figure commonly used), and SRAM does not wear.
+//
+// The table lives here — rather than in internal/endurance, which
+// re-exports it — so the wear-driven fault model (internal/fault) and the
+// analytical lifetime estimate share one source of truth without an
+// import cycle through internal/system.
+func WriteEndurance(class Class) float64 {
+	switch class {
+	case PCRAM:
+		return 3e7
+	case RRAM:
+		return 1e10
+	case STTRAM:
+		return 1e15
+	default: // SRAM
+		return math.Inf(1)
+	}
+}

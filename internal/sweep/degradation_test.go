@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"nvmllc/internal/nvm"
+	"nvmllc/internal/workload"
+)
+
+func degradationTestCfg() Config {
+	return Config{Opts: workload.Options{Accesses: 15000, Seed: 3}}
+}
+
+// TestDegradationStudy is the artifact's acceptance property: over a
+// shared absolute age ladder, the PCRAM LLC's effective capacity is
+// monotonically non-increasing and actually degrades, while the STTRAM
+// and SRAM curves hold flat at full capacity over the same years.
+func TestDegradationStudy(t *testing.T) {
+	study, err := Degradation(context.Background(), degradationTestCfg(), DegradationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Workload != "is" {
+		t.Errorf("default workload %q", study.Workload)
+	}
+	if len(study.AgesYears) < 2 {
+		t.Fatalf("age ladder too short: %v", study.AgesYears)
+	}
+	for i := 1; i < len(study.AgesYears); i++ {
+		if study.AgesYears[i] <= study.AgesYears[i-1] {
+			t.Fatalf("age ladder not increasing: %v", study.AgesYears)
+		}
+	}
+	byClass := map[nvm.Class]DegradationCurve{}
+	for _, c := range study.Curves {
+		if len(c.Points) != len(study.AgesYears) {
+			t.Fatalf("%s: %d points for %d ages", c.LLC, len(c.Points), len(study.AgesYears))
+		}
+		byClass[c.Class] = c
+	}
+
+	pcram, ok := byClass[nvm.PCRAM]
+	if !ok {
+		t.Fatal("no PCRAM curve in default LLC set")
+	}
+	if math.IsInf(pcram.NominalYears, 1) || pcram.NominalYears <= 0 {
+		t.Fatalf("PCRAM nominal lifetime %g", pcram.NominalYears)
+	}
+	prev := 2.0
+	for i, p := range pcram.Points {
+		if p.CapacityFraction > prev {
+			t.Fatalf("PCRAM capacity not monotone: point %d rose to %g from %g", i, p.CapacityFraction, prev)
+		}
+		prev = p.CapacityFraction
+	}
+	first, last := pcram.Points[0], pcram.Points[len(pcram.Points)-1]
+	if first.CapacityFraction != 1 {
+		t.Errorf("PCRAM capacity at age 0 is %g, want 1", first.CapacityFraction)
+	}
+	if last.CapacityFraction >= first.CapacityFraction {
+		t.Errorf("PCRAM never degraded: first %g, last %g", first.CapacityFraction, last.CapacityFraction)
+	}
+	// The ladder tops out at 2× the nominal lifetime: essentially every
+	// cell has exceeded its budget, so almost nothing survives.
+	if last.CondemnedWays == 0 || last.DeadSets == 0 {
+		t.Errorf("PCRAM end of life too healthy: %+v", last)
+	}
+
+	for _, class := range []nvm.Class{nvm.STTRAM, nvm.SRAM} {
+		c, ok := byClass[class]
+		if !ok {
+			t.Fatalf("no %v curve in default LLC set", class)
+		}
+		for i, p := range c.Points {
+			if p.CapacityFraction != 1 || p.CondemnedWays != 0 {
+				t.Errorf("%v point %d degraded: %+v", class, i, p)
+			}
+		}
+		// Flat curves must also be flat in performance: the replays are
+		// one cached simulation, so IPC is identical at every age.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].IPC != c.Points[0].IPC {
+				t.Errorf("%v IPC varies across a flat curve", class)
+			}
+		}
+	}
+}
+
+func TestDegradationExplicitOptions(t *testing.T) {
+	study, err := Degradation(context.Background(), degradationTestCfg(), DegradationOptions{
+		Workload:  "cg",
+		LLCs:      []string{"SRAM"},
+		AgesYears: []float64{0, 5},
+		FaultSeed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Workload != "cg" || len(study.Curves) != 1 || len(study.AgesYears) != 2 {
+		t.Fatalf("options not honored: %+v", study)
+	}
+	if !math.IsInf(study.Curves[0].NominalYears, 1) {
+		t.Errorf("SRAM nominal lifetime %g, want +Inf", study.Curves[0].NominalYears)
+	}
+}
+
+func TestDegradationUnknownInputs(t *testing.T) {
+	if _, err := Degradation(context.Background(), degradationTestCfg(), DegradationOptions{Workload: "nosuch"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Degradation(context.Background(), degradationTestCfg(), DegradationOptions{LLCs: []string{"nosuch"}}); err == nil {
+		t.Error("unknown LLC accepted")
+	}
+}
+
+func TestDeriveAgeLadder(t *testing.T) {
+	flat := deriveAgeLadder([]DegradationCurve{{NominalYears: math.Inf(1)}})
+	if len(flat) != 1 || flat[0] != 0 {
+		t.Errorf("non-wearing ladder %v", flat)
+	}
+	ladder := deriveAgeLadder([]DegradationCurve{{NominalYears: math.Inf(1)}, {NominalYears: 4}})
+	if len(ladder) != 8 || ladder[0] != 0 || ladder[len(ladder)-1] != 8 {
+		t.Errorf("ladder %v", ladder)
+	}
+}
+
+func TestArtifactRegistry(t *testing.T) {
+	arts := Artifacts()
+	if len(arts) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if a.Name == "" || a.Title == "" || a.run == nil {
+			t.Errorf("incomplete artifact %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate artifact name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"table5", "fig1a", "coresweep", "lifetime", "degradation"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if names := ArtifactNames(); len(names) != len(arts) {
+		t.Errorf("ArtifactNames length %d != %d", len(names), len(arts))
+	}
+	if _, err := Run(context.Background(), "nosuch", degradationTestCfg()); err == nil ||
+		!strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("unknown artifact error = %v", err)
+	}
+}
+
+// TestDegradationArtifact drives the registry entry end to end and
+// checks the rendered tables carry the capacity column.
+func TestDegradationArtifact(t *testing.T) {
+	res, err := Run(context.Background(), "degradation", degradationTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, ok := res.Value.(*DegradationStudy)
+	if !ok {
+		t.Fatalf("value type %T", res.Value)
+	}
+	if len(res.Renderers) != len(study.Curves) {
+		t.Fatalf("%d renderers for %d curves", len(res.Renderers), len(study.Curves))
+	}
+	var sb strings.Builder
+	for _, r := range res.Renderers {
+		if err := r.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"Degradation over lifetime", "capacity", "Kang_P", "SRAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // LifetimeRow is one (workload, LLC) lifetime projection.
 type LifetimeRow struct {
-	endurance.Estimate
+	endurance.Projection
 	// LLCWritesPerSec is the aggregate write rate, for context.
 	LLCWritesPerSec float64
 }
@@ -71,12 +71,12 @@ func Lifetime(ctx context.Context, cfg Config, llcs []string) (*LifetimeStudy, e
 			if err != nil {
 				return nil, err
 			}
-			est, err := endurance.FromResult(r, model.Class)
+			est, err := endurance.Estimate(r, endurance.Options{Class: model.Class})
 			if err != nil {
 				return nil, err
 			}
 			study.Rows = append(study.Rows, LifetimeRow{
-				Estimate:        est,
+				Projection:      est,
 				LLCWritesPerSec: float64(r.LLC.Writes) / r.Seconds(),
 			})
 			lifeByWorkload[wlName] = est.RawYears

@@ -1,0 +1,242 @@
+package sweep
+
+// Renderer builders for the artifact registry. These are the print
+// bodies that used to live in cmd/figures, moved behind the registry so
+// every CLI renders an artifact identically.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"nvmllc/internal/tablefmt"
+	"nvmllc/internal/workload"
+)
+
+func figureArtifact(gen func(context.Context, Config) (*FigureResult, error)) func(context.Context, Config) (*ArtifactResult, error) {
+	return func(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+		fig, err := gen(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &ArtifactResult{Value: fig, Renderers: figureRenderers(fig)}, nil
+	}
+}
+
+// figureRenderers renders one bar-chart figure as three tables (speedup,
+// LLC energy, ED²P), each normalized to SRAM = 1.
+func figureRenderers(fig *FigureResult) []Renderer {
+	blocks := []struct {
+		name string
+		data [][]float64
+	}{
+		{"normalized speedup", fig.Speedup},
+		{"normalized LLC energy", fig.Energy},
+		{"normalized ED2P", fig.ED2P},
+	}
+	var tables []Renderer
+	for _, b := range blocks {
+		t := tablefmt.New(fmt.Sprintf("%s — %s (SRAM = 1.0)", fig.Title, b.name),
+			append([]string{"workload"}, fig.LLCs...)...)
+		for wi, w := range fig.Workloads {
+			row := []interface{}{w}
+			for _, v := range b.data[wi] {
+				row = append(row, v)
+			}
+			t.AddRowf(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func runCoreSweepArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	out := &ArtifactResult{}
+	results := map[string]*CoreSweepResult{}
+	for _, name := range CoreSweepWorkloads {
+		res, err := CoreSweep(ctx, name, DefaultCoreCounts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results[name] = res
+		out.Renderers = append(out.Renderers, CoreSweepRenderers(name, res)...)
+	}
+	out.Value = results
+	return out, nil
+}
+
+// CoreSweepRenderers renders one workload's core sweep as speedup and
+// LLC-energy tables; exported so CLIs can sweep a single workload
+// without running the whole coresweep artifact.
+func CoreSweepRenderers(name string, res *CoreSweepResult) []Renderer {
+	var out []Renderer
+	for _, block := range []struct {
+		label string
+		data  [][]float64
+	}{{"speedup", res.Speedup}, {"LLC energy", res.Energy}} {
+		t := tablefmt.New(
+			fmt.Sprintf("Core sweep (%s, %s, normalized to 1-core SRAM)", name, block.label),
+			append([]string{"cores"}, res.LLCs...)...)
+		for ci, n := range res.Cores {
+			row := []interface{}{fmt.Sprintf("%d", n)}
+			for _, v := range block.data[ci] {
+				row = append(row, v)
+			}
+			t.AddRowf(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func runTableVArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	rows, err := TableV(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("Table V: workloads and LLC MPKI (simulated vs paper)",
+		"workload", "suite", "MPKI (ours)", "MPKI (paper)")
+	for _, r := range rows {
+		t.AddRowf(r.Workload, r.Suite, r.MPKI, r.PaperMPKI)
+	}
+	return &ArtifactResult{Value: rows, Renderers: []Renderer{t}}, nil
+}
+
+func runTableVIArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	rows, err := TableVI(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New(
+		fmt.Sprintf("Table VI: workload features (measured on synthetic traces; paper footprints are ~%d× larger at full scale)", workload.FootprintScale),
+		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
+	for _, r := range rows {
+		m := r.Measured
+		t.AddRowf(r.Workload, m.GlobalReadEntropy, m.LocalReadEntropy,
+			m.GlobalWriteEntropy, m.LocalWriteEntropy,
+			m.UniqueReads, m.UniqueWrites, m.Footprint90Reads, m.Footprint90Writes,
+			m.TotalReads, m.TotalWrites)
+	}
+	tp := tablefmt.New("Table VI: paper values",
+		"workload", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90ft_r", "90ft_w", "r_total", "w_total")
+	for _, r := range rows {
+		p := r.Paper
+		tp.AddRowf(r.Workload, p.GlobalReadEntropy, p.LocalReadEntropy,
+			p.GlobalWriteEntropy, p.LocalWriteEntropy,
+			p.UniqueReads, p.UniqueWrites, p.Footprint90Reads, p.Footprint90Writes,
+			p.TotalReads, p.TotalWrites)
+	}
+	return &ArtifactResult{Value: rows, Renderers: []Renderer{t, tp}}, nil
+}
+
+func figure4Artifact(src FeatureSource) func(context.Context, Config) (*ArtifactResult, error) {
+	return func(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+		panels, err := Figure4(ctx, Figure4Config{Config: cfg, Source: src})
+		if err != nil {
+			return nil, err
+		}
+		labels := []string{"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"}
+		var maps []Renderer
+		for i, p := range panels {
+			h := p.Heatmap()
+			if i < len(labels) {
+				h.Title = fmt.Sprintf("Figure 4%s: |Pearson r|, %s, AI workloads", labels[i], h.Title)
+			}
+			maps = append(maps, h)
+		}
+		return &ArtifactResult{Value: panels, Renderers: maps}, nil
+	}
+}
+
+func runLifetimeArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	study, err := Lifetime(ctx, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("LLC lifetime projection (first-cell-failure model; intra-set wear leveling per WriteSmoothing [20])",
+		"workload", "LLC", "class", "hottest-line wr/s", "raw years", "leveled years", "imbalance", "viable 5y")
+	for _, r := range study.Rows {
+		t.AddRowf(r.Workload, r.LLC, r.Class.String(), r.HottestLineWritesPerSec,
+			r.RawYears, r.LeveledYears, r.ImbalanceFactor,
+			fmt.Sprintf("%v", r.Viable(5)))
+	}
+	renderers := []Renderer{t}
+	for _, p := range study.Panels {
+		h := p.Heatmap()
+		h.Title = "Wear-rate correlation with workload features: " + h.Title
+		h.Cells = h.Cells[:1]
+		h.RowNames = []string{"wear rate"}
+		renderers = append(renderers, h)
+	}
+	return &ArtifactResult{Value: study, Renderers: renderers}, nil
+}
+
+func runPredictArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	study, err := Predict(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("Energy prediction: models trained on the 13 non-AI workloads, evaluated on the unseen AI domain (SRAM-normalized energies)",
+		"LLC", "workload", "predictor feature", "predicted", "simulated", "rel. err")
+	for _, r := range study.Rows {
+		t.AddRowf(r.LLC, r.Workload, r.Feature, r.Predicted, r.Simulated, r.RelErr)
+	}
+	return &ArtifactResult{
+		Value:     study,
+		Renderers: []Renderer{t, lineRenderer(fmt.Sprintf("mean relative error: %.2f", study.MeanRelErr))},
+	}, nil
+}
+
+func runAblationsArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	rows, err := AblationSuite(ctx, "is", "Kang_P", cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("Design-lever ablations: is on Kang_P (PCRAM)",
+		"configuration", "time [ms]", "dyn energy [mJ]", "total energy [mJ]", "LLC writes", "LLC hits")
+	for _, r := range rows {
+		t.AddRowf(r.Name, r.TimeMS, r.DynEnergyMJ, r.TotalEnergyMJ, r.LLCWrites, r.Hits)
+	}
+	return &ArtifactResult{Value: rows, Renderers: []Renderer{t}}, nil
+}
+
+func runDegradationArtifact(ctx context.Context, cfg Config) (*ArtifactResult, error) {
+	study, err := Degradation(ctx, cfg, DegradationOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &ArtifactResult{Value: study, Renderers: degradationRenderers(study)}, nil
+}
+
+// degradationRenderers prints one table per LLC curve: the workload
+// replayed at each service age with the cumulative wear pre-applied, and
+// what the degraded cache still delivers.
+func degradationRenderers(study *DegradationStudy) []Renderer {
+	var out []Renderer
+	for _, c := range study.Curves {
+		life := "∞"
+		if c.NominalYears < 1e18 {
+			life = fmt.Sprintf("%.2f y", c.NominalYears)
+		}
+		t := tablefmt.New(
+			fmt.Sprintf("Degradation over lifetime: %s on %s (%s, nominal life %s)",
+				study.Workload, c.LLC, c.Class.String(), life),
+			"age [y]", "prewear wr/cell", "capacity", "condemned ways", "dead sets",
+			"retries", "lines lost", "IPC", "MPKI")
+		for _, p := range c.Points {
+			t.AddRowf(p.AgeYears, p.PreWearWrites, p.CapacityFraction,
+				p.CondemnedWays, p.DeadSets, p.WriteRetries, p.LinesLost, p.IPC, p.MPKI)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// lineRenderer prints one plain line — for artifact summaries that are
+// not tables (like predict's mean relative error).
+type lineRenderer string
+
+func (l lineRenderer) Render(w io.Writer) error {
+	_, err := fmt.Fprintln(w, string(l))
+	return err
+}

@@ -21,6 +21,7 @@ import (
 	"nvmllc/internal/cache"
 	"nvmllc/internal/cpu"
 	"nvmllc/internal/dram"
+	"nvmllc/internal/fault"
 	"nvmllc/internal/nvsim"
 	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
@@ -65,6 +66,16 @@ type Config struct {
 	// TrackWear, when true, records per-line and per-set LLC write counts
 	// for the endurance/lifetime study (Section VII future work).
 	TrackWear bool
+	// Fault parameterizes wear-driven stuck-at fault injection with
+	// graceful degradation (internal/fault): LLC writes age the array,
+	// worn cells fail their write-verify retries, faulty ways are
+	// disabled per-set and dead sets are bypassed to DRAM. The zero value
+	// is inert — it resolves to infinite endurance, so the simulation is
+	// bit-identical to a fault-free build (test-enforced). Deterministic:
+	// the fault sequence is derived from Fault.Seed, never wall-clock or
+	// global RNG state, so it participates in the engine's result-cache
+	// key like every other Config value field.
+	Fault fault.Config
 	// LLCPolicy selects the LLC replacement policy (default cache.LRU,
 	// the paper's configuration).
 	LLCPolicy cache.Policy
@@ -122,12 +133,18 @@ func (c Config) Validate() error {
 	if err := c.Core.Validate(); err != nil {
 		return err
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
 	if c.Hybrid != nil {
 		if err := c.Hybrid.Validate(c.LLCWays); err != nil {
 			return err
 		}
 		if c.TrackWear || c.LLCBypass != BypassNone {
 			return fmt.Errorf("system: hybrid LLC does not support wear tracking or bypass")
+		}
+		if c.Fault.Enabled() {
+			return fmt.Errorf("system: hybrid LLC does not support fault injection")
 		}
 	} else if err := c.LLC.Validate(); err != nil {
 		return err
@@ -198,6 +215,10 @@ type Result struct {
 	MemStallNS float64
 	// Wear holds LLC write-wear statistics when Config.TrackWear is set.
 	Wear *WearStats
+	// Degradation holds the fault-injection outcome (condemned ways,
+	// write-verify retries, surviving capacity) when Config.Fault is
+	// enabled; nil otherwise.
+	Degradation *fault.Stats
 	// Directory tallies coherence traffic (zero when coherence is off or
 	// the trace is single-threaded).
 	Directory DirectoryStats
@@ -279,6 +300,7 @@ type simulator struct {
 	bankBusy  []float64
 	stats     LLCStats
 	wear      *WearTracker
+	faults    *fault.Injector
 	bypass    *deadBlockPredictor
 	dir       *directory
 	hybrid    *hybridLLC
@@ -445,6 +467,23 @@ func newSimulator(cfg Config, threads int, scratch *Scratch, layout cache.Layout
 	}
 	if cfg.TrackWear {
 		sim.wear = newWearTracker(llc.Sets(), cfg.LLCWays)
+	}
+	if cfg.Fault.Enabled() {
+		inj, err := fault.New(cfg.Fault, llc.Sets(), cfg.LLCWays)
+		if err != nil {
+			return nil, err
+		}
+		sim.faults = inj
+		// Mirror pre-aged condemnations into the tag store so the run
+		// starts at the aged capacity (only pre-aging can have disabled
+		// ways at construction).
+		if cfg.Fault.PreWearWrites > 0 {
+			for set := 0; set < llc.Sets(); set++ {
+				for i := inj.DisabledWays(set); i > 0; i-- {
+					llc.DisableWay(set)
+				}
+			}
+		}
 	}
 	if cfg.LLCBypass == BypassDeadBlock {
 		sim.bypass = newDeadBlockPredictor()
@@ -747,6 +786,18 @@ func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64
 		return
 	}
 	llcModel := &s.cfg.LLC
+	// Degradation: a dead set (every way wear-condemned) cannot hold the
+	// line at all — the demand access misses and is served straight from
+	// DRAM, mirroring the dead-block bypass path below.
+	if s.faults != nil && s.faults.IsDead(line) {
+		s.faults.NoteDeadAccess()
+		s.stats.Misses++
+		dramComplete := s.mem.Read(now+llcModel.TagLatencyNS, line)
+		if stalls {
+			cs.core.StallLoad(dramComplete)
+		}
+		return
+	}
 	// Dead-block bypass: a line predicted dead skips the NVM fill and is
 	// served straight from DRAM (tag probe energy still counts as a miss).
 	if s.bypass != nil && s.bypass.predictDead(line) && !s.llc.Probe(line) {
@@ -838,6 +889,13 @@ func (s *simulator) llcWrite(line uint64, now float64) {
 		}
 		return
 	}
+	// Degradation: a dead set takes no array writes — the dirty data
+	// routes straight to DRAM so nothing is lost.
+	if s.faults != nil && s.faults.IsDead(line) {
+		s.faults.NoteDeadWrite()
+		s.mem.Write(now, line)
+		return
+	}
 	// Dead-block bypass: writebacks of dead lines go straight to DRAM,
 	// avoiding the expensive NVM data-array write.
 	if s.bypass != nil && s.bypass.predictDead(line) && !s.llc.Probe(line) {
@@ -863,6 +921,34 @@ func (s *simulator) llcWrite(line uint64, now float64) {
 		s.mem.Write(now, ev.LineAddr)
 	}
 	s.occupyBankForWrite(line, now)
+	if s.faults != nil {
+		s.applyFault(line, now)
+	}
+}
+
+// applyFault runs the wear-driven fault process for one LLC data-array
+// write (internal/fault). Retries occupy the line's bank like any other
+// write — energy is charged in result(), latency stays off the critical
+// path. A condemned write loses the line just written: it is invalidated
+// (dirty data routes to DRAM so correctness is preserved) and its way is
+// disabled, shrinking the set's associativity.
+func (s *simulator) applyFault(line uint64, now float64) {
+	out := s.faults.OnWrite(line)
+	for i := 0; i < out.Retries; i++ {
+		s.occupyBankForWrite(line, now)
+	}
+	if !out.Condemned {
+		return
+	}
+	if present, dirty := s.llc.Invalidate(line); present {
+		if dirty {
+			s.mem.Write(now, line)
+		}
+		if s.bypass != nil {
+			s.bypass.onEvict(line)
+		}
+	}
+	s.llc.DisableWay(s.llc.SetOf(line))
 }
 
 // llcFillWrite is the data-array write of a fill after a DRAM fetch. The
@@ -874,6 +960,9 @@ func (s *simulator) llcFillWrite(line uint64, now float64) {
 		s.wear.Record(line)
 	}
 	s.occupyBankForWrite(line, now)
+	if s.faults != nil {
+		s.applyFault(line, now)
+	}
 }
 
 func (s *simulator) occupyBankForWrite(line uint64, now float64) {
@@ -941,12 +1030,22 @@ func (s *simulator) result(name string) *Result {
 			float64(s.stats.Writes)*m.WriteEnergyNJ +
 			// Bypassed writebacks still probe the tags.
 			float64(s.stats.BypassedWritebacks)*m.MissEnergyNJ
+		if s.faults != nil {
+			// Write-verify retries re-drive the array: one write's worth
+			// of energy per extra attempt, off the critical path like
+			// every other LLC write.
+			dynNJ += float64(s.faults.Stats().WriteRetries) * m.WriteEnergyNJ
+		}
 		r.LLCDynamicJ = dynNJ * 1e-9
 		r.LLCLeakageJ = m.LeakageW * r.TimeNS * 1e-9
 	}
 	if s.wear != nil {
 		ws := s.wear.Stats()
 		r.Wear = &ws
+	}
+	if s.faults != nil {
+		fs := s.faults.Stats()
+		r.Degradation = &fs
 	}
 	if s.dramWait != nil {
 		snap := s.dramWait.Snapshot()

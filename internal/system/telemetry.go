@@ -53,6 +53,18 @@ func (s *simulator) publishTelemetry(r *Result) {
 		}
 	}
 
+	if d := r.Degradation; d != nil {
+		reg.Counter("system_llc_fault_condemned_ways_total").Add(uint64(d.InitialDisabledWays + d.CondemnedWays))
+		reg.Counter("system_llc_fault_write_retries_total").Add(d.WriteRetries)
+		reg.Counter("system_llc_fault_lines_lost_total").Add(d.FailedWrites)
+		reg.Counter("system_llc_fault_dead_sets_total").Add(uint64(d.DeadSets))
+		reg.Counter("system_llc_fault_dead_set_accesses_total").Add(d.DeadSetAccesses + d.DeadSetWrites)
+		// A gauge, not a counter: the surviving capacity of the most
+		// recent run, what a dashboard wants to watch decay over a
+		// lifetime sweep.
+		reg.Gauge("system_llc_capacity_fraction").Set(d.CapacityFraction())
+	}
+
 	reg.Histogram("system_sim_time_ns").Observe(r.TimeNS)
 	reg.Histogram("system_mem_stall_ns").Observe(r.MemStallNS)
 }
