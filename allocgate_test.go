@@ -58,21 +58,44 @@ func TestStreamingAllocGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
-	var scratch system.Scratch
-	run := func() {
-		gen.Reset()
-		if _, err := system.RunStreamWith(context.Background(), cfg, gen, &scratch); err != nil {
-			t.Fatal(err)
-		}
-	}
-	run() // warm the scratch buffers, as the benchmark's steady state does
 
-	got := int64(testing.AllocsPerRun(5, run))
-	// 25% slack plus a small absolute floor absorbs runtime-internal
-	// allocation jitter (goroutine wakeups, channel ops) without letting a
-	// real per-chunk regression through.
-	limit := budget + budget/4 + 16
-	if got > limit {
-		t.Errorf("streaming run allocates %d objects, committed baseline %d (limit %d): the chunked pipeline must stay allocation-free per chunk", got, budget, limit)
+	measure := func(t *testing.T, cfg system.Config) int64 {
+		var scratch system.Scratch
+		run := func() {
+			gen.Reset()
+			if _, err := system.RunStreamWith(context.Background(), cfg, gen, &scratch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the scratch buffers, as the benchmark's steady state does
+		return int64(testing.AllocsPerRun(5, run))
 	}
+
+	t.Run("baseline", func(t *testing.T) {
+		got := measure(t, cfg)
+		// 25% slack plus a small absolute floor absorbs runtime-internal
+		// allocation jitter (goroutine wakeups, channel ops) without letting a
+		// real per-chunk regression through.
+		limit := budget + budget/4 + 16
+		if got > limit {
+			t.Errorf("streaming run allocates %d objects, committed baseline %d (limit %d): the chunked pipeline must stay allocation-free per chunk", got, budget, limit)
+		}
+	})
+
+	t.Run("sampling", func(t *testing.T) {
+		// Epoch sampling on top of the streaming pipeline must stay
+		// O(points): the timeline's fixed-budget buffers, its snapshot, and
+		// the per-set heatmap — never per-access or per-chunk allocation.
+		// The absolute floor covers those fixed structures (timeline buffer
+		// growth, snapshot backing array, wear grid); everything else is the
+		// same budget as the unsampled gate.
+		sampled := cfg
+		sampled.TrackWear = true
+		sampled.Timeline = &system.TimelineConfig{}
+		got := measure(t, sampled)
+		limit := budget + budget/4 + 80
+		if got > limit {
+			t.Errorf("sampled streaming run allocates %d objects, baseline %d (limit %d): epoch sampling must stay O(points), not O(accesses)", got, budget, limit)
+		}
+	})
 }

@@ -1,11 +1,13 @@
-// Command benchreport measures the simulator hot loop across its four
+// Command benchreport measures the simulator hot loop across its five
 // performance dimensions — core scheduler (min-heap default vs the
 // historical linear scan), tag-store layout (packed struct-of-arrays vs
 // the retained slice-of-struct reference), trace input (whole-trace
-// materialization vs the chunked streaming pipeline), and wear-driven
+// materialization vs the chunked streaming pipeline), wear-driven
 // fault injection (disabled vs enabled-but-quiescent, expected ~0%
 // disabled overhead since a zero-value fault config skips every fault
-// branch) — plus the trace generator, and writes the results as JSON. The committed
+// branch), and epoch sampling (the -timeline instrumentation, expected
+// <5% enabled and 0% disabled: one nil check per access) — plus the
+// trace generator, and writes the results as JSON. The committed
 // BENCH_hotloop.json at the repository root is this program's output:
 // the repo's perf baseline, regenerated whenever the hot path changes
 // (see the README's Performance section).
@@ -44,8 +46,9 @@ type benchResult struct {
 	Benchmark   string  `json:"benchmark"`
 	Scheduler   string  `json:"scheduler,omitempty"`
 	Layout      string  `json:"layout,omitempty"`
-	Input       string  `json:"input,omitempty"`  // "materialized" or "streaming"
-	Faults      string  `json:"faults,omitempty"` // "disabled" or "enabled"
+	Input       string  `json:"input,omitempty"`    // "materialized" or "streaming"
+	Faults      string  `json:"faults,omitempty"`   // "disabled" or "enabled"
+	Sampling    string  `json:"sampling,omitempty"` // "disabled" or "enabled"
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -56,7 +59,7 @@ type benchResult struct {
 // comparison pairs two variants along one dimension on one core count.
 type comparison struct {
 	Benchmark      string  `json:"benchmark"`
-	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input" or "faults"
+	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input", "faults" or "sampling"
 	Baseline       string  `json:"baseline"`
 	Contender      string  `json:"contender"`
 	BaselineNsOp   float64 `json:"baseline_ns_per_op"`
@@ -86,6 +89,7 @@ type variant struct {
 	layout    string
 	input     string
 	faults    string
+	sampling  string
 	bench     func(b *testing.B)
 }
 
@@ -121,6 +125,7 @@ func toResult(name string, v variant, accesses int, r testing.BenchmarkResult) b
 		Layout:      v.layout,
 		Input:       v.input,
 		Faults:      v.faults,
+		Sampling:    v.sampling,
 		Iterations:  r.N,
 		NsPerOp:     ns,
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -151,6 +156,8 @@ func compare(name, dimension string, base, cont benchResult) comparison {
 		}
 	case "faults":
 		c.Baseline, c.Contender = base.Faults, cont.Faults
+	case "sampling":
+		c.Baseline, c.Contender = base.Sampling, cont.Sampling
 	}
 	return c
 }
@@ -190,7 +197,7 @@ func main() {
 		fatal(err)
 	}
 	rep := report{
-		Schema:         "nvmllc/bench_hotloop/v2",
+		Schema:         "nvmllc/bench_hotloop/v3",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -211,6 +218,8 @@ func main() {
 		cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
 		cfgFault := cfg
 		cfgFault.Fault = fault.Config{Options: fault.Options{EnduranceWrites: 1e15}}
+		cfgTimeline := cfg
+		cfgTimeline.Timeline = &system.TimelineConfig{} // wear tracking off: isolate the sampler's own cost
 		name := fmt.Sprintf("HotLoop_%dCores", cores)
 		n := len(tr.Accesses)
 
@@ -258,8 +267,17 @@ func main() {
 					_, err := system.RunWith(ctx, cfgFault, tr, scratch)
 					return err
 				})},
+			// Epoch sampling on: per-epoch delta capture in the hot loop.
+			// The same SoA materialized baseline covers sampling-disabled
+			// (a nil sampler costs one pointer check per retired batch).
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "materialized", sampling: "enabled",
+				bench: runBench(func(scratch *system.Scratch) error {
+					_, err := system.RunWith(ctx, cfgTimeline, tr, scratch)
+					return err
+				})},
 		}
 		variants[2].faults = "disabled"
+		variants[2].sampling = "disabled"
 		fmt.Fprintf(os.Stderr, "measuring %s (%d variants, best of %d)...\n", name, len(variants), *count)
 		results := measureBest(variants, *count)
 		scanRes := toResult(name, variants[0], n, results[0])
@@ -267,12 +285,14 @@ func main() {
 		soaRes := toResult(name, variants[2], n, results[2])
 		streamRes := toResult(name, variants[3], n, results[3])
 		faultRes := toResult(name, variants[4], n, results[4])
-		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes, faultRes)
+		samplingRes := toResult(name, variants[5], n, results[5])
+		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes, faultRes, samplingRes)
 		rep.Comparisons = append(rep.Comparisons,
 			compare(name, "scheduler", scanRes, soaRes),
 			compare(name, "layout", aosRes, soaRes),
 			compare(name, "input", soaRes, streamRes),
 			compare(name, "faults", soaRes, faultRes),
+			compare(name, "sampling", soaRes, samplingRes),
 		)
 	}
 

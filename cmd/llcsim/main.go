@@ -8,6 +8,7 @@
 //	llcsim -workload bzip2 -llc SRAM
 //	llcsim -workload is -llc Kang_P -contention   (write-contention ablation)
 //	llcsim -workload is -llc Kang_P -faults -prewear 2.8e7   (aged, faulty LLC)
+//	llcsim -workload is -llc Kang_P -timeline     (per-epoch phase report)
 //	llcsim -artifact degradation                  (run a registry artifact instead)
 package main
 
@@ -37,6 +38,8 @@ func main() {
 	cores := flag.Int("cores", 4, "simulated cores")
 	contention := flag.Bool("contention", false, "model LLC bank write contention (ablation)")
 	wear := flag.Bool("wear", false, "track LLC write wear and project lifetime")
+	timeline := flag.Bool("timeline", false, "sample per-epoch series (hits, writes, MPKI, wear, faults) and print a phase report")
+	timelineCSV := flag.String("timeline-csv", "", "write the full-resolution epoch series (and per-set wear grid) to this CSV path (implies -timeline)")
 	faults := flag.Bool("faults", false, "inject wear-driven stuck-at faults (endurance from the LLC's NVM class)")
 	prewear := flag.Float64("prewear", 0, "pre-age the LLC by this many per-cell writes before the run (implies -faults)")
 	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
@@ -62,7 +65,7 @@ func main() {
 		if names := artifactSel.Names(); len(names) > 0 {
 			return runArtifacts(ctx, obs, std, names, *contention)
 		}
-		return run(ctx, obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *faults || *prewear > 0, *prewear, *mainMemTech, *hybridWays)
+		return run(ctx, obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *faults || *prewear > 0, *prewear, *mainMemTech, *hybridWays, *timeline || *timelineCSV != "", *timelineCSV)
 	})
 }
 
@@ -93,7 +96,7 @@ func runArtifacts(ctx context.Context, obs *cliutil.Observability, std *cliutil.
 	return nil
 }
 
-func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear, faults bool, prewear float64, mainMemTech string, hybridSRAMWays int) error {
+func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear, faults bool, prewear float64, mainMemTech string, hybridSRAMWays int, timeline bool, timelineCSV string) error {
 	models := reference.FixedCapacityModels()
 	if config == "area" {
 		models = reference.FixedAreaModels()
@@ -117,6 +120,10 @@ func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string
 	cfg := system.Gainestown(model).WithCores(cores)
 	cfg.ModelWriteContention = contention
 	cfg.TrackWear = wear
+	if timeline {
+		cfg.Timeline = &system.TimelineConfig{}
+		cfg.TrackWear = true // the per-set wear heatmap rides the sampler
+	}
 	if faults {
 		cfg.Fault = fault.Config{
 			Options:       fault.Options{Class: model.Class},
@@ -223,7 +230,17 @@ func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string
 		w.AddRowf("imbalance factor", r.Wear.ImbalanceFactor())
 		w.AddRowf("raw lifetime [years]", est.RawYears)
 		w.AddRowf("wear-leveled lifetime [years]", est.LeveledYears)
-		return w.Render(os.Stdout)
+		if err := w.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if r.Timeline != nil {
+		if err := renderTimeline(os.Stdout, r); err != nil {
+			return err
+		}
+		if timelineCSV != "" {
+			return exportTimelineCSV(timelineCSV, r)
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "tonto", "Jan_S", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 0, false, "")
 	})
 	for _, want := range []string{"tonto on Jan_S", "LLC MPKI", "ED2P"} {
 		if !strings.Contains(out, want) {
@@ -27,7 +28,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunWithWear(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, false, 0, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "area", 30000, 4, 4, 1, false, true, false, 0, "", 0, false, "")
 	})
 	for _, want := range []string{"Write wear", "raw lifetime"} {
 		if !strings.Contains(out, want) {
@@ -40,7 +41,7 @@ func TestRunWithFaults(t *testing.T) {
 	// Pre-age most of the way to the PCRAM endurance budget so the short
 	// trace still produces visible degradation output.
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "cap", 30000, 4, 4, 1, false, false, true, 4e7, "", 0)
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "cap", 30000, 4, 4, 1, false, false, true, 4e7, "", 0, false, "")
 	})
 	for _, want := range []string{"Wear-driven faults and degradation", "effective capacity", "ways condemned (pre-aged)"} {
 		if !strings.Contains(out, want) {
@@ -51,21 +52,21 @@ func TestRunWithFaults(t *testing.T) {
 
 func TestRunWithNVMMainMemory(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, false, 0, "pcram", 0)
+		return run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 30000, 4, 4, 1, false, false, false, 0, "pcram", 0, false, "")
 	})
 	for _, want := range []string{"main memory tech", "PCRAM", "row hit rate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("main-memory output missing %q", want)
 		}
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "flash", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "flash", 0, false, ""); err == nil {
 		t.Error("unknown main memory tech accepted")
 	}
 }
 
 func TestRunHybrid(t *testing.T) {
 	out := capture(t, func() error {
-		return run(context.Background(), &cliutil.Observability{}, "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 4)
+		return run(context.Background(), &cliutil.Observability{}, "ua", "Kang_P", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 4, false, "")
 	})
 	for _, want := range []string{"hybrid(SRAM+Kang_P)", "migrations"} {
 		if !strings.Contains(out, want) {
@@ -74,17 +75,43 @@ func TestRunHybrid(t *testing.T) {
 	}
 }
 
+func TestRunWithTimeline(t *testing.T) {
+	csv := t.TempDir() + "/tl.csv"
+	out := capture(t, func() error {
+		return run(context.Background(), &cliutil.Observability{}, "is", "Kang_P", "cap", 30000, 4, 4, 1, false, false, false, 0, "", 0, true, csv)
+	})
+	for _, want := range []string{"Phase summary", "Per-epoch activity", "Per-set wear bands", "write-rate CoV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q", want)
+		}
+	}
+	series, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("timeline CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(series), "instructions,") {
+		t.Errorf("timeline CSV header = %q", strings.SplitN(string(series), "\n", 2)[0])
+	}
+	grid, err := os.ReadFile(strings.TrimSuffix(csv, ".csv") + "_heatmap.csv")
+	if err != nil {
+		t.Fatalf("heatmap CSV not written: %v", err)
+	}
+	if !strings.Contains(string(grid), "writes") {
+		t.Errorf("heatmap CSV missing writes column: %q", strings.SplitN(string(grid), "\n", 2)[0])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), &cliutil.Observability{}, "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, false, 0, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "nosuch", "SRAM", "cap", 1000, 1, 4, 1, false, false, false, 0, "", 0, false, ""); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "nosuch", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0, false, ""); err == nil {
 		t.Error("unknown LLC accepted")
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, false, 0, "", 0); err == nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "weird", 1000, 4, 4, 1, false, false, false, 0, "", 0, false, ""); err == nil {
 		t.Error("unknown config accepted")
 	}
-	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0); err != nil {
+	if err := run(context.Background(), &cliutil.Observability{}, "cg", "SRAM", "cap", 1000, 4, 4, 1, false, false, false, 0, "", 0, false, ""); err != nil {
 		t.Errorf("faultless SRAM run failed: %v", err)
 	}
 }

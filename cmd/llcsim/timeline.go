@@ -1,0 +1,137 @@
+package main
+
+// Time-resolved output for -timeline: a phase summary, a per-epoch
+// table, and the per-set wear bands, plus CSV export behind
+// -timeline-csv (the full-resolution series and grid; the terminal
+// tables are downsampled).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nvmllc/internal/system"
+	"nvmllc/internal/tablefmt"
+)
+
+// epochTableRows bounds the rendered per-epoch table; -timeline-csv
+// keeps the full resolution.
+const epochTableRows = 16
+
+// wearBandRows bounds the rendered per-set wear heatmap.
+const wearBandRows = 8
+
+// renderTimeline prints the time-resolved view of one result.
+func renderTimeline(w io.Writer, r *system.Result) error {
+	ph := r.Phases()
+	if ph == nil {
+		return nil
+	}
+	fmt.Fprintln(w)
+	pt := tablefmt.New("Phase summary", "metric", "value")
+	pt.AddRowf("epochs", ph.Epochs)
+	pt.AddRowf("write-rate CoV", ph.WriteRateCoV)
+	pt.AddRowf("peak/mean writes", ph.PeakToMeanWrites)
+	pt.AddRowf("peak/mean wear", ph.PeakToMeanWear)
+	pt.AddRowf("MPKI range", fmt.Sprintf("%.2f..%.2f", ph.MPKIMin, ph.MPKIMax))
+	if r.Wear != nil {
+		pt.AddRowf("set-write CoV", r.Wear.SetWriteCoV)
+		pt.AddRowf("set-write Gini", r.Wear.SetWriteGini)
+	}
+	if err := pt.Render(w); err != nil {
+		return err
+	}
+
+	ds := r.Timeline.Downsample(epochTableRows)
+	et := tablefmt.New("Per-epoch activity", "instructions", "LLC writes", "MPKI", "DRAM wait [us]")
+	writes := ds.SeriesOf(system.TimelineLLCWrites)
+	misses := ds.SeriesOf(system.TimelineLLCMisses)
+	waits := ds.SeriesOf(system.TimelineDRAMWaitNS)
+	for i, x := range ds.X {
+		prev := uint64(0)
+		if i > 0 {
+			prev = ds.X[i-1]
+		}
+		mpki := 0.0
+		if width := float64(x - prev); width > 0 && i < len(misses) {
+			mpki = misses[i] / width * 1000
+		}
+		var wr, wait float64
+		if i < len(writes) {
+			wr = writes[i]
+		}
+		if i < len(waits) {
+			wait = waits[i] / 1e3
+		}
+		et.AddRowf(x, wr, mpki, wait)
+	}
+	fmt.Fprintln(w)
+	if err := et.Render(w); err != nil {
+		return err
+	}
+
+	if hm := wearBands(r); hm != nil {
+		fmt.Fprintln(w)
+		return hm.Render(w)
+	}
+	return nil
+}
+
+// wearBands folds the per-set grid into rendered bands.
+func wearBands(r *system.Result) *tablefmt.Heatmap {
+	grid := r.WearHeatmap
+	if grid == nil || grid.Rows == 0 {
+		return nil
+	}
+	bands := grid.Downsample(wearBandRows)
+	setsPerBand := (grid.Rows + bands.Rows - 1) / bands.Rows
+	hm := &tablefmt.Heatmap{
+		Title:    fmt.Sprintf("Per-set wear bands (%d sets per band)", setsPerBand),
+		ColNames: bands.Cols,
+	}
+	for row := 0; row < bands.Rows; row++ {
+		hi := min((row+1)*setsPerBand, grid.Rows) - 1
+		hm.RowNames = append(hm.RowNames, fmt.Sprintf("sets %d-%d", row*setsPerBand, hi))
+		vals := make([]float64, len(bands.Cols))
+		for c := range bands.Cols {
+			vals[c] = bands.At(row, c)
+		}
+		hm.Cells = append(hm.Cells, vals)
+	}
+	return hm
+}
+
+// exportTimelineCSV writes the full-resolution epoch series to path and,
+// when the run tracked wear, the per-set grid next to it
+// (<path minus .csv>_heatmap.csv).
+func exportTimelineCSV(path string, r *system.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Timeline.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if r.WearHeatmap == nil {
+		return nil
+	}
+	hmPath := strings.TrimSuffix(path, ".csv") + "_heatmap.csv"
+	hf, err := os.Create(hmPath)
+	if err != nil {
+		return err
+	}
+	if err := r.WearHeatmap.WriteCSV(hf); err != nil {
+		hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "llcsim: wrote %s and %s\n", path, hmPath)
+	return nil
+}

@@ -52,6 +52,28 @@ func BenchmarkHotLoop_4Cores(b *testing.B)  { benchHotLoop(b, 4) }
 func BenchmarkHotLoop_16Cores(b *testing.B) { benchHotLoop(b, 16) }
 func BenchmarkHotLoop_64Cores(b *testing.B) { benchHotLoop(b, 64) }
 
+// BenchmarkHotLoop_Sampling is BenchmarkHotLoop_64Cores with epoch
+// sampling on: the per-access cost of the -timeline instrumentation
+// (one counter compare per retired batch plus an O(points) capture at
+// epoch boundaries). Compare against BenchmarkHotLoop_64Cores; the
+// committed budget is <5% (cmd/benchreport pins it in
+// BENCH_hotloop.json's sampling comparison).
+func BenchmarkHotLoop_Sampling(b *testing.B) {
+	const cores = 64
+	tr := hotLoopTrace(b, cores)
+	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+	cfg.Timeline = &system.TimelineConfig{}
+	var scratch system.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Accesses)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.RunWith(context.Background(), cfg, tr, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHotLoop_Streaming measures the chunked streaming pipeline at
 // the 64-core configuration where whole-trace materialization costs the
 // most memory: the generator produces chunk N+1 while the simulator

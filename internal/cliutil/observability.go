@@ -81,13 +81,15 @@ func publishExpvar(reg *telemetry.Registry) {
 
 // DebugHandler serves the observability surface for one registry:
 //
-//	/metrics       Prometheus text exposition (version 0.0.4)
-//	/metrics.json  registry snapshot as indented JSON
-//	/debug/vars    expvar (the registry appears under "nvmllc")
-//	/debug/pprof/  the standard pprof index, profiles and traces
+//	/metrics         Prometheus text exposition (version 0.0.4)
+//	/metrics.json    registry snapshot as indented JSON
+//	/debug/vars      expvar (the registry appears under "nvmllc")
+//	/debug/pprof/    the standard pprof index, profiles and traces
+//	/debug/timeline  live auto-refreshing HTML dashboard (no JS)
 func DebugHandler(reg *telemetry.Registry) http.Handler {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/timeline", newLiveTimeline(reg).serve)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -183,7 +185,7 @@ func (f *Flags) StartObservability(tool string) (*Observability, error) {
 			return nil, err
 		}
 		o.Debug = srv
-		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/ (metrics, expvar, pprof)\n", tool, srv.Addr())
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/ (metrics, timeline, expvar, pprof)\n", tool, srv.Addr())
 	}
 	return o, nil
 }
@@ -261,6 +263,7 @@ func (o *Observability) ResultEvent(ev engine.Event) telemetry.ManifestEvent {
 		d.WaitMaxNS = s.Max
 	}
 	e.DRAM = d
+	e.Timeline = r.Timeline
 	return e
 }
 

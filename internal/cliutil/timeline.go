@@ -1,0 +1,157 @@
+package cliutil
+
+// /debug/timeline: a live, auto-refreshing HTML view of the run's
+// headline metrics over wall-clock time. No JavaScript, no external
+// assets — a <meta refresh> paces the sampling (each page load takes
+// one sample), and unicode block glyphs draw the sparklines. The
+// retained history rides a telemetry.Timeline, so an arbitrarily long
+// run holds a bounded number of points and concurrent scrapes exercise
+// the instrument's concurrency safety rather than racing.
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"nvmllc/internal/telemetry"
+)
+
+// liveSeries are the headline metrics the dashboard tracks. All are
+// sampled as levels (cumulative totals / instantaneous gauges); the
+// renderer differences consecutive samples into per-interval activity.
+var liveSeries = []struct {
+	field  string
+	name   string
+	labels []string
+	gauge  bool
+}{
+	{"llc_hits", "system_llc_hits_total", nil, false},
+	{"llc_misses", "system_llc_misses_total", nil, false},
+	{"llc_writes", "system_llc_writes_total", nil, false},
+	{"dram_reads", "system_dram_reads_total", nil, false},
+	{"dram_writes", "system_dram_writes_total", nil, false},
+	{"fault_retries", "system_llc_fault_write_retries_total", nil, false},
+	{"fault_condemned", "system_llc_fault_condemned_ways_total", nil, false},
+	{"jobs_simulated", "engine_jobs_total", []string{"outcome", "simulated"}, false},
+	{"jobs_cached", "engine_jobs_total", []string{"outcome", "cached"}, false},
+	{"capacity_fraction", "system_llc_capacity_fraction", nil, true},
+}
+
+// timelinePoints bounds the dashboard's retained samples (~17 minutes
+// of history at the 2 s refresh before the first pair-merge).
+const timelinePoints = 512
+
+// liveTimeline samples a registry into a bounded wall-clock timeline,
+// one sample per page load.
+type liveTimeline struct {
+	reg   *telemetry.Registry
+	tl    *telemetry.Timeline
+	start time.Time
+	// lastMS dedupes bursts: concurrent or sub-millisecond scrapes skip
+	// sampling instead of appending non-increasing x values.
+	lastMS atomic.Int64
+}
+
+func newLiveTimeline(reg *telemetry.Registry) *liveTimeline {
+	fields := make([]telemetry.TimelineField, len(liveSeries))
+	for i, s := range liveSeries {
+		fields[i] = telemetry.LevelField(s.field)
+	}
+	lt := &liveTimeline{
+		reg:   reg,
+		tl:    telemetry.NewTimeline(timelinePoints, "ms", fields...),
+		start: time.Now(),
+	}
+	lt.lastMS.Store(-1) // admit a scrape inside the first millisecond
+	return lt
+}
+
+// sample reads every tracked instrument and appends one point.
+func (lt *liveTimeline) sample() {
+	ms := time.Since(lt.start).Milliseconds()
+	last := lt.lastMS.Load()
+	if ms <= last || !lt.lastMS.CompareAndSwap(last, ms) {
+		return
+	}
+	vals := make([]float64, len(liveSeries))
+	for i, s := range liveSeries {
+		if s.gauge {
+			vals[i] = lt.reg.Gauge(s.name, s.labels...).Value()
+		} else {
+			vals[i] = float64(lt.reg.Counter(s.name, s.labels...).Value())
+		}
+	}
+	lt.tl.Append(uint64(ms), vals...)
+}
+
+// sparkGlyphs scale a series into eight block heights.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline draws per-interval deltas of a level series (the gauge case
+// draws the levels themselves).
+func sparkline(vals []float64, gauge bool) string {
+	deltas := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		switch {
+		case gauge:
+			deltas = append(deltas, v)
+		case i == 0:
+			deltas = append(deltas, 0)
+		default:
+			deltas = append(deltas, v-vals[i-1])
+		}
+	}
+	var max float64
+	for _, d := range deltas {
+		if d > max {
+			max = d
+		}
+	}
+	var b strings.Builder
+	for _, d := range deltas {
+		idx := 0
+		if max > 0 && d > 0 {
+			idx = int(d / max * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// serve handles GET /debug/timeline.
+func (lt *liveTimeline) serve(w http.ResponseWriter, _ *http.Request) {
+	lt.sample()
+	s := lt.tl.Snapshot()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><meta http-equiv="refresh" content="2"><title>nvmllc timeline</title>
+<style>
+body { font-family: monospace; background: #111; color: #ddd; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { padding: 0.3em 1em; text-align: right; border-bottom: 1px solid #333; }
+th { color: #8cf; text-align: left; }
+td.name { text-align: left; color: #fc8; }
+td.spark { color: #6d6; letter-spacing: 0; }
+</style></head><body>
+<h2>nvmllc live timeline</h2>
+`)
+	fmt.Fprintf(w, "<p>%d samples over %s (refreshes every 2s; history pair-merges beyond %d points)</p>\n",
+		s.Len(), time.Since(lt.start).Truncate(time.Second), timelinePoints)
+	fmt.Fprint(w, "<table><tr><th>metric</th><th>current</th><th>last Δ</th><th>activity</th></tr>\n")
+	for i, series := range liveSeries {
+		vals := s.Series[i]
+		var cur, delta float64
+		if n := len(vals); n > 0 {
+			cur = vals[n-1]
+			if n > 1 && !series.gauge {
+				delta = cur - vals[n-2]
+			}
+		}
+		fmt.Fprintf(w, "<tr><td class=\"name\">%s</td><td>%g</td><td>%g</td><td class=\"spark\">%s</td></tr>\n",
+			html.EscapeString(series.field), cur, delta, sparkline(vals, series.gauge))
+	}
+	fmt.Fprint(w, "</table>\n<p><a href=\"/metrics\" style=\"color:#8cf\">/metrics</a> · <a href=\"/metrics.json\" style=\"color:#8cf\">/metrics.json</a> · <a href=\"/debug/pprof/\" style=\"color:#8cf\">/debug/pprof</a></p>\n</body></html>\n")
+}

@@ -1,0 +1,110 @@
+package cliutil
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmllc/internal/telemetry"
+)
+
+func TestDebugTimelineServesHTML(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("system_llc_hits_total").Add(100)
+	reg.Counter("system_llc_writes_total").Add(40)
+	reg.Counter("engine_jobs_total", "outcome", "simulated").Add(2)
+	reg.Gauge("system_llc_capacity_fraction").Set(0.97)
+
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	get := func() string {
+		resp, err := http.Get(srv.URL + "/debug/timeline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/timeline status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+			t.Fatalf("Content-Type = %q, want text/html", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	first := get()
+	for _, want := range []string{
+		"http-equiv=\"refresh\"", // auto-refresh, no JS
+		"llc_hits",
+		"capacity_fraction",
+		"jobs_simulated",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("first page missing %q", want)
+		}
+	}
+	if strings.Contains(first, "<script") {
+		t.Error("dashboard must not ship JavaScript")
+	}
+
+	// A later scrape lands a second sample and shows the totals.
+	reg.Counter("system_llc_hits_total").Add(23)
+	time.Sleep(2 * time.Millisecond)
+	second := get()
+	if !strings.Contains(second, "123") {
+		t.Errorf("second page does not show the updated hit total:\n%s", second)
+	}
+}
+
+func TestDebugTimelineConcurrentScrapes(t *testing.T) {
+	lt := newLiveTimeline(telemetry.New())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rec := httptest.NewRecorder()
+				lt.serve(rec, nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status = %d", rec.Code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := lt.tl.Snapshot().Len(); got < 1 {
+		t.Errorf("timeline retained %d points, want at least 1", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	// Deltas 0,1,3 of a level series: first glyph is the floor, last the peak.
+	s := []rune(sparkline([]float64{0, 1, 4}, false))
+	if len(s) != 3 {
+		t.Fatalf("sparkline length = %d, want 3", len(s))
+	}
+	if s[0] != sparkGlyphs[0] {
+		t.Errorf("first glyph = %q, want floor %q", s[0], sparkGlyphs[0])
+	}
+	if s[2] != sparkGlyphs[len(sparkGlyphs)-1] {
+		t.Errorf("peak glyph = %q, want %q", s[2], sparkGlyphs[len(sparkGlyphs)-1])
+	}
+	// Gauge mode plots levels directly.
+	g := []rune(sparkline([]float64{1, 1}, true))
+	if g[0] != g[1] {
+		t.Errorf("gauge sparkline %q should be flat", string(g))
+	}
+	if sparkline(nil, false) != "" {
+		t.Error("empty series should render empty")
+	}
+}

@@ -161,6 +161,14 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(e *Engine) { e.reg = reg }
 }
 
+// WithTimeline installs a default time-resolved sampling config on every
+// job that does not carry its own, so a whole sweep gains epoch-sampled
+// Results without touching each job builder. Like WithTelemetry this is
+// propagation only — the cache key already excludes Config.Timeline.
+func WithTimeline(tc system.TimelineConfig) Option {
+	return func(e *Engine) { e.timeline = &tc }
+}
+
 // entry is one cache slot; done closes when the computing goroutine
 // finishes, so concurrent requests for the same key wait instead of
 // duplicating the simulation.
@@ -177,6 +185,7 @@ type Engine struct {
 	cacheOff    bool
 	progress    func(Event)
 	reg         *telemetry.Registry
+	timeline    *system.TimelineConfig
 
 	mu      sync.Mutex
 	results map[string]*entry
@@ -235,8 +244,30 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 	if e.cacheOff || !cacheable {
 		return e.simulate(ctx, j)
 	}
-	e.mu.Lock()
-	if ent, ok := e.results[key]; ok {
+	// A job that wants a timeline cannot be answered by a cached result
+	// simulated without one (the key excludes Config.Timeline, so both
+	// kinds share an entry). Such a hit retires the stale entry and
+	// re-simulates; the richer result re-caches and answers either kind.
+	wantTimeline := j.Config.Timeline != nil || e.timeline != nil
+	for {
+		e.mu.Lock()
+		ent, ok := e.results[key]
+		if !ok {
+			ent = &entry{done: make(chan struct{})}
+			e.results[key] = ent
+			e.mu.Unlock()
+
+			ent.res, ent.err = e.simulateKeyed(ctx, j, key)
+			if ent.err != nil {
+				// Do not cache failures (typically cancellations): the next
+				// run must be able to retry.
+				e.mu.Lock()
+				delete(e.results, key)
+				e.mu.Unlock()
+			}
+			close(ent.done)
+			return ent.res, ent.err
+		}
 		e.mu.Unlock()
 		select {
 		case <-ent.done:
@@ -248,25 +279,22 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 			// propagate its error (a later Run will retry fresh).
 			return nil, ent.err
 		}
+		if wantTimeline && ent.res.Timeline == nil {
+			// Upgrade: drop the timeline-less entry (only if it is still
+			// the one we waited on — a concurrent upgrade may have already
+			// replaced it) and loop to simulate with sampling on.
+			e.mu.Lock()
+			if cur, ok := e.results[key]; ok && cur == ent {
+				delete(e.results, key)
+			}
+			e.mu.Unlock()
+			continue
+		}
 		e.cached.Add(1)
 		e.reg.Counter("engine_jobs_total", "outcome", "cached").Inc()
 		e.emit(j, key, ent.res, true, nil, 0)
 		return ent.res, nil
 	}
-	ent := &entry{done: make(chan struct{})}
-	e.results[key] = ent
-	e.mu.Unlock()
-
-	ent.res, ent.err = e.simulateKeyed(ctx, j, key)
-	if ent.err != nil {
-		// Do not cache failures (typically cancellations): the next run
-		// must be able to retry.
-		e.mu.Lock()
-		delete(e.results, key)
-		e.mu.Unlock()
-	}
-	close(ent.done)
-	return ent.res, ent.err
 }
 
 // simulate executes the job and updates counters.
@@ -280,6 +308,12 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 		// instrumented engine publishes system-level metrics too. The cache
 		// key already excludes Telemetry, so identity is unchanged.
 		j.Config.Telemetry = e.reg
+	}
+	if e.timeline != nil && j.Config.Timeline == nil {
+		// Same propagation for the engine-wide sampling default; copied so
+		// a job can never alias the engine's config.
+		tc := *e.timeline
+		j.Config.Timeline = &tc
 	}
 	span := e.reg.StartSpan("simulate", telemetry.SpanFromContext(ctx))
 	span.SetAttr("workload", j.Workload)

@@ -31,6 +31,9 @@ func Key(j Job) (string, bool) {
 	hybrid := cfg.Hybrid
 	cfg.Hybrid = nil    // pointer field: hash the pointee, not the address
 	cfg.Telemetry = nil // observation only: never part of the result identity
+	cfg.Timeline = nil  // observation only, like Telemetry: sampling never
+	// alters simulation behavior, so a sampled and an unsampled job share
+	// one key (Run upgrades a cached timeline-less result on demand)
 	fmt.Fprintf(h, "config=%+v\n", cfg)
 	if hybrid != nil {
 		fmt.Fprintf(h, "hybrid=%+v\n", *hybrid)

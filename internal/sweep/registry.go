@@ -59,6 +59,7 @@ var artifacts = []Artifact{
 	{"predict", "energy predictors trained on non-AI workloads, evaluated on the AI domain", runPredictArtifact},
 	{"ablations", "design-lever ablation table (workload 'is' on Kang_P)", runAblationsArtifact},
 	{"degradation", "wear-driven degradation over lifetime (capacity/IPC vs age)", runDegradationArtifact},
+	{"timeline", "time-resolved phase study (per-epoch series, wear heatmaps)", runTimelineArtifact},
 }
 
 // Artifacts lists every registered artifact in presentation order.

@@ -71,9 +71,7 @@ func runStreamChunked(ctx context.Context, cfg Config, src trace.ChunkSource, sc
 	if err != nil {
 		return nil, err
 	}
-	if sim.dir != nil {
-		defer func() { scratch.sharers = sim.dir.sharers }()
-	}
+	defer sim.releaseScratch(scratch)
 
 	// Wire the stream: queues start empty, streamLeft counts everything
 	// the core will consume (generated or not), pacing divides the same

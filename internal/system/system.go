@@ -96,6 +96,14 @@ type Config struct {
 	// simulation completes. Pure observation: it never alters simulation
 	// behavior and is excluded from the engine's result-cache key.
 	Telemetry *telemetry.Registry
+	// Timeline, when non-nil, samples the run at fixed instruction
+	// epochs and surfaces the per-epoch series as Result.Timeline (plus
+	// a per-set wear/access heatmap when TrackWear is on). Observation
+	// only — it never alters simulation behavior and is excluded from
+	// the engine's result-cache key — but unlike Telemetry it enriches
+	// the Result, so the engine re-simulates cached timeline-less
+	// results for jobs that ask for one.
+	Timeline *TimelineConfig
 }
 
 // Gainestown returns the paper's simulated architecture (Table IV) around
@@ -134,6 +142,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timeline.Validate(); err != nil {
 		return err
 	}
 	if c.Hybrid != nil {
@@ -228,6 +239,13 @@ type Result struct {
 	// run (nil when Config.Memory replaces the default DRAM model). Run
 	// manifests report its quantile summary per design point.
 	DRAMWait *telemetry.HistogramSnapshot
+	// Timeline is the epoch-sampled series of this run (nil without
+	// Config.Timeline): per-epoch LLC/DRAM/wear/fault deltas over retired
+	// instructions. Phases() condenses it to a phase summary.
+	Timeline *telemetry.TimelineSnapshot
+	// WearHeatmap is the per-set writes×accesses grid (nil unless both
+	// Config.Timeline and Config.TrackWear are set).
+	WearHeatmap *telemetry.Heatmap
 	// ClockGHz is the core frequency the run was configured with
 	// (Config.Core.ClockGHz), recorded so IPC is computed against the
 	// clock that actually ran rather than a hardcoded default.
@@ -307,6 +325,22 @@ type simulator struct {
 	// dramWait collects per-request DRAM queueing delay (always on with
 	// the default memory model; its snapshot lands in Result.DRAMWait).
 	dramWait *telemetry.Histogram
+	// sampler drives epoch-boundary timeline sampling (nil unless
+	// Config.Timeline is set: one nil check per access when disabled).
+	sampler *epochSampler
+	// setAccs counts LLC demand accesses per set for the wear heatmap
+	// (nil unless the sampler and wear tracking are both on).
+	setAccs []uint64
+	// liveRetries..liveCapacity mirror fault events into the registry as
+	// they happen, so /metrics shows degradation mid-run instead of only
+	// at publication (all nil without telemetry or faults; counter and
+	// gauge methods are nil-safe regardless).
+	liveRetries     *telemetry.Counter
+	liveCondemned   *telemetry.Counter
+	liveLinesLost   *telemetry.Counter
+	liveDeadSets    *telemetry.Counter
+	liveDeadTraffic *telemetry.Counter
+	liveCapacity    *telemetry.Gauge
 	// bankStallNS/bankStallEvents account per-bank time reads and writes
 	// spent queued behind busy LLC banks (write-contention mode only).
 	bankStallNS     []float64
@@ -334,6 +368,13 @@ type Scratch struct {
 	// FIFOs chunk contents are split into.
 	chunks [2][]trace.Access
 	queues [][]trace.Access
+	// wearLines and wearSets recycle the WearTracker's per-line map and
+	// per-set slice; setAccs recycles the timeline sampler's per-set
+	// access counters. All are handed to the run at construction and
+	// returned by releaseScratch.
+	wearLines map[uint64]uint64
+	wearSets  []uint64
+	setAccs   []uint64
 }
 
 // Run simulates the trace on the configured machine. The context is
@@ -393,11 +434,9 @@ func runTrace(ctx context.Context, cfg Config, tr *trace.Trace, sched Scheduler,
 	if err := sim.loadTrace(tr, scratch); err != nil {
 		return nil, err
 	}
-	if sim.dir != nil {
-		// Return the directory's table storage to the scratch for the next
-		// run, whatever the outcome.
-		defer func() { scratch.sharers = sim.dir.sharers }()
-	}
+	// Return the directory/wear/sampler storage to the scratch for the
+	// next run, whatever the outcome.
+	defer sim.releaseScratch(scratch)
 	if err := sim.run(ctx, sched); err != nil {
 		return nil, err
 	}
@@ -466,7 +505,19 @@ func newSimulator(cfg Config, threads int, scratch *Scratch, layout cache.Layout
 		dramMem.SetWaitHook(sim.dramWait.Observe)
 	}
 	if cfg.TrackWear {
-		sim.wear = newWearTracker(llc.Sets(), cfg.LLCWays)
+		sim.wear = newWearTracker(llc.Sets(), cfg.LLCWays, scratch)
+	}
+	if cfg.Timeline != nil && sim.wear != nil {
+		// Per-set access counts feed the wear heatmap's second column;
+		// the slice is recycled through the scratch like the tracker's.
+		sets := llc.Sets()
+		if cap(scratch.setAccs) < sets {
+			sim.setAccs = make([]uint64, sets)
+		} else {
+			sim.setAccs = scratch.setAccs[:sets]
+			clear(sim.setAccs)
+		}
+		scratch.setAccs = nil
 	}
 	if cfg.Fault.Enabled() {
 		inj, err := fault.New(cfg.Fault, llc.Sets(), cfg.LLCWays)
@@ -483,6 +534,21 @@ func newSimulator(cfg Config, threads int, scratch *Scratch, layout cache.Layout
 					llc.DisableWay(set)
 				}
 			}
+		}
+		if reg := cfg.Telemetry; reg != nil {
+			// Live degradation telemetry: resolve the instruments once and
+			// move them at the fault events themselves, so /metrics shows
+			// the array dying mid-run instead of only at publication.
+			sim.liveRetries = reg.Counter("system_llc_fault_write_retries_total")
+			sim.liveCondemned = reg.Counter("system_llc_fault_condemned_ways_total")
+			sim.liveLinesLost = reg.Counter("system_llc_fault_lines_lost_total")
+			sim.liveDeadSets = reg.Counter("system_llc_fault_dead_sets_total")
+			sim.liveDeadTraffic = reg.Counter("system_llc_fault_dead_set_accesses_total")
+			sim.liveCapacity = reg.Gauge("system_llc_capacity_fraction")
+			fs := inj.Stats()
+			sim.liveCondemned.Add(uint64(fs.InitialDisabledWays))
+			sim.liveDeadSets.Add(uint64(fs.DeadSets))
+			sim.liveCapacity.Set(fs.CapacityFraction())
 		}
 	}
 	if cfg.LLCBypass == BypassDeadBlock {
@@ -537,6 +603,27 @@ func (s *simulator) spreadBudgets(instrCount uint64, perThread func(t int) int64
 		if n := perThread(t); n > 0 {
 			cs.instrPerAccess = float64(budget) / float64(n)
 		}
+	}
+	if s.cfg.Timeline != nil {
+		// Both the whole-trace and streaming paths pass through here, so
+		// this is the one place the sampler learns the run's length.
+		s.sampler = newEpochSampler(s.cfg.Timeline, instrCount)
+	}
+}
+
+// releaseScratch returns the simulator's recycled storage — directory
+// tables, wear-tracker map/slice, per-set access counters — to the
+// scratch for the next run.
+func (s *simulator) releaseScratch(scratch *Scratch) {
+	if s.dir != nil {
+		scratch.sharers = s.dir.sharers
+	}
+	if s.wear != nil {
+		scratch.wearLines = s.wear.lineWrites
+		scratch.wearSets = s.wear.setWrites[:0]
+	}
+	if s.setAccs != nil {
+		scratch.setAccs = s.setAccs[:0]
 	}
 }
 
@@ -628,6 +715,11 @@ func (s *simulator) retireRemainder() {
 			rem := cs.instrBudget - cs.instrRetired
 			cs.core.Retire(rem)
 			cs.instrRetired += rem
+			if s.sampler != nil {
+				// Credit the catch-up so the final flush ends at the
+				// trace's exact instruction count.
+				s.sampler.instr += rem
+			}
 		}
 	}
 }
@@ -658,6 +750,16 @@ func (s *simulator) step(cs *coreState) {
 		s.ifetch(cs, line, now)
 	case trace.Write:
 		s.store(cs, line, now)
+	}
+	if es := s.sampler; es != nil {
+		// After the access's events so an epoch boundary includes them.
+		// One nil check is the entire disabled cost, and the boundary
+		// test is hand-inlined so the enabled cost is an add and a
+		// compare per access (both bench-pinned; see BENCH_hotloop.json).
+		es.instr += n
+		if es.instr >= es.next {
+			es.boundary(s)
+		}
 	}
 }
 
@@ -786,11 +888,15 @@ func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64
 		return
 	}
 	llcModel := &s.cfg.LLC
+	if s.setAccs != nil {
+		s.setAccs[s.llc.SetOf(line)]++
+	}
 	// Degradation: a dead set (every way wear-condemned) cannot hold the
 	// line at all — the demand access misses and is served straight from
 	// DRAM, mirroring the dead-block bypass path below.
 	if s.faults != nil && s.faults.IsDead(line) {
 		s.faults.NoteDeadAccess()
+		s.liveDeadTraffic.Inc()
 		s.stats.Misses++
 		dramComplete := s.mem.Read(now+llcModel.TagLatencyNS, line)
 		if stalls {
@@ -893,6 +999,7 @@ func (s *simulator) llcWrite(line uint64, now float64) {
 	// routes straight to DRAM so nothing is lost.
 	if s.faults != nil && s.faults.IsDead(line) {
 		s.faults.NoteDeadWrite()
+		s.liveDeadTraffic.Inc()
 		s.mem.Write(now, line)
 		return
 	}
@@ -937,8 +1044,22 @@ func (s *simulator) applyFault(line uint64, now float64) {
 	for i := 0; i < out.Retries; i++ {
 		s.occupyBankForWrite(line, now)
 	}
+	if out.Retries > 0 {
+		s.liveRetries.Add(uint64(out.Retries))
+	}
 	if !out.Condemned {
 		return
+	}
+	// Condemnations are rare (at most sets×ways per run), so refreshing
+	// the capacity gauge from a fresh stats copy stays off the hot path.
+	s.liveCondemned.Inc()
+	s.liveLinesLost.Inc()
+	if s.liveCapacity != nil {
+		fs := s.faults.Stats()
+		s.liveCapacity.Set(fs.CapacityFraction())
+		if s.faults.IsDead(line) {
+			s.liveDeadSets.Inc()
+		}
 	}
 	if present, dirty := s.llc.Invalidate(line); present {
 		if dirty {
@@ -1050,6 +1171,14 @@ func (s *simulator) result(name string) *Result {
 	if s.dramWait != nil {
 		snap := s.dramWait.Snapshot()
 		r.DRAMWait = &snap
+	}
+	if s.sampler != nil {
+		s.sampler.flush(s)
+		snap := s.sampler.tl.Snapshot()
+		r.Timeline = &snap
+		if s.wear != nil {
+			r.WearHeatmap = buildWearHeatmap(s.wear, s.setAccs)
+		}
 	}
 	s.publishTelemetry(r)
 	return r

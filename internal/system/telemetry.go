@@ -53,17 +53,12 @@ func (s *simulator) publishTelemetry(r *Result) {
 		}
 	}
 
-	if d := r.Degradation; d != nil {
-		reg.Counter("system_llc_fault_condemned_ways_total").Add(uint64(d.InitialDisabledWays + d.CondemnedWays))
-		reg.Counter("system_llc_fault_write_retries_total").Add(d.WriteRetries)
-		reg.Counter("system_llc_fault_lines_lost_total").Add(d.FailedWrites)
-		reg.Counter("system_llc_fault_dead_sets_total").Add(uint64(d.DeadSets))
-		reg.Counter("system_llc_fault_dead_set_accesses_total").Add(d.DeadSetAccesses + d.DeadSetWrites)
-		// A gauge, not a counter: the surviving capacity of the most
-		// recent run, what a dashboard wants to watch decay over a
-		// lifetime sweep.
-		reg.Gauge("system_llc_capacity_fraction").Set(d.CapacityFraction())
-	}
+	// Fault/degradation counters are NOT published here: they move live,
+	// at the fault events themselves (newSimulator wires the instruments,
+	// applyFault and the dead-set paths increment them), so /metrics
+	// shows degradation during a run. Re-adding the end-of-run totals
+	// would double count. The capacity gauge is likewise kept current by
+	// the live path.
 
 	reg.Histogram("system_sim_time_ns").Observe(r.TimeNS)
 	reg.Histogram("system_mem_stall_ns").Observe(r.MemStallNS)

@@ -1,5 +1,10 @@
 package system
 
+import (
+	"math"
+	"sort"
+)
+
 // Write-endurance accounting. The paper's Table I lists write endurance as
 // the key drawback of PCRAM (10⁷–10⁸ writes) and RRAM (10¹⁰), and its
 // Section VII names lifetime characterization — how architecture-agnostic
@@ -18,12 +23,29 @@ type WearTracker struct {
 	total      uint64
 }
 
-// newWearTracker sizes the tracker for an LLC with the given set count and
-// associativity.
-func newWearTracker(sets, ways int) *WearTracker {
+// newWearTracker sizes the tracker for an LLC with the given set count
+// and associativity, taking over the scratch's recycled storage (the
+// per-line map and per-set slice are the dominant per-run allocations
+// of a wear-tracked sweep). releaseScratch hands them back after the
+// run.
+func newWearTracker(sets, ways int, scratch *Scratch) *WearTracker {
+	lines := scratch.wearLines
+	if lines == nil {
+		lines = make(map[uint64]uint64)
+	} else {
+		clear(lines)
+	}
+	setW := scratch.wearSets
+	if cap(setW) < sets {
+		setW = make([]uint64, sets)
+	} else {
+		setW = setW[:sets]
+		clear(setW)
+	}
+	scratch.wearLines, scratch.wearSets = nil, nil
 	return &WearTracker{
-		lineWrites: make(map[uint64]uint64),
-		setWrites:  make([]uint64, sets),
+		lineWrites: lines,
+		setWrites:  setW,
 		setMask:    uint64(sets - 1),
 		ways:       ways,
 	}
@@ -52,6 +74,14 @@ type WearStats struct {
 	Ways int
 	// Sets is the LLC set count.
 	Sets int
+	// SetWriteCoV is the coefficient of variation (σ/µ) of per-set write
+	// counts: 0 for perfectly even spatial wear, large when a few sets
+	// take most of the traffic.
+	SetWriteCoV float64
+	// SetWriteGini is the Gini coefficient of per-set write counts
+	// (0 = perfectly even, → 1 as wear concentrates in few sets) — the
+	// single-number form of the per-set wear heatmap.
+	SetWriteGini float64
 }
 
 // LeveledMaxLineWrites is the hottest physical line's write count under
@@ -97,5 +127,44 @@ func (w *WearTracker) Stats() WearStats {
 			s.MaxSetWrites = c
 		}
 	}
+	s.SetWriteCoV, s.SetWriteGini = setDispersion(w.setWrites)
 	return s
+}
+
+// setDispersion computes the CoV and Gini coefficient of the per-set
+// write distribution. Both are 0 for an idle or perfectly even cache.
+func setDispersion(setWrites []uint64) (cov, gini float64) {
+	n := len(setWrites)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, c := range setWrites {
+		sum += float64(c)
+	}
+	if sum == 0 {
+		return 0, 0
+	}
+	mean := sum / float64(n)
+	var varsum float64
+	sorted := make([]float64, n)
+	for i, c := range setWrites {
+		v := float64(c)
+		d := v - mean
+		varsum += d * d
+		sorted[i] = v
+	}
+	cov = math.Sqrt(varsum/float64(n)) / mean
+	// Gini via the sorted-rank formula: G = (2·Σ i·xᵢ)/(n·Σx) − (n+1)/n,
+	// with xᵢ ascending and i 1-based.
+	sort.Float64s(sorted)
+	var ranked float64
+	for i, v := range sorted {
+		ranked += float64(i+1) * v
+	}
+	gini = 2*ranked/(float64(n)*sum) - float64(n+1)/float64(n)
+	if gini < 0 {
+		gini = 0
+	}
+	return cov, gini
 }

@@ -2,6 +2,7 @@ package system
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"nvmllc/internal/reference"
@@ -91,5 +92,76 @@ func TestWearHotLineDominates(t *testing.T) {
 	}
 	if r.Wear.ImbalanceFactor() <= 1.5 {
 		t.Errorf("imbalance = %g, want > 1.5 for a hot-line workload", r.Wear.ImbalanceFactor())
+	}
+}
+
+func TestSetDispersion(t *testing.T) {
+	// Perfectly uniform wear: no spread by either measure.
+	cov, gini := setDispersion([]uint64{5, 5, 5, 5})
+	if cov != 0 || gini != 0 {
+		t.Errorf("uniform dispersion = (%g, %g), want (0, 0)", cov, gini)
+	}
+	// All wear on one of four sets: CoV = sqrt(3), Gini = 3/4.
+	cov, gini = setDispersion([]uint64{12, 0, 0, 0})
+	if cov < 1.73 || cov > 1.74 {
+		t.Errorf("concentrated CoV = %g, want sqrt(3)", cov)
+	}
+	if gini != 0.75 {
+		t.Errorf("concentrated Gini = %g, want 0.75", gini)
+	}
+	// Degenerate inputs are quiet zeros.
+	if c, g := setDispersion(nil); c != 0 || g != 0 {
+		t.Errorf("nil dispersion = (%g, %g)", c, g)
+	}
+	if c, g := setDispersion([]uint64{0, 0}); c != 0 || g != 0 {
+		t.Errorf("idle dispersion = (%g, %g)", c, g)
+	}
+}
+
+func TestWearStatsIncludeDispersion(t *testing.T) {
+	tr := streamTrace("disp", 30000, 90000, 2, 2)
+	cfg := sramConfig()
+	cfg.TrackWear = true
+	r, err := Run(context.Background(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wear == nil {
+		t.Fatal("no wear stats")
+	}
+	if r.Wear.SetWriteCoV < 0 || r.Wear.SetWriteGini < 0 || r.Wear.SetWriteGini >= 1 {
+		t.Errorf("dispersion out of range: CoV %g, Gini %g", r.Wear.SetWriteCoV, r.Wear.SetWriteGini)
+	}
+}
+
+// TestWearScratchRecycled pins the satellite: back-to-back wear-tracked
+// runs through one Scratch reuse the tracker's line map and per-set
+// slice instead of reallocating them, without perturbing results.
+func TestWearScratchRecycled(t *testing.T) {
+	tr := streamTrace("recycle", 20000, 60000, 2, 2)
+	cfg := sramConfig()
+	cfg.TrackWear = true
+	var scratch Scratch
+	first, err := RunWith(context.Background(), cfg, tr, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.wearLines == nil || scratch.wearSets == nil {
+		t.Fatal("scratch did not retain wear storage after the run")
+	}
+	retained := reflect.ValueOf(scratch.wearLines).Pointer()
+	second, err := RunWith(context.Background(), cfg, tr, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.wearLines == nil {
+		t.Fatal("scratch lost wear storage on the second run")
+	}
+	if reflect.ValueOf(scratch.wearLines).Pointer() != retained {
+		t.Error("second run allocated a fresh line map instead of recycling the scratch's")
+	}
+	if first.Wear.TotalWrites != second.Wear.TotalWrites ||
+		first.Wear.MaxLineWrites != second.Wear.MaxLineWrites {
+		t.Errorf("recycled run diverged: %+v vs %+v", first.Wear, second.Wear)
 	}
 }

@@ -1,0 +1,119 @@
+package telemetry
+
+// Heatmap is the spatial counterpart of Timeline: a dense rows×columns
+// grid of float64 quantities, built for per-set cache views (one row
+// per set, one column per quantity — writes, accesses). It is a plain
+// data container, not a concurrent instrument: a single simulation
+// builds it and hands the finished grid out through its Result.
+
+import (
+	"fmt"
+	"io"
+)
+
+// Heatmap is a dense row-major 2-D grid. Exported fields make it
+// JSON-encodable as-is; methods are safe on a nil receiver.
+type Heatmap struct {
+	// Axis labels the row dimension (e.g. "set").
+	Axis string `json:"axis,omitempty"`
+	// Cols labels the quantities, one per column.
+	Cols []string `json:"cols"`
+	// Rows is the row count; Data is row-major, len Rows×len(Cols).
+	Rows int       `json:"rows"`
+	Data []float64 `json:"data"`
+}
+
+// NewHeatmap builds a zeroed rows×len(cols) grid.
+func NewHeatmap(rows int, axis string, cols ...string) *Heatmap {
+	if rows < 0 {
+		rows = 0
+	}
+	return &Heatmap{
+		Axis: axis,
+		Cols: cols,
+		Rows: rows,
+		Data: make([]float64, rows*len(cols)),
+	}
+}
+
+// At returns the cell value (0 when out of range or nil).
+func (h *Heatmap) At(row, col int) float64 {
+	if h == nil || row < 0 || row >= h.Rows || col < 0 || col >= len(h.Cols) {
+		return 0
+	}
+	return h.Data[row*len(h.Cols)+col]
+}
+
+// Add accumulates into a cell; out-of-range indices are dropped.
+func (h *Heatmap) Add(row, col int, v float64) {
+	if h == nil || row < 0 || row >= h.Rows || col < 0 || col >= len(h.Cols) {
+		return
+	}
+	h.Data[row*len(h.Cols)+col] += v
+}
+
+// Set overwrites a cell; out-of-range indices are dropped.
+func (h *Heatmap) Set(row, col int, v float64) {
+	if h == nil || row < 0 || row >= h.Rows || col < 0 || col >= len(h.Cols) {
+		return
+	}
+	h.Data[row*len(h.Cols)+col] = v
+}
+
+// ColSum totals one column over every row.
+func (h *Heatmap) ColSum(col int) float64 {
+	if h == nil || col < 0 || col >= len(h.Cols) {
+		return 0
+	}
+	var total float64
+	for r := 0; r < h.Rows; r++ {
+		total += h.Data[r*len(h.Cols)+col]
+	}
+	return total
+}
+
+// Downsample sums row bands into at most maxRows rows (column sums are
+// preserved exactly), for rendering a 8192-set grid as a handful of
+// bands. The receiver is returned unchanged when already small enough.
+func (h *Heatmap) Downsample(maxRows int) *Heatmap {
+	if h == nil || maxRows < 1 || h.Rows <= maxRows {
+		return h
+	}
+	out := NewHeatmap(maxRows, h.Axis, h.Cols...)
+	for r := 0; r < h.Rows; r++ {
+		band := r * maxRows / h.Rows
+		for c := range h.Cols {
+			out.Add(band, c, h.At(r, c))
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the grid as CSV: axis + column names, one row per row
+// index. Nil-safe (writes only the header's newline-less empty form).
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	header := h.Axis
+	for _, c := range h.Cols {
+		header += "," + c
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for r := 0; r < h.Rows; r++ {
+		if _, err := fmt.Fprintf(w, "%d", r); err != nil {
+			return err
+		}
+		for c := range h.Cols {
+			if _, err := fmt.Fprintf(w, ",%g", h.At(r, c)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

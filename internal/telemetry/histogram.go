@@ -149,6 +149,25 @@ func atomicMaxFloat(bits *atomic.Uint64, v float64) {
 	}
 }
 
+// Count returns the number of observations so far. Safe on a nil
+// receiver; unlike Snapshot it allocates nothing, so per-epoch samplers
+// can poll it from a hot loop.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values. Safe on a nil
+// receiver and allocation-free, like Count.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
 // HistogramSnapshot is an immutable copy of a histogram's state with
 // quantile estimation. Counts has one more element than Bounds: the
 // final entry counts observations above the last bound.

@@ -62,6 +62,10 @@ type ManifestEvent struct {
 	Levels map[string]ManifestLevel `json:"levels,omitempty"`
 	DRAM   *ManifestDRAM            `json:"dram,omitempty"`
 
+	// Timeline carries the design point's epoch-sampled series when the
+	// run was configured with time-resolved sampling.
+	Timeline *TimelineSnapshot `json:"timeline,omitempty"`
+
 	// Jobs is the design-point event count (run_end only).
 	Jobs int `json:"jobs,omitempty"`
 }

@@ -1,0 +1,320 @@
+package telemetry
+
+// Timeline is the time-resolved counterpart of the registry's scalar
+// instruments: a bounded, concurrency-safe series of epoch samples. The
+// producer appends one point per epoch (an epoch is whatever the caller
+// samples on — retired instructions, wall-clock milliseconds); when the
+// point budget fills, adjacent epochs are merged pairwise, halving the
+// resolution while keeping memory O(budget) regardless of run length.
+// The merge is deterministic — no randomness, no clock — so two
+// identical runs produce byte-identical timelines, which the system
+// simulator's determinism tests pin across schedulers, layouts and the
+// streaming path.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// FieldKind selects how a field behaves when two epochs merge.
+type FieldKind uint8
+
+const (
+	// FieldDelta is a per-epoch increment (events in the epoch): merging
+	// two epochs sums the values, so the series total is exact at every
+	// resolution.
+	FieldDelta FieldKind = iota
+	// FieldLevel is an instantaneous level sampled at the epoch's end
+	// (e.g. surviving capacity): merging keeps the later value.
+	FieldLevel
+)
+
+// TimelineField names one series of a timeline.
+type TimelineField struct {
+	Name string    `json:"name"`
+	Kind FieldKind `json:"kind"`
+}
+
+// DeltaField declares a per-epoch increment series.
+func DeltaField(name string) TimelineField { return TimelineField{Name: name, Kind: FieldDelta} }
+
+// LevelField declares an instantaneous-level series.
+func LevelField(name string) TimelineField { return TimelineField{Name: name, Kind: FieldLevel} }
+
+// Timeline accumulates epoch samples under a fixed point budget.
+// Construct with NewTimeline; methods are safe for concurrent use and
+// safe on a nil receiver.
+type Timeline struct {
+	mu      sync.Mutex
+	axis    string
+	fields  []TimelineField
+	budget  int
+	end     []uint64  // epoch-end axis values, strictly increasing
+	vals    []float64 // point-major: vals[i*len(fields)+f]
+	n       int
+	merges  int
+	dropped uint64
+}
+
+// NewTimeline builds a timeline with the given point budget (minimum 2),
+// axis label and fields.
+func NewTimeline(budget int, axis string, fields ...TimelineField) *Timeline {
+	if budget < 2 {
+		budget = 2
+	}
+	return &Timeline{
+		axis:   axis,
+		fields: fields,
+		budget: budget,
+		end:    make([]uint64, 0, budget),
+		vals:   make([]float64, 0, budget*len(fields)),
+	}
+}
+
+// Append records one epoch ending at x with one value per field. Points
+// must arrive in strictly increasing x order; an out-of-order or
+// short/long values slice is dropped (counted, surfaced in the
+// snapshot) rather than corrupting the series. Safe for concurrent use.
+func (t *Timeline) Append(x uint64, values ...float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(values) != len(t.fields) || (t.n > 0 && x <= t.end[t.n-1]) {
+		t.dropped++
+		return
+	}
+	if t.n == t.budget {
+		t.compact()
+	}
+	t.end = append(t.end, x)
+	t.vals = append(t.vals, values...)
+	t.n++
+}
+
+// compact merges adjacent epoch pairs in place: deltas sum, levels keep
+// the later sample, the merged epoch ends where the later one did. An
+// odd trailing epoch survives unmerged. Called with the lock held.
+func (t *Timeline) compact() {
+	nf := len(t.fields)
+	out := 0
+	for i := 0; i < t.n; i += 2 {
+		if i+1 == t.n {
+			t.end[out] = t.end[i]
+			copy(t.vals[out*nf:(out+1)*nf], t.vals[i*nf:(i+1)*nf])
+			out++
+			break
+		}
+		t.end[out] = t.end[i+1]
+		a, b := t.vals[i*nf:(i+1)*nf], t.vals[(i+1)*nf:(i+2)*nf]
+		dst := t.vals[out*nf : (out+1)*nf]
+		for f, fd := range t.fields {
+			if fd.Kind == FieldDelta {
+				dst[f] = a[f] + b[f]
+			} else {
+				dst[f] = b[f]
+			}
+		}
+		out++
+	}
+	t.n = out
+	t.end = t.end[:out]
+	t.vals = t.vals[:out*nf]
+	t.merges++
+}
+
+// Snapshot copies the timeline into an immutable, JSON-encodable form.
+// Safe on a nil receiver (returns the zero snapshot).
+func (t *Timeline) Snapshot() TimelineSnapshot {
+	if t == nil {
+		return TimelineSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimelineSnapshot{
+		Axis:        t.axis,
+		Fields:      append([]TimelineField(nil), t.fields...),
+		X:           append([]uint64(nil), t.end...),
+		Compactions: t.merges,
+		Dropped:     t.dropped,
+	}
+	// One backing array for all series keeps a snapshot O(fields)
+	// allocations — the streaming allocation gate counts on it.
+	backing := make([]float64, t.n*len(t.fields))
+	s.Series = make([][]float64, len(t.fields))
+	for f := range t.fields {
+		col := backing[f*t.n : (f+1)*t.n]
+		for i := 0; i < t.n; i++ {
+			col[i] = t.vals[i*len(t.fields)+f]
+		}
+		s.Series[f] = col
+	}
+	return s
+}
+
+// TimelineSnapshot is an immutable copy of a Timeline, series-major:
+// Series[f][i] is field f's value in the epoch ending at X[i].
+type TimelineSnapshot struct {
+	Axis   string          `json:"axis"`
+	Fields []TimelineField `json:"fields"`
+	X      []uint64        `json:"x"`
+	Series [][]float64     `json:"series"`
+	// Compactions counts pair-merge rounds (0 = native epoch resolution);
+	// Dropped counts malformed or out-of-order appends.
+	Compactions int    `json:"compactions,omitempty"`
+	Dropped     uint64 `json:"dropped,omitempty"`
+}
+
+// Len is the number of retained epochs.
+func (s TimelineSnapshot) Len() int { return len(s.X) }
+
+// Series returns the named field's per-epoch values (nil if absent).
+func (s TimelineSnapshot) SeriesOf(name string) []float64 {
+	for f, fd := range s.Fields {
+		if fd.Name == name {
+			return s.Series[f]
+		}
+	}
+	return nil
+}
+
+// Sum totals the named series over every epoch. For a FieldDelta series
+// this is exact at any compaction level — pair-merging sums deltas — so
+// e.g. per-epoch LLC write counts always sum to the run total.
+func (s TimelineSnapshot) Sum(name string) float64 {
+	var total float64
+	for _, v := range s.SeriesOf(name) {
+		total += v
+	}
+	return total
+}
+
+// widths returns each epoch's axis extent (the first epoch starts at 0).
+func (s TimelineSnapshot) widths() []float64 {
+	w := make([]float64, len(s.X))
+	prev := uint64(0)
+	for i, x := range s.X {
+		w[i] = float64(x - prev)
+		prev = x
+	}
+	return w
+}
+
+// rates returns the named series normalized per axis unit — robust to
+// the unequal epoch widths compaction produces. Nil if absent.
+func (s TimelineSnapshot) rates(name string) []float64 {
+	series := s.SeriesOf(name)
+	if series == nil {
+		return nil
+	}
+	widths := s.widths()
+	out := make([]float64, len(series))
+	for i, v := range series {
+		if widths[i] > 0 {
+			out[i] = v / widths[i]
+		}
+	}
+	return out
+}
+
+// RateCoV is the coefficient of variation (σ/µ) of the named series'
+// per-axis-unit rate across epochs: 0 for perfectly steady behavior,
+// large for bursty phases. Returns 0 for missing/empty/zero-mean series.
+func (s TimelineSnapshot) RateCoV(name string) float64 {
+	rates := s.rates(name)
+	if len(rates) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, r := range rates {
+		d := r - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(rates))) / mean
+}
+
+// RatePeakToMean is the peak epoch rate over the mean rate for the named
+// series (≥ 1 for any non-degenerate series; 0 when missing or all-zero).
+func (s TimelineSnapshot) RatePeakToMean(name string) float64 {
+	rates := s.rates(name)
+	if len(rates) == 0 {
+		return 0
+	}
+	var mean, peak float64
+	for _, r := range rates {
+		mean += r
+		if r > peak {
+			peak = r
+		}
+	}
+	mean /= float64(len(rates))
+	if mean == 0 {
+		return 0
+	}
+	return peak / mean
+}
+
+// Downsample returns a copy merged down to at most maxPoints epochs
+// using the same pair-merge rule as the live compaction. Renderers use
+// it to fit a long timeline into a terminal table.
+func (s TimelineSnapshot) Downsample(maxPoints int) TimelineSnapshot {
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	if s.Len() <= maxPoints {
+		return s
+	}
+	t := NewTimeline(maxPoints, s.Axis, s.Fields...)
+	buf := make([]float64, len(s.Fields))
+	for i, x := range s.X {
+		for f := range s.Fields {
+			buf[f] = s.Series[f][i]
+		}
+		t.Append(x, buf...)
+	}
+	out := t.Snapshot()
+	out.Compactions += s.Compactions
+	out.Dropped = s.Dropped
+	return out
+}
+
+// WriteCSV writes the timeline as CSV: a header of the axis name and
+// field names, then one row per epoch.
+func (s TimelineSnapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, csvHeader(s.Axis, s.Fields)); err != nil {
+		return err
+	}
+	for i, x := range s.X {
+		if _, err := fmt.Fprintf(w, "%d", x); err != nil {
+			return err
+		}
+		for f := range s.Fields {
+			if _, err := fmt.Fprintf(w, ",%g", s.Series[f][i]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvHeader(axis string, fields []TimelineField) string {
+	out := axis
+	for _, f := range fields {
+		out += "," + f.Name
+	}
+	return out + "\n"
+}

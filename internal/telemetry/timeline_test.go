@@ -1,0 +1,430 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineAppendAndSnapshot(t *testing.T) {
+	tl := NewTimeline(8, "instructions", DeltaField("writes"), LevelField("capacity"))
+	tl.Append(100, 10, 1.0)
+	tl.Append(200, 20, 0.9)
+	tl.Append(300, 30, 0.8)
+	s := tl.Snapshot()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Axis != "instructions" {
+		t.Fatalf("Axis = %q", s.Axis)
+	}
+	if got := s.SeriesOf("writes"); !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Fatalf("writes series = %v", got)
+	}
+	if got := s.SeriesOf("capacity"); !reflect.DeepEqual(got, []float64{1.0, 0.9, 0.8}) {
+		t.Fatalf("capacity series = %v", got)
+	}
+	if got := s.SeriesOf("nope"); got != nil {
+		t.Fatalf("missing series = %v, want nil", got)
+	}
+	if got := s.Sum("writes"); got != 60 {
+		t.Fatalf("Sum(writes) = %g, want 60", got)
+	}
+}
+
+// TestTimelineCompaction pins the pair-merge rule: deltas sum, levels
+// keep the later sample, the budget is never exceeded, and the delta
+// total is exact at every compaction level.
+func TestTimelineCompaction(t *testing.T) {
+	tl := NewTimeline(4, "x", DeltaField("d"), LevelField("l"))
+	var wantTotal float64
+	for i := 1; i <= 64; i++ {
+		tl.Append(uint64(i*10), float64(i), float64(i)/64)
+		wantTotal += float64(i)
+	}
+	s := tl.Snapshot()
+	if s.Len() > 4 {
+		t.Fatalf("Len = %d, want ≤ budget 4", s.Len())
+	}
+	if got := s.Sum("d"); got != wantTotal {
+		t.Fatalf("Sum(d) = %g, want %g (compaction must preserve delta totals)", got, wantTotal)
+	}
+	if s.Compactions == 0 {
+		t.Fatalf("Compactions = 0, want > 0 after 64 appends into budget 4")
+	}
+	// The last retained epoch ends at the last append and carries its level.
+	if s.X[s.Len()-1] != 640 {
+		t.Fatalf("last X = %d, want 640", s.X[s.Len()-1])
+	}
+	lvl := s.SeriesOf("l")
+	if lvl[len(lvl)-1] != 1.0 {
+		t.Fatalf("last level = %g, want 1.0 (merge keeps the later level)", lvl[len(lvl)-1])
+	}
+	// X stays strictly increasing.
+	for i := 1; i < s.Len(); i++ {
+		if s.X[i] <= s.X[i-1] {
+			t.Fatalf("X not strictly increasing: %v", s.X)
+		}
+	}
+}
+
+func TestTimelineRejectsMalformedAppends(t *testing.T) {
+	tl := NewTimeline(8, "x", DeltaField("d"))
+	tl.Append(10, 1)
+	tl.Append(10, 2) // not strictly increasing
+	tl.Append(5, 3)  // going backwards
+	tl.Append(20)    // wrong arity
+	tl.Append(20, 1, 2)
+	s := tl.Snapshot()
+	if s.Len() != 1 || s.Dropped != 4 {
+		t.Fatalf("Len = %d, Dropped = %d, want 1 point and 4 drops", s.Len(), s.Dropped)
+	}
+}
+
+func TestTimelineNilSafety(t *testing.T) {
+	var tl *Timeline
+	tl.Append(1, 2) // must not panic
+	s := tl.Snapshot()
+	if s.Len() != 0 || s.Sum("x") != 0 {
+		t.Fatalf("nil timeline snapshot not zero: %+v", s)
+	}
+}
+
+func TestTimelineRateStats(t *testing.T) {
+	tl := NewTimeline(8, "x", DeltaField("d"))
+	// Equal-width epochs with constant rate: CoV 0, peak/mean 1.
+	tl.Append(10, 5)
+	tl.Append(20, 5)
+	tl.Append(30, 5)
+	s := tl.Snapshot()
+	if cov := s.RateCoV("d"); cov != 0 {
+		t.Fatalf("constant-rate CoV = %g, want 0", cov)
+	}
+	if pm := s.RatePeakToMean("d"); pm != 1 {
+		t.Fatalf("constant-rate peak/mean = %g, want 1", pm)
+	}
+
+	// A bursty series: one epoch carries everything.
+	tb := NewTimeline(8, "x", DeltaField("d"))
+	tb.Append(10, 0)
+	tb.Append(20, 30)
+	tb.Append(30, 0)
+	sb := tb.Snapshot()
+	if cov := sb.RateCoV("d"); !(cov > 1) {
+		t.Fatalf("bursty CoV = %g, want > 1", cov)
+	}
+	if pm := sb.RatePeakToMean("d"); pm != 3 {
+		t.Fatalf("bursty peak/mean = %g, want 3", pm)
+	}
+	if got := s.RateCoV("missing"); got != 0 {
+		t.Fatalf("missing-series CoV = %g, want 0", got)
+	}
+}
+
+func TestTimelineDownsample(t *testing.T) {
+	tl := NewTimeline(64, "x", DeltaField("d"), LevelField("l"))
+	var total float64
+	for i := 1; i <= 40; i++ {
+		tl.Append(uint64(i), float64(i), float64(i))
+		total += float64(i)
+	}
+	s := tl.Snapshot()
+	d := s.Downsample(6)
+	if d.Len() > 6 {
+		t.Fatalf("downsampled Len = %d, want ≤ 6", d.Len())
+	}
+	if got := d.Sum("d"); got != total {
+		t.Fatalf("downsampled Sum = %g, want %g", got, total)
+	}
+	if d.X[d.Len()-1] != 40 {
+		t.Fatalf("downsampled last X = %d, want 40", d.X[d.Len()-1])
+	}
+	// Already-small snapshots pass through unchanged.
+	if got := s.Downsample(1000); !reflect.DeepEqual(got, s) {
+		t.Fatalf("no-op downsample changed the snapshot")
+	}
+}
+
+func TestTimelineCSVAndJSON(t *testing.T) {
+	tl := NewTimeline(8, "instr", DeltaField("writes"), LevelField("cap"))
+	tl.Append(100, 7, 0.5)
+	tl.Append(200, 9, 0.25)
+	s := tl.Snapshot()
+
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "instr,writes,cap\n100,7,0.5\n200,9,0.25\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TimelineSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("JSON round trip changed the snapshot:\n%+v\n%+v", back, s)
+	}
+}
+
+// TestTimelineConcurrentWriters drives Append and Snapshot from many
+// goroutines; under -race this pins the instrument's concurrency safety
+// (the tier-1 verify runs this package with -race). Interleaved
+// producers make most appends out-of-order drops — the invariant is no
+// data race and a strictly increasing retained series.
+func TestTimelineConcurrentWriters(t *testing.T) {
+	tl := NewTimeline(16, "x", DeltaField("d"), LevelField("l"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tl.Append(uint64(w*1000+i), 1, float64(i))
+				if i%50 == 0 {
+					_ = tl.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := tl.Snapshot()
+	if s.Len() == 0 || s.Len() > 16 {
+		t.Fatalf("Len = %d, want 1..16", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.X[i] <= s.X[i-1] {
+			t.Fatalf("X not strictly increasing after concurrent writes: %v", s.X)
+		}
+	}
+	if got := s.Sum("d") + float64(s.Dropped); got != 8*500 {
+		t.Fatalf("retained + dropped = %g, want %d", got, 8*500)
+	}
+}
+
+func TestHeatmapBasics(t *testing.T) {
+	h := NewHeatmap(4, "set", "writes", "accesses")
+	h.Add(0, 0, 10)
+	h.Add(3, 1, 5)
+	h.Add(3, 1, 2)
+	h.Set(1, 0, 9)
+	if got := h.At(3, 1); got != 7 {
+		t.Fatalf("At(3,1) = %g, want 7", got)
+	}
+	if got := h.ColSum(0); got != 19 {
+		t.Fatalf("ColSum(0) = %g, want 19", got)
+	}
+	// Out-of-range traffic is dropped, not panicking.
+	h.Add(-1, 0, 1)
+	h.Add(4, 0, 1)
+	h.Add(0, 2, 1)
+	if got := h.At(99, 99); got != 0 {
+		t.Fatalf("out-of-range At = %g", got)
+	}
+	var nilH *Heatmap
+	nilH.Add(0, 0, 1)
+	if nilH.At(0, 0) != 0 || nilH.ColSum(0) != 0 {
+		t.Fatal("nil heatmap not inert")
+	}
+	if err := nilH.WriteCSV(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmapDownsamplePreservesColumnSums(t *testing.T) {
+	h := NewHeatmap(64, "set", "writes")
+	for r := 0; r < 64; r++ {
+		h.Set(r, 0, float64(r))
+	}
+	d := h.Downsample(7)
+	if d.Rows != 7 {
+		t.Fatalf("Rows = %d, want 7", d.Rows)
+	}
+	if got, want := d.ColSum(0), h.ColSum(0); got != want {
+		t.Fatalf("downsampled ColSum = %g, want %g", got, want)
+	}
+	if same := h.Downsample(64); same != h {
+		t.Fatal("no-op downsample should return the receiver")
+	}
+}
+
+func TestHeatmapCSVAndJSON(t *testing.T) {
+	h := NewHeatmap(2, "set", "w", "a")
+	h.Set(0, 0, 1)
+	h.Set(0, 1, 2)
+	h.Set(1, 0, 3)
+	h.Set(1, 1, 4)
+	var b strings.Builder
+	if err := h.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "set,w,a\n0,1,2\n1,3,4\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Heatmap
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, h) {
+		t.Fatalf("JSON round trip changed the heatmap:\n%+v\n%+v", back, *h)
+	}
+}
+
+// TestHistogramCheapAccessors pins Count/Sum against Snapshot.
+func TestHistogramCheapAccessors(t *testing.T) {
+	h := NewHistogram(DefaultScale())
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if got := h.Sum(); got != 55 {
+		t.Fatalf("Sum = %g, want 55", got)
+	}
+	var nilH *Histogram
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram accessors not zero")
+	}
+	if n := testing.AllocsPerRun(10, func() { _ = h.Count(); _ = h.Sum() }); n != 0 {
+		t.Fatalf("Count/Sum allocate %v per call, want 0", n)
+	}
+}
+
+// --- Histogram edge cases (ISSUE 7 satellite) ---
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := NewHistogram(DefaultScale())
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty Mean = %g, want 0", s.Mean())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram(Scale{Min: 100, Factor: 10, Buckets: 1})
+	for i := 0; i < 5; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := s.Quantile(q)
+		if got != 50 {
+			t.Fatalf("single-value Quantile(%g) = %g, want 50 (clamped to observed range)", q, got)
+		}
+	}
+	// Overflow-only content still quantiles inside [Min, Max].
+	h2 := NewHistogram(Scale{Min: 1, Factor: 2, Buckets: 1})
+	h2.Observe(1000)
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got != 1000 {
+		t.Fatalf("overflow Quantile(0.5) = %g, want 1000", got)
+	}
+}
+
+// TestHistogramMergeQuantileBounds is the merge property test: for any
+// q, Quantile(merge(a,b), q) lies within [min, max] of the inputs'
+// observed ranges, and the merged count/sum are the exact sums.
+func TestHistogramMergeQuantileBounds(t *testing.T) {
+	cases := []struct{ a, b []float64 }{
+		{[]float64{1, 2, 3}, []float64{1000, 2000}},
+		{[]float64{5}, []float64{5}},
+		{[]float64{1, 1e6}, []float64{10, 100, 1000}},
+		{[]float64{0.25, 0.5}, []float64{3}},
+	}
+	for ci, tc := range cases {
+		ha, hb := NewHistogram(DefaultScale()), NewHistogram(DefaultScale())
+		lo, hi := math.Inf(1), math.Inf(-1)
+		var sum float64
+		for _, v := range tc.a {
+			ha.Observe(v)
+			lo, hi, sum = math.Min(lo, v), math.Max(hi, v), sum+v
+		}
+		for _, v := range tc.b {
+			hb.Observe(v)
+			lo, hi, sum = math.Min(lo, v), math.Max(hi, v), sum+v
+		}
+		merged := NewHistogram(DefaultScale())
+		if err := merged.Merge(ha.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(hb.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		ms := merged.Snapshot()
+		if want := uint64(len(tc.a) + len(tc.b)); ms.Count != want {
+			t.Fatalf("case %d: merged Count = %d, want %d", ci, ms.Count, want)
+		}
+		if math.Abs(ms.Sum-sum) > 1e-9 {
+			t.Fatalf("case %d: merged Sum = %g, want %g", ci, ms.Sum, sum)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			got := ms.Quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("case %d: Quantile(%.2f) = %g outside input range [%g, %g]", ci, q, got, lo, hi)
+			}
+			if got < prev {
+				t.Fatalf("case %d: Quantile(%.2f) = %g < previous %g (must be monotone)", ci, q, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestHistogramMergeMismatch verifies mismatched layouts refuse to merge.
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram(Scale{Min: 1, Factor: 2, Buckets: 8})
+	b := NewHistogram(Scale{Min: 1, Factor: 2, Buckets: 16})
+	b.Observe(3)
+	if err := a.Merge(b.Snapshot()); err == nil {
+		t.Fatal("merge of mismatched layouts succeeded, want error")
+	}
+	bad := a.Snapshot()
+	bad.Bounds = append([]float64(nil), bad.Bounds...)
+	if len(bad.Bounds) > 0 {
+		bad.Bounds[0] = 12345
+	}
+	bad.Count = 1
+	bad.Counts[0] = 1
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("merge with altered bounds succeeded, want error")
+	}
+}
+
+func ExampleTimelineSnapshot_WriteCSV() {
+	tl := NewTimeline(4, "instructions", DeltaField("llc_writes"))
+	tl.Append(1000, 42)
+	tl.Append(2000, 17)
+	s := tl.Snapshot()
+	var b strings.Builder
+	_ = s.WriteCSV(&b)
+	fmt.Print(b.String())
+	// Output:
+	// instructions,llc_writes
+	// 1000,42
+	// 2000,17
+}
