@@ -99,42 +99,20 @@ func main() {
 		stopProgress := cliutil.StartProgress(eng, *progress)
 		defer stopProgress()
 
-		selected := map[string]bool{}
-		for _, name := range artifactSel.Names() {
-			selected[name] = true
-		}
+		aliasOn := map[string]bool{}
 		for name, on := range aliases {
 			if *on {
-				selected[name] = true
+				aliasOn[name] = true
 				fmt.Fprintf(os.Stderr, "figures: -%s is deprecated; use -artifact %s\n", name, name)
 			}
 		}
-		if *all {
-			for _, a := range sweep.Artifacts() {
-				// -all keeps the paper-feature Figure 4; the measured
-				// variant is an explicit opt-in (below or by name).
-				if a.Name != "fig4measured" {
-					selected[a.Name] = true
-				}
-			}
-		}
-		if *measured && selected["fig4"] {
-			delete(selected, "fig4")
-			selected["fig4measured"] = true
-		}
-		if len(selected) == 0 {
-			// No artifact selected: default to Table V, the lightest
-			// full-workload-grid artifact, so bare invocations (e.g. smoke
-			// runs with -manifest) still produce design points.
+		run, defaulted := selectArtifacts(artifactSel.Names(), aliasOn, *all, *measured)
+		if defaulted {
 			fmt.Fprintln(os.Stderr, "figures: no artifact selected, defaulting to -artifact table5 (see -help)")
-			selected["table5"] = true
 		}
 
-		for _, a := range sweep.Artifacts() {
-			if !selected[a.Name] {
-				continue
-			}
-			if err := renderArtifact(ctx, a.Name, cfg); err != nil {
+		for _, name := range run {
+			if err := renderArtifact(ctx, name, cfg); err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					stopProgress()
 					fmt.Fprintf(os.Stderr, "figures: aborted; partial stats: %s\n", eng.Stats())
@@ -147,6 +125,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: %s\n", eng.Stats())
 		return nil
 	})
+}
+
+// selectArtifacts resolves every selection surface — -artifact names,
+// the deprecated alias flags, -all and -measuredfeatures — into the
+// run list, deduplicated and in registry order. Naming an artifact
+// through both a deprecated alias and -artifact selects it exactly
+// once: selection is a set, and the registry iteration below emits each
+// member at most once regardless of how many flags asked for it.
+// defaulted reports that nothing was selected and table5 (the lightest
+// full-workload-grid artifact) was substituted, so bare invocations
+// still produce design points.
+func selectArtifacts(names []string, aliases map[string]bool, all, measured bool) (run []string, defaulted bool) {
+	selected := map[string]bool{}
+	for _, name := range names {
+		selected[name] = true
+	}
+	for name, on := range aliases {
+		if on {
+			selected[name] = true
+		}
+	}
+	if all {
+		for _, a := range sweep.Artifacts() {
+			// -all keeps the paper-feature Figure 4; the measured
+			// variant is an explicit opt-in (below or by name).
+			if a.Name != "fig4measured" {
+				selected[a.Name] = true
+			}
+		}
+	}
+	if measured && selected["fig4"] {
+		delete(selected, "fig4")
+		selected["fig4measured"] = true
+	}
+	if len(selected) == 0 {
+		selected["table5"] = true
+		defaulted = true
+	}
+	for _, a := range sweep.Artifacts() {
+		if selected[a.Name] {
+			run = append(run, a.Name)
+		}
+	}
+	return run, defaulted
 }
 
 // renderArtifact runs one registry artifact and prints its renderers.

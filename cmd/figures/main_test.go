@@ -99,6 +99,82 @@ func TestArtifactAblations(t *testing.T) {
 	}
 }
 
+// TestSelectArtifactsExactlyOnce pins the alias-dedup contract: an
+// artifact named by both its deprecated alias flag and -artifact runs
+// exactly once, and the run list follows registry order.
+func TestSelectArtifactsExactlyOnce(t *testing.T) {
+	run, defaulted := selectArtifacts(
+		[]string{"fig1a", "table5"},    // -artifact fig1a,table5
+		map[string]bool{"fig1a": true}, // -fig1a (deprecated alias, same artifact)
+		false, false,
+	)
+	if defaulted {
+		t.Error("explicit selection reported as defaulted")
+	}
+	counts := map[string]int{}
+	for _, name := range run {
+		counts[name]++
+	}
+	if counts["fig1a"] != 1 {
+		t.Errorf("fig1a selected by alias AND -artifact appears %d times, want exactly 1 (run=%v)", counts["fig1a"], run)
+	}
+	if counts["table5"] != 1 || len(run) != 2 {
+		t.Errorf("run = %v, want exactly [table5 fig1a] in registry order", run)
+	}
+	// Registry order puts table5 before fig1a.
+	if run[0] != "table5" || run[1] != "fig1a" {
+		t.Errorf("run order = %v, want registry order [table5 fig1a]", run)
+	}
+}
+
+// TestSelectArtifactsSurfaces covers the remaining selection logic:
+// -all (minus the opt-in measured Figure 4), the measured swap, and the
+// table5 default.
+func TestSelectArtifactsSurfaces(t *testing.T) {
+	run, defaulted := selectArtifacts(nil, nil, false, false)
+	if !defaulted || len(run) != 1 || run[0] != "table5" {
+		t.Errorf("empty selection: run=%v defaulted=%v, want [table5] true", run, defaulted)
+	}
+
+	run, _ = selectArtifacts(nil, nil, true, false)
+	seen := map[string]bool{}
+	for _, name := range run {
+		if seen[name] {
+			t.Errorf("-all selected %s twice", name)
+		}
+		seen[name] = true
+	}
+	if seen["fig4measured"] {
+		t.Error("-all must not select the opt-in fig4measured")
+	}
+	if !seen["fig4"] || !seen["table5"] {
+		t.Errorf("-all missing core artifacts: %v", run)
+	}
+
+	run, _ = selectArtifacts([]string{"fig4"}, nil, false, true)
+	if len(run) != 1 || run[0] != "fig4measured" {
+		t.Errorf("-measuredfeatures swap: run=%v, want [fig4measured]", run)
+	}
+}
+
+// TestSelectedArtifactRendersOnce closes the loop at the execution
+// layer: driving the selection through renderArtifact, the doubly
+// selected artifact prints its output exactly once.
+func TestSelectedArtifactRendersOnce(t *testing.T) {
+	run, _ := selectArtifacts([]string{"table5"}, map[string]bool{"table5": true}, false, false)
+	out := capture(t, func() error {
+		for _, name := range run {
+			if err := renderArtifact(context.Background(), name, smallCfg()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if got := strings.Count(out, "Table V:"); got != 1 {
+		t.Errorf("doubly selected table5 rendered %d times, want exactly 1", got)
+	}
+}
+
 func TestUnknownArtifact(t *testing.T) {
 	err := renderArtifact(context.Background(), "nope", smallCfg())
 	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {

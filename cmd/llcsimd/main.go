@@ -1,0 +1,149 @@
+// Command llcsimd is the long-running simulation service: an HTTP
+// daemon accepting simulation and artifact jobs (single and batch),
+// executing them asynchronously through one shared experiment engine,
+// and answering submit → job id → poll → result.
+//
+//	llcsimd -addr localhost:8080 -cache-dir /var/cache/nvmllc
+//
+// All submissions share one engine, so concurrent identical design
+// points coalesce into a single simulation, and the optional on-disk
+// result cache makes computed design points survive restarts: a warm
+// daemon answers previously seen jobs with zero re-simulation. The job
+// queue is bounded — overflow is surfaced as HTTP 429 backpressure —
+// and SIGINT/SIGTERM drain in-flight work before exit (a second
+// deadline, -drain-timeout, bounds how long the drain may take).
+//
+// Besides the job API (POST /v1/jobs, POST /v1/jobs/batch, GET
+// /v1/jobs/{id}, GET /v1/jobs/{id}/result, GET /v1/stats, GET
+// /healthz), the daemon serves the standard observability surface on
+// the same address: /metrics, /metrics.json, /debug/vars, /debug/pprof
+// and the live /debug/timeline dashboard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nvmllc/internal/cliutil"
+	"nvmllc/internal/engine"
+	"nvmllc/internal/serve"
+	"nvmllc/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free one)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty disables; created if missing)")
+	queueDepth := flag.Int("queue", 64, "bound on admitted-but-unstarted jobs; a full queue answers 429")
+	workers := flag.Int("workers", 0, "job executor goroutines (0 = engine parallelism)")
+	parallelism := flag.Int("parallelism", 0, "max concurrent simulations inside the engine (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution cap (0 = none; specs may set timeout_ms)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before aborting them")
+	accesses := flag.Int("accesses", 100_000, "default trace length for specs that omit accesses")
+	flag.Parse()
+
+	cliutil.Main("llcsimd", func(ctx context.Context) error {
+		return run(ctx, options{
+			addr:         *addr,
+			cacheDir:     *cacheDir,
+			queueDepth:   *queueDepth,
+			workers:      *workers,
+			parallelism:  *parallelism,
+			jobTimeout:   *jobTimeout,
+			drainTimeout: *drainTimeout,
+			accesses:     *accesses,
+		})
+	})
+}
+
+type options struct {
+	addr         string
+	cacheDir     string
+	queueDepth   int
+	workers      int
+	parallelism  int
+	jobTimeout   time.Duration
+	drainTimeout time.Duration
+	accesses     int
+
+	// listening, when set, receives the bound address once the daemon
+	// accepts connections (tests use it to discover a port-0 listener).
+	listening func(addr string)
+}
+
+func run(ctx context.Context, o options) error {
+	reg := telemetry.New()
+
+	engOpts := []engine.Option{engine.WithTelemetry(reg)}
+	if o.parallelism > 0 {
+		engOpts = append(engOpts, engine.WithParallelism(o.parallelism))
+	}
+	if o.cacheDir != "" {
+		store, err := engine.OpenDiskCache(o.cacheDir)
+		if err != nil {
+			return fmt.Errorf("open result cache: %w", err)
+		}
+		engOpts = append(engOpts, engine.WithStore(store))
+		fmt.Fprintf(os.Stderr, "llcsimd: result cache %s (%d entries warm)\n", o.cacheDir, store.Len())
+	}
+	eng := engine.New(engOpts...)
+
+	srv, err := serve.New(serve.Config{
+		Engine:          eng,
+		Registry:        reg,
+		QueueDepth:      o.queueDepth,
+		Workers:         o.workers,
+		JobTimeout:      o.jobTimeout,
+		DefaultAccesses: o.accesses,
+	})
+	if err != nil {
+		return err
+	}
+
+	// One mux, two surfaces: the job API and the shared observability
+	// endpoints (metrics, expvar, pprof, live timeline).
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	debug := cliutil.DebugHandler(reg)
+	for _, prefix := range []string{"/metrics", "/metrics.json", "/debug/"} {
+		mux.Handle(prefix, debug)
+	}
+
+	lis, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "llcsimd: serving on http://%s/ (POST /v1/jobs; metrics on /metrics)\n", lis.Addr())
+	if o.listening != nil {
+		o.listening(lis.Addr().String())
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, then let queued and in-flight
+	// jobs finish within the drain budget.
+	fmt.Fprintln(os.Stderr, "llcsimd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if errors.Is(httpErr, context.DeadlineExceeded) {
+		httpErr = nil // in-flight HTTP polls are expendable; jobs are what we drain
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete after %s: %w", o.drainTimeout, err)
+	}
+	fmt.Fprintln(os.Stderr, "llcsimd: drained")
+	return httpErr
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd is the in-process smoke test: boot the daemon on a
+// free port with an on-disk cache, submit a small job, poll it to
+// completion, fetch the result, scrape /metrics, then shut down and
+// restart against the warm cache — the same job must come back without
+// re-simulation.
+func TestDaemonEndToEnd(t *testing.T) {
+	cacheDir := t.TempDir()
+	boot := func(body func(base string)) error {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrCh := make(chan string, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run(ctx, options{
+				addr:         "localhost:0",
+				cacheDir:     cacheDir,
+				queueDepth:   8,
+				drainTimeout: 30 * time.Second,
+				accesses:     20000,
+				listening:    func(a string) { addrCh <- a },
+			})
+		}()
+		var base string
+		select {
+		case a := <-addrCh:
+			base = "http://" + a
+		case err := <-errCh:
+			cancel()
+			return fmt.Errorf("daemon died during boot: %v", err)
+		case <-time.After(10 * time.Second):
+			cancel()
+			return fmt.Errorf("daemon never came up")
+		}
+		body(base)
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("daemon did not drain after cancel")
+		}
+	}
+
+	spec := `{"workload":"bzip2","llc":"SRAM","accesses":20000}`
+	runJob := func(t *testing.T, base string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: HTTP %d (%s)", resp.StatusCode, v.Error)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for v.Status != "done" && v.Status != "failed" {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", v.ID, v.Status)
+			}
+			time.Sleep(20 * time.Millisecond)
+			pr, err := http.Get(base + "/v1/jobs/" + v.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(pr.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			pr.Body.Close()
+		}
+		if v.Status != "done" {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		rr, err := http.Get(base + "/v1/jobs/" + v.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(rr.Body)
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"result"`)) {
+			t.Fatalf("result: HTTP %d, body %.200s", rr.StatusCode, raw)
+		}
+	}
+
+	engineStats := func(t *testing.T, base string) (simulated, cached float64) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Engine struct {
+				Simulated float64 `json:"Simulated"`
+				Cached    float64 `json:"Cached"`
+			} `json:"engine"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Engine.Simulated, stats.Engine.Cached
+	}
+
+	// Generation 1: cold cache — the job simulates; /metrics serves the
+	// engine and serving instruments.
+	if err := boot(func(base string) {
+		runJob(t, base)
+		if sim, _ := engineStats(t, base); sim != 1 {
+			t.Errorf("cold daemon simulated %v jobs, want 1", sim)
+		}
+		mr, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(mr.Body)
+		mr.Body.Close()
+		for _, metric := range []string{"serve_jobs_total", "engine_jobs_total", "serve_job_latency_ns"} {
+			if !bytes.Contains(raw, []byte(metric)) {
+				t.Errorf("/metrics missing %s", metric)
+			}
+		}
+	}); err != nil {
+		t.Fatalf("generation 1: %v", err)
+	}
+
+	// Generation 2: warm restart — same job, zero simulations.
+	if err := boot(func(base string) {
+		runJob(t, base)
+		if sim, cached := engineStats(t, base); sim != 0 || cached != 1 {
+			t.Errorf("warm daemon: simulated=%v cached=%v, want 0/1", sim, cached)
+		}
+	}); err != nil {
+		t.Fatalf("generation 2: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nvmllc/internal/workload"
+)
+
+// TestRunAllCancellationMidSubmission pins RunAll's abort contract:
+// cancelling while the submission loop is still feeding jobs preserves
+// the results already computed, collapses the flood of per-job context
+// errors into a single joined entry, and leaks neither goroutines nor
+// pool slots — the engine keeps working afterwards.
+func TestRunAllCancellationMidSubmission(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Parallelism 1 serializes the submission loop on the pool slot, so
+	// cancelling from the first job's completion event is guaranteed to
+	// land while later jobs are still waiting to be submitted.
+	e := New(WithParallelism(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelled := make(chan struct{})
+	e.progress = func(Event) {
+		select {
+		case <-cancelled:
+		default:
+			close(cancelled)
+			cancel()
+		}
+	}
+
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = testJob(t, "bzip2", workload.Options{Accesses: 20000, Seed: int64(i + 1)})
+	}
+	results, err := e.RunAll(ctx, jobs)
+
+	// The completed head of the batch survives the abort.
+	if len(results) != len(jobs) {
+		t.Fatalf("results slice has %d entries, want %d", len(results), len(jobs))
+	}
+	if results[0] == nil {
+		t.Error("cancellation discarded the already-computed first result")
+	}
+	var kept int
+	for _, r := range results {
+		if r != nil {
+			kept++
+		}
+	}
+	if kept == len(jobs) {
+		t.Fatal("every job completed; cancellation never interrupted the batch")
+	}
+
+	// One joined context entry, not one per refused job.
+	if err == nil {
+		t.Fatal("cancelled RunAll returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled chain", err)
+	}
+	if got := strings.Count(err.Error(), context.Canceled.Error()); got != 1 {
+		t.Errorf("error mentions the cancellation %d times, want it collapsed to 1:\n%v", got, err)
+	}
+
+	// No slot leak: the same engine, under a fresh context, still runs a
+	// full batch at its bounded parallelism.
+	fresh, err := e.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("engine broken after a cancelled batch: %v", err)
+	}
+	for i, r := range fresh {
+		if r == nil {
+			t.Fatalf("post-cancel batch lost result %d", i)
+		}
+	}
+
+	// No goroutine leak: the count settles back to the baseline (with a
+	// little slack for runtime background goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Errorf("goroutines grew from %d to %d after RunAll cancellation", before, after)
+	}
+}

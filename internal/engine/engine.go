@@ -92,10 +92,19 @@ func (j Job) LLCName() string {
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
-	// Simulated counts simulations actually executed; Cached counts jobs
-	// answered from the result cache; Failed counts simulations that
-	// returned an error (including cancellation).
+	// Simulated counts fresh simulations actually executed; Cached counts
+	// jobs answered from the result cache (the in-memory map or, when a
+	// CacheStore is installed, the persistent tier); Failed counts
+	// simulations that returned an error (including cancellation).
 	Simulated, Cached, Failed uint64
+	// Upgraded counts timeline upgrades: a sampled job that found a
+	// cached timeline-less result and re-simulated to enrich it. The
+	// re-simulation is real work (its accesses and wall time are
+	// counted), but it answers the same submission the cache hit would
+	// have, so it is kept out of Simulated — one submitted job increments
+	// exactly one of the four outcome counters, and Stats.Jobs() equals
+	// submissions.
+	Upgraded uint64
 	// Accesses is the total trace accesses simulated (cache hits excluded).
 	Accesses uint64
 	// SimWallNS is the summed wall-clock time spent inside simulations,
@@ -103,14 +112,19 @@ type Stats struct {
 	SimWallNS int64
 }
 
-// Jobs is the total design points answered: simulated, cached or failed.
-func (s Stats) Jobs() uint64 { return s.Simulated + s.Cached + s.Failed }
+// Jobs is the total design points answered: simulated, upgraded, cached
+// or failed — exactly one increment per submission.
+func (s Stats) Jobs() uint64 { return s.Simulated + s.Upgraded + s.Cached + s.Failed }
 
 // String renders a one-line progress summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d simulated, %d cached, %d failed, %.2fM accesses, %.1fs sim wall",
+	out := fmt.Sprintf("%d simulated, %d cached, %d failed, %.2fM accesses, %.1fs sim wall",
 		s.Simulated, s.Cached, s.Failed, float64(s.Accesses)/1e6,
 		time.Duration(s.SimWallNS).Seconds())
+	if s.Upgraded > 0 {
+		out = fmt.Sprintf("%s, %d upgraded", out, s.Upgraded)
+	}
+	return out
 }
 
 // Event is one progress notification: a design point was answered.
@@ -122,6 +136,11 @@ type Event struct {
 	Key string
 	// Cached marks a cache hit (WallNS is then zero).
 	Cached bool
+	// Upgraded marks a timeline upgrade: the design point had a cached
+	// timeline-less result and was re-simulated with sampling on. At most
+	// one of Cached and Upgraded is set, and an upgrade emits exactly one
+	// event (kind "upgrade", not a second "simulate").
+	Upgraded bool
 	// Err is the job's failure, nil on success.
 	Err error
 	// Result is the design point's outcome (nil on failure). Manifest
@@ -169,6 +188,16 @@ func WithTimeline(tc system.TimelineConfig) Option {
 	return func(e *Engine) { e.timeline = &tc }
 }
 
+// WithStore installs a persistent second cache tier behind the in-memory
+// result map: an in-memory miss consults the store before simulating,
+// and every successful simulation (upgrades included) is written back,
+// so results survive process restarts and can be shipped between
+// machines. Store hits count as Cached. Store failures never fail a job
+// — a corrupt or unreadable entry degrades to re-simulation.
+func WithStore(s CacheStore) Option {
+	return func(e *Engine) { e.store = s }
+}
+
 // entry is one cache slot; done closes when the computing goroutine
 // finishes, so concurrent requests for the same key wait instead of
 // duplicating the simulation.
@@ -186,6 +215,7 @@ type Engine struct {
 	progress    func(Event)
 	reg         *telemetry.Registry
 	timeline    *system.TimelineConfig
+	store       CacheStore
 
 	mu      sync.Mutex
 	results map[string]*entry
@@ -196,6 +226,7 @@ type Engine struct {
 	scratch sync.Pool
 
 	simulated atomic.Uint64
+	upgraded  atomic.Uint64
 	cached    atomic.Uint64
 	failed    atomic.Uint64
 	accesses  atomic.Uint64
@@ -223,6 +254,7 @@ func (e *Engine) Workers() int {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Simulated: e.simulated.Load(),
+		Upgraded:  e.upgraded.Load(),
 		Cached:    e.cached.Load(),
 		Failed:    e.failed.Load(),
 		Accesses:  e.accesses.Load(),
@@ -249,6 +281,7 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 	// kinds share an entry). Such a hit retires the stale entry and
 	// re-simulates; the richer result re-caches and answers either kind.
 	wantTimeline := j.Config.Timeline != nil || e.timeline != nil
+	upgrade := false
 	for {
 		e.mu.Lock()
 		ent, ok := e.results[key]
@@ -257,13 +290,37 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 			e.results[key] = ent
 			e.mu.Unlock()
 
-			ent.res, ent.err = e.simulateKeyed(ctx, j, key)
+			// Consult the persistent tier before simulating. An upgrade
+			// skips it: the stored result is the very timeline-less one
+			// being retired.
+			if !upgrade && e.store != nil {
+				if res, hit := e.store.Load(key); hit && (!wantTimeline || res.Timeline != nil) {
+					ent.res = res
+					close(ent.done)
+					e.cached.Add(1)
+					e.reg.Counter("engine_jobs_total", "outcome", "cached").Inc()
+					e.reg.Counter("engine_store_total", "outcome", "hit").Inc()
+					e.emit(j, key, res, true, false, nil, 0)
+					return res, nil
+				}
+				e.reg.Counter("engine_store_total", "outcome", "miss").Inc()
+			}
+
+			ent.res, ent.err = e.simulateKeyed(ctx, j, key, upgrade)
 			if ent.err != nil {
 				// Do not cache failures (typically cancellations): the next
 				// run must be able to retry.
 				e.mu.Lock()
 				delete(e.results, key)
 				e.mu.Unlock()
+			} else if e.store != nil {
+				// Persist best-effort; an unwritable store never fails the
+				// job. Upgrades overwrite the stale timeline-less entry.
+				if serr := e.store.Store(key, ent.res); serr != nil {
+					e.reg.Counter("engine_store_total", "outcome", "write_error").Inc()
+				} else {
+					e.reg.Counter("engine_store_total", "outcome", "write").Inc()
+				}
 			}
 			close(ent.done)
 			return ent.res, ent.err
@@ -282,27 +339,34 @@ func (e *Engine) Run(ctx context.Context, j Job) (*system.Result, error) {
 		if wantTimeline && ent.res.Timeline == nil {
 			// Upgrade: drop the timeline-less entry (only if it is still
 			// the one we waited on — a concurrent upgrade may have already
-			// replaced it) and loop to simulate with sampling on.
+			// replaced it) and loop to simulate with sampling on. The
+			// re-simulation is accounted as Upgraded, not Simulated: one
+			// submission, one outcome.
 			e.mu.Lock()
 			if cur, ok := e.results[key]; ok && cur == ent {
 				delete(e.results, key)
 			}
 			e.mu.Unlock()
+			upgrade = true
 			continue
 		}
 		e.cached.Add(1)
 		e.reg.Counter("engine_jobs_total", "outcome", "cached").Inc()
-		e.emit(j, key, ent.res, true, nil, 0)
+		e.emit(j, key, ent.res, true, false, nil, 0)
 		return ent.res, nil
 	}
 }
 
 // simulate executes the job and updates counters.
 func (e *Engine) simulate(ctx context.Context, j Job) (*system.Result, error) {
-	return e.simulateKeyed(ctx, j, "")
+	return e.simulateKeyed(ctx, j, "", false)
 }
 
-func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.Result, error) {
+// simulateKeyed executes the job. upgrade marks a timeline-upgrade
+// re-simulation, which counts toward Stats.Upgraded instead of
+// Stats.Simulated and emits an "upgrade" event rather than a second
+// "simulate" for the same key.
+func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string, upgrade bool) (*system.Result, error) {
 	if e.reg != nil && j.Config.Telemetry == nil {
 		// Job is a value, so this stays local: every simulation run by an
 		// instrumented engine publishes system-level metrics too. The cache
@@ -315,7 +379,11 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 		tc := *e.timeline
 		j.Config.Timeline = &tc
 	}
-	span := e.reg.StartSpan("simulate", telemetry.SpanFromContext(ctx))
+	spanName := "simulate"
+	if upgrade {
+		spanName = "upgrade"
+	}
+	span := e.reg.StartSpan(spanName, telemetry.SpanFromContext(ctx))
 	span.SetAttr("workload", j.Workload)
 	span.SetAttr("llc", j.LLCName())
 	scratch, _ := e.scratch.Get().(*system.Scratch)
@@ -348,17 +416,26 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string) (*system.
 		e.reg.Counter("engine_jobs_total", "outcome", "failed").Inc()
 		span.SetAttr("error", err.Error())
 	} else {
-		e.simulated.Add(1)
+		// An upgrade is real simulation work (accesses and wall time
+		// count) but answers the same submission a cache hit would have,
+		// so it lands in the Upgraded counter and Jobs() stays equal to
+		// submissions.
+		if upgrade {
+			e.upgraded.Add(1)
+			e.reg.Counter("engine_jobs_total", "outcome", "upgraded").Inc()
+		} else {
+			e.simulated.Add(1)
+			e.reg.Counter("engine_jobs_total", "outcome", "simulated").Inc()
+		}
 		e.accesses.Add(accesses)
-		e.reg.Counter("engine_jobs_total", "outcome", "simulated").Inc()
 		e.reg.Histogram("engine_job_llc_hits").Observe(float64(res.LLC.Hits))
 	}
 	span.End()
-	e.emit(j, key, res, false, err, wall)
+	e.emit(j, key, res, false, upgrade, err, wall)
 	return res, err
 }
 
-func (e *Engine) emit(j Job, key string, res *system.Result, cachedHit bool, err error, wallNS int64) {
+func (e *Engine) emit(j Job, key string, res *system.Result, cachedHit, upgraded bool, err error, wallNS int64) {
 	if e.progress == nil {
 		return
 	}
@@ -367,6 +444,7 @@ func (e *Engine) emit(j Job, key string, res *system.Result, cachedHit bool, err
 		LLC:      j.LLCName(),
 		Key:      key,
 		Cached:   cachedHit,
+		Upgraded: upgraded,
 		Err:      err,
 		Result:   res,
 		WallNS:   wallNS,

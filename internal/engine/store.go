@@ -1,0 +1,301 @@
+package engine
+
+// Persistent result cache: a second tier behind the engine's in-memory
+// map, so the design points a process has paid for survive restarts and
+// can be shipped between machines. The on-disk layout is content-
+// addressed by the engine's deterministic SHA-256 job key — one file per
+// design point, named <key>.llcres — and every file is self-describing:
+// a one-line JSON header (format name, version, key, payload checksum)
+// followed by the JSON-encoded system.Result. Loads verify the header
+// and the payload checksum; anything that does not verify is treated as
+// a miss (and quarantined by deletion), never as an error — a corrupt
+// cache degrades to re-simulation.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nvmllc/internal/system"
+)
+
+// CacheStore is a persistent result-cache backend. Implementations must
+// be safe for concurrent use; Load must treat unreadable or corrupt
+// entries as misses so callers always have the re-simulation fallback.
+type CacheStore interface {
+	// Load returns the stored result for key, or false when the store has
+	// no valid entry. The returned result must be treated as immutable.
+	Load(key string) (*system.Result, bool)
+	// Store persists the result under key, replacing any prior entry.
+	Store(key string, res *system.Result) error
+	// Keys lists the keys the store believes it holds (the boot-sweep
+	// index for a disk store); order is unspecified.
+	Keys() []string
+}
+
+// StoreFormatVersion is the on-disk entry format version. Bumping it
+// invalidates every existing entry: the boot sweep skips mismatched
+// files and Load treats them as misses, so old caches silently degrade
+// to re-simulation instead of decoding garbage. Bump whenever the
+// serialized form of system.Result changes incompatibly or the cache
+// key function changes what it hashes.
+const StoreFormatVersion = 1
+
+// storeFormatName guards against feeding some other tool's files to the
+// decoder.
+const storeFormatName = "nvmllc-result-cache"
+
+// storeExt is the cache entry file suffix.
+const storeExt = ".llcres"
+
+// storeHeader is the one-line JSON header preceding the payload.
+type storeHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	// SHA256 is the hex digest of the payload bytes; Bytes their count.
+	SHA256 string `json:"payload_sha256"`
+	Bytes  int64  `json:"payload_bytes"`
+}
+
+// DiskCacheStats counts store activity since OpenDiskCache.
+type DiskCacheStats struct {
+	// Entries is the number of valid entries indexed at boot plus stores
+	// since; Hits/Misses count Load outcomes; Corrupt counts entries that
+	// failed header or checksum verification (at boot or on load) and
+	// were discarded; Stores counts successful writes.
+	Entries, Hits, Misses, Corrupt, Stores uint64
+}
+
+// DiskCache is the on-disk CacheStore: one atomic, checksummed file per
+// key in a flat directory. Safe for concurrent use.
+type DiskCache struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]bool
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
+	stores  atomic.Uint64
+}
+
+// OpenDiskCache opens (creating if needed) the cache directory and
+// performs the warm-start sweep: every *.llcres file's header is read
+// and verified — format, version, key/filename agreement — and valid
+// entries are indexed, so a freshly booted process knows immediately
+// which design points it can serve without simulating. Invalid or
+// stale-version files are skipped (counted as corrupt), never fatal.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: open disk cache: %w", err)
+	}
+	c := &DiskCache{dir: dir, index: make(map[string]bool)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open disk cache: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, storeExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, storeExt)
+		if c.verifyHeader(key) {
+			c.index[key] = true
+		} else {
+			c.corrupt.Add(1)
+		}
+	}
+	return c, nil
+}
+
+// Dir is the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// Len is the number of indexed entries.
+func (c *DiskCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Keys lists the indexed keys.
+func (c *DiskCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.index))
+	for k := range c.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stats snapshots the store counters.
+func (c *DiskCache) Stats() DiskCacheStats {
+	return DiskCacheStats{
+		Entries: uint64(c.Len()),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+		Stores:  c.stores.Load(),
+	}
+}
+
+// path maps a key to its entry file; false for keys that could escape
+// the cache directory (engine keys are hex SHA-256 and always pass).
+func (c *DiskCache) path(key string) (string, bool) {
+	if key == "" || key != filepath.Base(key) || strings.ContainsAny(key, "/\\") || key == "." || key == ".." {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+storeExt), true
+}
+
+// verifyHeader cheaply checks an entry file's header (no payload read):
+// used by the boot sweep.
+func (c *DiskCache) verifyHeader(key string) bool {
+	p, ok := c.path(key)
+	if !ok {
+		return false
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(io.LimitReader(f, 4096)).ReadBytes('\n')
+	if err != nil {
+		return false
+	}
+	var h storeHeader
+	if json.Unmarshal(line, &h) != nil {
+		return false
+	}
+	return h.Format == storeFormatName && h.Version == StoreFormatVersion && h.Key == key && h.Bytes > 0
+}
+
+// Load reads, verifies and decodes the entry for key. Any failure —
+// missing file, malformed header, version skew, checksum mismatch,
+// undecodable payload — is a miss; corrupt files are deleted so they
+// are paid for at most once.
+func (c *DiskCache) Load(key string) (*system.Result, bool) {
+	p, ok := c.path(key)
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	res, err := decodeEntry(key, raw)
+	if err != nil {
+		// Quarantine: a file that fails verification will keep failing;
+		// delete it so the slot is rewritten by the re-simulation.
+		_ = os.Remove(p)
+		c.mu.Lock()
+		delete(c.index, key)
+		c.mu.Unlock()
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	c.index[key] = true
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return res, true
+}
+
+// decodeEntry verifies header and checksum and decodes the payload.
+func decodeEntry(key string, raw []byte) (*system.Result, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	var h storeHeader
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if h.Format != storeFormatName {
+		return nil, fmt.Errorf("format %q, want %q", h.Format, storeFormatName)
+	}
+	if h.Version != StoreFormatVersion {
+		return nil, fmt.Errorf("version %d, want %d", h.Version, StoreFormatVersion)
+	}
+	if h.Key != key {
+		return nil, fmt.Errorf("key mismatch: header %q, file %q", h.Key, key)
+	}
+	payload := raw[nl+1:]
+	if int64(len(payload)) != h.Bytes {
+		return nil, fmt.Errorf("payload %d bytes, header says %d", len(payload), h.Bytes)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.SHA256 {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	res := new(system.Result)
+	if err := json.Unmarshal(payload, res); err != nil {
+		return nil, fmt.Errorf("payload: %w", err)
+	}
+	return res, nil
+}
+
+// Store atomically persists res under key: the entry is written to a
+// temp file in the cache directory, synced, and renamed into place, so
+// readers (and a crash mid-write) only ever observe complete entries.
+func (c *DiskCache) Store(key string, res *system.Result) error {
+	p, ok := c.path(key)
+	if !ok {
+		return fmt.Errorf("engine: disk cache: unusable key %q", key)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("engine: disk cache: encode %s: %w", key, err)
+	}
+	sum := sha256.Sum256(payload)
+	header, err := json.Marshal(storeHeader{
+		Format:  storeFormatName,
+		Version: StoreFormatVersion,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Bytes:   int64(len(payload)),
+	})
+	if err != nil {
+		return fmt.Errorf("engine: disk cache: encode header %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*"+storeExt)
+	if err != nil {
+		return fmt.Errorf("engine: disk cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(append(append(header, '\n'), payload...))
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("engine: disk cache: write %s: %w", key, werr)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("engine: disk cache: %w", err)
+	}
+	c.mu.Lock()
+	c.index[key] = true
+	c.mu.Unlock()
+	c.stores.Add(1)
+	return nil
+}

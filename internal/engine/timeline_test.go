@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"sync"
 	"testing"
 
 	"nvmllc/internal/system"
@@ -37,9 +38,17 @@ func TestKeyExcludesTimeline(t *testing.T) {
 
 // TestRunUpgradesCachedResultForTimeline exercises the cache-upgrade
 // loop: a timeline-less cached entry is re-simulated when a later job
-// asks for sampling, and the richer result replaces it.
+// asks for sampling, and the richer result replaces it. The upgrade
+// must be accounted as Upgraded — not a second Simulated — so
+// Stats.Jobs() stays equal to submissions.
 func TestRunUpgradesCachedResultForTimeline(t *testing.T) {
-	e := New()
+	var events []Event
+	var mu sync.Mutex
+	e := New(WithProgress(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}))
 	plain := testJob(t, "bzip2", smallOpts())
 	r1, err := e.Run(context.Background(), plain)
 	if err != nil {
@@ -58,8 +67,25 @@ func TestRunUpgradesCachedResultForTimeline(t *testing.T) {
 	if r2.Timeline == nil {
 		t.Fatal("sampled job hit the timeline-less cache entry without upgrading")
 	}
-	if s := e.Stats(); s.Simulated != 2 || s.Cached != 0 {
-		t.Errorf("stats = %+v, want 2 simulated (the upgrade re-simulates)", s)
+	if s := e.Stats(); s.Simulated != 1 || s.Upgraded != 1 || s.Cached != 0 {
+		t.Errorf("stats = %+v, want 1 simulated + 1 upgraded (the upgrade must not double-count Simulated)", s)
+	}
+	if s := e.Stats(); s.Jobs() != 2 {
+		t.Errorf("Jobs() = %d, want 2 (one per submission)", s.Jobs())
+	}
+	// Exactly one plain simulate event and one upgrade event for the key
+	// — not two simulate events.
+	var sims, upgrades int
+	for _, ev := range events {
+		switch {
+		case ev.Upgraded:
+			upgrades++
+		case !ev.Cached:
+			sims++
+		}
+	}
+	if sims != 1 || upgrades != 1 {
+		t.Errorf("events: %d simulate + %d upgrade, want 1 + 1", sims, upgrades)
 	}
 
 	// The upgraded entry now serves both shapes from cache.

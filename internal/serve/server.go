@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmllc/internal/engine"
+	"nvmllc/internal/sweep"
+	"nvmllc/internal/system"
+	"nvmllc/internal/telemetry"
+	"nvmllc/internal/workload"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// Config shapes a Server.
+type Config struct {
+	// Engine executes the jobs; all submissions share it, so identical
+	// concurrent design points coalesce on its cache. Required.
+	Engine *engine.Engine
+	// Registry receives the serving metrics (queue depth gauge,
+	// admission/rejection/outcome counters, end-to-end latency
+	// histogram). Optional; nil disables instrumentation.
+	Registry *telemetry.Registry
+	// QueueDepth bounds the number of admitted-but-unstarted jobs; a
+	// full queue rejects submissions with HTTP 429 (default 64).
+	QueueDepth int
+	// Workers is the number of job executors (default Engine.Workers()).
+	Workers int
+	// JobTimeout caps each job's execution unless the spec carries its
+	// own timeout_ms; zero means no default cap.
+	JobTimeout time.Duration
+	// DefaultAccesses is the trace length for specs that omit accesses
+	// (default 100_000).
+	DefaultAccesses int
+	// MaxBatch bounds the jobs in one batch submission (default 256).
+	MaxBatch int
+	// MaxJobs bounds the retained job records; once exceeded, the oldest
+	// finished jobs are evicted so a long-lived daemon's memory stays
+	// bounded (default 4096).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Engine.Workers()
+	}
+	if c.DefaultAccesses <= 0 {
+		c.DefaultAccesses = 100_000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// job is one tracked submission.
+type job struct {
+	id        string
+	spec      JobSpec
+	kind      string
+	engineJob engine.Job // compiled sim job (zero for artifacts)
+	key       string     // engine cache key ("" when uncacheable/artifact)
+	submitted time.Time
+
+	mu     sync.Mutex
+	status Status
+	errMsg string
+	result *system.Result // sim outcome
+	text   string         // artifact outcome (rendered)
+	wall   time.Duration  // execution wall time
+}
+
+func (j *job) set(status Status, res *system.Result, text string, err error, wall time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = status
+	j.result = res
+	j.text = text
+	j.wall = wall
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+}
+
+// view is the poll-endpoint snapshot of a job.
+type view struct {
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	LLC      string `json:"llc,omitempty"`
+	Artifact string `json:"artifact,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Error    string `json:"error,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+}
+
+func (j *job) view() view {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := view{
+		ID:       j.id,
+		Status:   j.status,
+		Kind:     j.kind,
+		Workload: j.spec.Workload,
+		Artifact: j.spec.Artifact,
+		Key:      j.key,
+		Error:    j.errMsg,
+		WallMS:   j.wall.Milliseconds(),
+	}
+	if j.kind == "sim" {
+		v.LLC = j.engineJob.LLCName()
+	}
+	return v
+}
+
+// Server is the serving layer: a bounded queue in front of a worker
+// pool, answering asynchronously over HTTP. Construct with New, mount
+// Handler, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+	eng *engine.Engine
+	reg *telemetry.Registry
+
+	// runCtx is the lifecycle context every job executes under; a
+	// graceful Shutdown leaves it alive (jobs drain to completion), a
+	// drain-deadline expiry cancels it so in-flight simulations abort in
+	// bounded time (the hot loop polls it).
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // submission order, for bounded eviction
+
+	nextID atomic.Uint64
+
+	// testHook, when set, runs at the start of every job execution,
+	// inside the panic-isolation boundary. Tests use it to block workers
+	// (queue-overflow scenarios) or to inject panics.
+	testHook func(*job)
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("serve: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		reg:       cfg.Registry,
+		runCtx:    ctx,
+		cancelRun: cancel,
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown drains the server: no new submissions are admitted (they get
+// 503), queued and in-flight jobs run to completion, and the method
+// returns when the pool is idle. If ctx expires first, the lifecycle
+// context is cancelled — in-flight simulations abort promptly via
+// context propagation into the hot loop — and ctx's error is returned
+// after the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Safe: submissions send on the queue only while holding s.mu
+		// and only when !draining, so nobody can race this close.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRun()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth is the current number of admitted-but-unstarted jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// submitErr carries an HTTP status with an admission failure.
+type submitErr struct {
+	code int
+	msg  string
+}
+
+func (e *submitErr) Error() string { return e.msg }
+
+// submit validates, compiles and enqueues one spec.
+func (s *Server) submit(spec JobSpec) (*job, *submitErr) {
+	jb := &job{
+		spec:      spec,
+		kind:      spec.kind(),
+		submitted: time.Now(),
+		status:    StatusQueued,
+	}
+	switch jb.kind {
+	case "sim":
+		ej, err := buildSimJob(spec, s.cfg.DefaultAccesses)
+		if err != nil {
+			s.count("invalid")
+			return nil, &submitErr{http.StatusBadRequest, err.Error()}
+		}
+		jb.engineJob = ej
+		jb.key, _ = engine.Key(ej)
+	case "artifact":
+		if err := validateArtifact(spec.Artifact); err != nil {
+			s.count("invalid")
+			return nil, &submitErr{http.StatusBadRequest, err.Error()}
+		}
+	default:
+		s.count("invalid")
+		return nil, &submitErr{http.StatusBadRequest, fmt.Sprintf("unknown job type %q (want sim or artifact)", spec.Type)}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.count("rejected_draining")
+		return nil, &submitErr{http.StatusServiceUnavailable, "server is draining"}
+	}
+	jb.id = fmt.Sprintf("j%08d", s.nextID.Add(1))
+	select {
+	case s.queue <- jb:
+		s.jobs[jb.id] = jb
+		s.order = append(s.order, jb.id)
+		s.evictLocked()
+		s.mu.Unlock()
+		s.count("admitted")
+		s.reg.Gauge("serve_queue_depth").Set(float64(len(s.queue)))
+		return jb, nil
+	default:
+		s.mu.Unlock()
+		// Backpressure: a bounded queue plus 429 keeps an overloaded
+		// daemon serving its in-flight work instead of growing without
+		// bound.
+		s.count("rejected_overflow")
+		return nil, &submitErr{http.StatusTooManyRequests, "job queue full; retry later"}
+	}
+}
+
+// evictLocked drops the oldest finished jobs above the retention bound.
+// Queued/running jobs are never evicted. Called with s.mu held.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		jb := s.jobs[id]
+		if jb == nil {
+			continue
+		}
+		jb.mu.Lock()
+		terminal := jb.status.Terminal()
+		jb.mu.Unlock()
+		if terminal && len(s.jobs) > s.cfg.MaxJobs {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// worker executes queued jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.reg.Gauge("serve_queue_depth").Set(float64(len(s.queue)))
+		s.execute(jb)
+	}
+}
+
+// execute runs one job under the lifecycle context plus its timeout,
+// with panic isolation: a panicking job marks itself failed and the
+// worker keeps serving.
+func (s *Server) execute(jb *job) {
+	jb.mu.Lock()
+	jb.status = StatusRunning
+	jb.mu.Unlock()
+
+	ctx := s.runCtx
+	if d := jb.spec.timeout(s.cfg.JobTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var res *system.Result
+	var text string
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("job panicked: %v", p)
+				s.count("panic")
+			}
+		}()
+		if s.testHook != nil {
+			s.testHook(jb)
+		}
+		switch jb.kind {
+		case "sim":
+			res, err = s.eng.Run(ctx, jb.engineJob)
+		case "artifact":
+			text, err = s.runArtifact(ctx, jb.spec)
+		}
+	}()
+	wall := time.Since(start)
+	// End-to-end latency: admission to completion, queueing included.
+	s.reg.Histogram("serve_job_latency_ns").Observe(float64(time.Since(jb.submitted).Nanoseconds()))
+	if err != nil {
+		s.count("failed")
+		jb.set(StatusFailed, nil, "", err, wall)
+		return
+	}
+	s.count("done")
+	jb.set(StatusDone, res, text, nil, wall)
+}
+
+// runArtifact executes a sweep-registry artifact on the shared engine
+// and renders it to text.
+func (s *Server) runArtifact(ctx context.Context, spec JobSpec) (string, error) {
+	accesses := spec.Accesses
+	if accesses <= 0 {
+		accesses = s.cfg.DefaultAccesses
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := sweep.Run(ctx, spec.Artifact, sweep.Config{
+		Opts:            workload.Options{Accesses: accesses, Seed: seed},
+		WriteContention: spec.Contention,
+		Engine:          s.eng,
+		Telemetry:       s.reg,
+	})
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	for i, r := range res.Renderers {
+		if i > 0 {
+			fmt.Fprintln(&buf)
+		}
+		if err := r.Render(&buf); err != nil {
+			return "", err
+		}
+	}
+	return buf.String(), nil
+}
+
+// count increments the serve_jobs_total outcome counter.
+func (s *Server) count(outcome string) {
+	s.reg.Counter("serve_jobs_total", "outcome", outcome).Inc()
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the service API:
+//
+//	GET  /healthz            liveness ("ok", or "draining" with 503)
+//	POST /v1/jobs            submit one JobSpec  → 202 {id,...}
+//	POST /v1/jobs/batch      submit {"jobs":[...]} → 202 per-item results
+//	GET  /v1/jobs/{id}       poll job status
+//	GET  /v1/jobs/{id}/result  full result (409 until terminal)
+//	GET  /v1/stats           engine + queue statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeSpec reads one JobSpec, rejecting unknown fields so typos in a
+// curl invocation fail loudly instead of simulating the default point.
+func decodeSpec(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeSpec(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	jb, serr := s.submit(spec)
+	if serr != nil {
+		writeJSON(w, serr.code, errorBody{serr.msg})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jb.view())
+}
+
+// batchRequest is the batch submission wire form.
+type batchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// batchItem is one per-spec outcome: either an admitted job view or the
+// admission error (with its HTTP code), positionally aligned with the
+// request.
+type batchItem struct {
+	ID     string `json:"id,omitempty"`
+	Status Status `json:"status,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Code   int    `json:"code,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeSpec(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad batch: %v", err)})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"batch has no jobs"})
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("batch of %d exceeds limit %d", len(req.Jobs), s.cfg.MaxBatch)})
+		return
+	}
+	items := make([]batchItem, len(req.Jobs))
+	admitted := 0
+	worst := 0
+	for i, spec := range req.Jobs {
+		jb, serr := s.submit(spec)
+		if serr != nil {
+			items[i] = batchItem{Error: serr.msg, Code: serr.code}
+			if serr.code > worst {
+				worst = serr.code
+			}
+			continue
+		}
+		admitted++
+		items[i] = batchItem{ID: jb.id, Status: StatusQueued, Key: jb.key}
+	}
+	code := http.StatusAccepted
+	if admitted == 0 {
+		// Nothing got in: surface the strongest failure (429 overflow
+		// dominates 400 spec errors) so clients back off correctly.
+		code = worst
+	}
+	writeJSON(w, code, map[string]any{"jobs": items, "admitted": admitted})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+// resultBody is the terminal-state payload: the full simulation result
+// for sim jobs, rendered text for artifacts.
+type resultBody struct {
+	view
+	Result *system.Result `json:"result,omitempty"`
+	Text   string         `json:"text,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job id"})
+		return
+	}
+	v := jb.view()
+	if !v.Status.Terminal() {
+		writeJSON(w, http.StatusConflict, v)
+		return
+	}
+	jb.mu.Lock()
+	body := resultBody{view: v, Result: jb.result, Text: jb.text}
+	jb.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":      s.eng.Stats(),
+		"queue_depth": s.QueueDepth(),
+		"queue_cap":   s.cfg.QueueDepth,
+		"workers":     s.cfg.Workers,
+		"jobs":        tracked,
+		"draining":    draining,
+	})
+}

@@ -247,20 +247,28 @@ func (r *Result) Phases() *PhaseStats {
 		ps.PeakToMeanWear = ps.PeakToMeanWrites
 	}
 	misses := s.SeriesOf(TimelineLLCMisses)
+	if misses == nil {
+		return ps
+	}
 	prev := uint64(0)
+	first := true
 	for i, x := range s.X {
 		width := float64(x - prev)
 		prev = x
 		if width <= 0 {
+			// A zero-width epoch has no defined rate; skipping it must
+			// not leave MPKIMin stuck at the zero value (the bounds are
+			// seeded by the first *valid* epoch, not by index 0).
 			continue
 		}
 		mpki := misses[i] / width * 1000
-		if i == 0 || mpki < ps.MPKIMin {
+		if first || mpki < ps.MPKIMin {
 			ps.MPKIMin = mpki
 		}
-		if mpki > ps.MPKIMax {
+		if first || mpki > ps.MPKIMax {
 			ps.MPKIMax = mpki
 		}
+		first = false
 	}
 	return ps
 }

@@ -2,12 +2,14 @@ package system
 
 import (
 	"context"
+	"math"
 	"reflect"
 	"testing"
 
 	"nvmllc/internal/cache"
 	"nvmllc/internal/fault"
 	"nvmllc/internal/reference"
+	"nvmllc/internal/telemetry"
 	"nvmllc/internal/workload"
 )
 
@@ -116,6 +118,101 @@ func TestTimelinePhases(t *testing.T) {
 	}
 	if ph.MPKIMin > ph.MPKIMax || ph.MPKIMax <= 0 {
 		t.Errorf("MPKI range %v..%v", ph.MPKIMin, ph.MPKIMax)
+	}
+}
+
+// phaseSnapshot builds a synthetic Result carrying just enough timeline
+// for Phases(): the X axis plus misses/writes delta series.
+func phaseSnapshot(x []uint64, misses, writes []float64) *Result {
+	return &Result{Timeline: &telemetry.TimelineSnapshot{
+		Axis: "instructions",
+		Fields: []telemetry.TimelineField{
+			telemetry.DeltaField(TimelineLLCMisses),
+			telemetry.DeltaField(TimelineLLCWrites),
+		},
+		X:      x,
+		Series: [][]float64{misses, writes},
+	}}
+}
+
+// TestPhasesDegenerateTimelines pins Phases() on the degenerate shapes:
+// empty (nil), zero-total, single-epoch and zero-width-first-epoch
+// timelines produce defined finite values — in particular MPKIMin must
+// be seeded by the first epoch with a defined rate, not left at zero
+// when epoch 0 has no width.
+func TestPhasesDegenerateTimelines(t *testing.T) {
+	// Empty timeline → nil, same as unsampled.
+	if ph := phaseSnapshot(nil, nil, nil).Phases(); ph != nil {
+		t.Errorf("empty timeline Phases() = %+v, want nil", ph)
+	}
+
+	checkFinite := func(ph *PhaseStats) {
+		t.Helper()
+		for name, v := range map[string]float64{
+			"WriteRateCoV":     ph.WriteRateCoV,
+			"PeakToMeanWrites": ph.PeakToMeanWrites,
+			"PeakToMeanWear":   ph.PeakToMeanWear,
+			"MPKIMin":          ph.MPKIMin,
+			"MPKIMax":          ph.MPKIMax,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s = %v, want finite", name, v)
+			}
+		}
+	}
+
+	// Zero-total series: epochs with no misses and no writes.
+	ph := phaseSnapshot([]uint64{10, 20}, []float64{0, 0}, []float64{0, 0}).Phases()
+	if ph == nil {
+		t.Fatal("zero-total timeline lost its phases")
+	}
+	checkFinite(ph)
+	if ph.WriteRateCoV != 0 || ph.MPKIMin != 0 || ph.MPKIMax != 0 {
+		t.Errorf("zero-total phases = %+v, want all-zero statistics", ph)
+	}
+
+	// Single epoch: steady by definition, MPKI min == max.
+	ph = phaseSnapshot([]uint64{1000}, []float64{5}, []float64{8}).Phases()
+	if ph == nil {
+		t.Fatal("single-epoch timeline lost its phases")
+	}
+	checkFinite(ph)
+	if ph.Epochs != 1 || ph.WriteRateCoV != 0 || ph.PeakToMeanWrites != 1 {
+		t.Errorf("single-epoch phases = %+v, want CoV 0 and peak/mean 1", ph)
+	}
+	if ph.MPKIMin != ph.MPKIMax || ph.MPKIMin != 5 {
+		t.Errorf("single-epoch MPKI range %v..%v, want exactly 5", ph.MPKIMin, ph.MPKIMax)
+	}
+
+	// Zero-width first epoch (X[0] == 0): it has no defined rate and must
+	// not pin MPKIMin at 0 — the bounds come from the valid epochs, both
+	// of which have MPKI ≥ 2.
+	ph = phaseSnapshot([]uint64{0, 1000, 2000}, []float64{9, 2, 4}, []float64{0, 1, 1}).Phases()
+	if ph == nil {
+		t.Fatal("zero-width-first-epoch timeline lost its phases")
+	}
+	checkFinite(ph)
+	if ph.MPKIMin != 2 || ph.MPKIMax != 4 {
+		t.Errorf("MPKI range %v..%v, want 2..4 (zero-width epoch skipped, not seeded as min)", ph.MPKIMin, ph.MPKIMax)
+	}
+
+	// A timeline missing the misses series (foreign schema) must not
+	// panic; the rate statistics still apply.
+	r := &Result{Timeline: &telemetry.TimelineSnapshot{
+		Fields: []telemetry.TimelineField{telemetry.DeltaField(TimelineLLCWrites)},
+		X:      []uint64{10, 20},
+		Series: [][]float64{{3, 3}},
+	}}
+	ph = r.Phases()
+	if ph == nil {
+		t.Fatal("missing-misses timeline lost its phases")
+	}
+	checkFinite(ph)
+	if ph.MPKIMin != 0 || ph.MPKIMax != 0 {
+		t.Errorf("missing misses series: MPKI range %v..%v, want 0..0", ph.MPKIMin, ph.MPKIMax)
+	}
+	if ph.PeakToMeanWrites != 1 {
+		t.Errorf("steady writes peak/mean = %v, want 1", ph.PeakToMeanWrites)
 	}
 }
 

@@ -125,6 +125,62 @@ func TestTimelineRateStats(t *testing.T) {
 	}
 }
 
+// TestTimelineRateStatsDegenerate pins the degenerate-series contract:
+// empty, zero-total and single-epoch timelines answer defined zeros (or
+// the trivial ratio), never NaN or ±Inf.
+func TestTimelineRateStatsDegenerate(t *testing.T) {
+	finite := func(name string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want a finite value", name, v)
+		}
+	}
+
+	// Empty timeline: no epochs at all.
+	empty := NewTimeline(4, "x", DeltaField("d")).Snapshot()
+	if cov := empty.RateCoV("d"); cov != 0 {
+		t.Errorf("empty CoV = %g, want 0", cov)
+	}
+	if pm := empty.RatePeakToMean("d"); pm != 0 {
+		t.Errorf("empty peak/mean = %g, want 0", pm)
+	}
+
+	// Zero-total series: epochs exist, every delta is zero, so the mean
+	// rate is 0 and both ratios must not divide by it.
+	tz := NewTimeline(4, "x", DeltaField("d"))
+	tz.Append(10, 0)
+	tz.Append(20, 0)
+	sz := tz.Snapshot()
+	cov, pm := sz.RateCoV("d"), sz.RatePeakToMean("d")
+	finite("zero-total CoV", cov)
+	finite("zero-total peak/mean", pm)
+	if cov != 0 || pm != 0 {
+		t.Errorf("zero-total: CoV=%g peak/mean=%g, want 0/0", cov, pm)
+	}
+
+	// Single epoch: one sample is perfectly steady by definition.
+	t1 := NewTimeline(4, "x", DeltaField("d"))
+	t1.Append(10, 7)
+	s1 := t1.Snapshot()
+	if cov := s1.RateCoV("d"); cov != 0 {
+		t.Errorf("single-epoch CoV = %g, want 0", cov)
+	}
+	if pm := s1.RatePeakToMean("d"); pm != 1 {
+		t.Errorf("single-epoch peak/mean = %g, want 1", pm)
+	}
+
+	// Single epoch ending at x=0: zero width, so no rate is defined.
+	t0 := NewTimeline(4, "x", DeltaField("d"))
+	t0.Append(0, 5)
+	s0 := t0.Snapshot()
+	cov, pm = s0.RateCoV("d"), s0.RatePeakToMean("d")
+	finite("zero-width CoV", cov)
+	finite("zero-width peak/mean", pm)
+	if cov != 0 || pm != 0 {
+		t.Errorf("zero-width epoch: CoV=%g peak/mean=%g, want 0/0", cov, pm)
+	}
+}
+
 func TestTimelineDownsample(t *testing.T) {
 	tl := NewTimeline(64, "x", DeltaField("d"), LevelField("l"))
 	var total float64
