@@ -39,13 +39,15 @@ func TestStreamingAllocGate(t *testing.T) {
 	}
 	budget := int64(-1)
 	for _, r := range base.Results {
-		if r.Benchmark == "HotLoop_64Cores" && r.Input == "streaming" {
+		// The generator-fed streaming row is the like-for-like baseline:
+		// this gate replays exactly that configuration.
+		if r.Benchmark == "HotLoop_64Cores" && r.Input == "streaming+gen" {
 			budget = r.AllocsPerOp
 			break
 		}
 	}
 	if budget < 0 {
-		t.Fatal("BENCH_hotloop.json has no streaming HotLoop_64Cores row; regenerate it with cmd/benchreport")
+		t.Fatal("BENCH_hotloop.json has no streaming+gen HotLoop_64Cores row; regenerate it with cmd/benchreport")
 	}
 
 	const cores = 64
@@ -79,6 +81,30 @@ func TestStreamingAllocGate(t *testing.T) {
 		limit := budget + budget/4 + 16
 		if got > limit {
 			t.Errorf("streaming run allocates %d objects, committed baseline %d (limit %d): the chunked pipeline must stay allocation-free per chunk", got, budget, limit)
+		}
+	})
+
+	t.Run("chunk-scaling", func(t *testing.T) {
+		// The ring pipeline's allocations are O(ring depth), not
+		// O(chunks): a trace with 3× the chunks must fit the same budget
+		// as the baseline, or something is allocating per chunk (slot
+		// churn, segment-queue growth, lane re-allocation).
+		long, err := workload.NewGenerator(p, workload.Options{Accesses: 300_000, Threads: cores, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch system.Scratch
+		run := func() {
+			long.Reset()
+			if _, err := system.RunStreamWith(context.Background(), cfg, long, &scratch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run()
+		got := int64(testing.AllocsPerRun(5, run))
+		limit := budget + budget/4 + 16
+		if got > limit {
+			t.Errorf("3× chunk count allocates %d objects vs baseline %d (limit %d): ring allocations must not scale with chunk count", got, budget, limit)
 		}
 	})
 

@@ -1,21 +1,27 @@
-// Command benchreport measures the simulator hot loop across its five
+// Command benchreport measures the simulator hot loop across its six
 // performance dimensions — core scheduler (min-heap default vs the
 // historical linear scan), tag-store layout (packed struct-of-arrays vs
 // the retained slice-of-struct reference), trace input (whole-trace
-// materialization vs the chunked streaming pipeline), wear-driven
-// fault injection (disabled vs enabled-but-quiescent, expected ~0%
-// disabled overhead since a zero-value fault config skips every fault
-// branch), and epoch sampling (the -timeline instrumentation, expected
-// <5% enabled and 0% disabled: one nil check per access) — plus the
-// trace generator, and writes the results as JSON. The committed
-// BENCH_hotloop.json at the repository root is this program's output:
-// the repo's perf baseline, regenerated whenever the hot path changes
-// (see the README's Performance section).
+// materialization vs the chunked ring-streaming pipeline with batched
+// pre-decode, measured both fed from the materialized trace — the
+// apples-to-apples "input" parity comparison — and fed from the
+// generator, "input-gen", which puts trace synthesis in the timed
+// region), wear-driven fault injection (disabled vs
+// enabled-but-quiescent, expected ≤2% quiescent overhead from the
+// per-set countdown fast path), epoch sampling (the -timeline
+// instrumentation, expected <5% enabled and 0% disabled: one nil check
+// per access), and cross-job trace sharing (an 8-point LLC-model sweep
+// with the trace materialized once vs regenerated per design point) —
+// plus the trace generator, and writes the results as JSON. The
+// committed BENCH_hotloop.json at the repository root is this program's
+// output: the repo's perf baseline, regenerated whenever the hot path
+// changes (see the README's Performance section).
 //
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_hotloop.json] [-accesses 100000]
-//	    [-benchtime 1s] [-count 3] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	    [-benchtime 1s] [-count 3] [-quick] [-gate-stream-pct 5]
+//	    [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Each configuration is measured -count times with every variant
 // interleaved within a repetition and the fastest repetition kept, so
@@ -35,9 +41,11 @@ import (
 	"time"
 
 	"nvmllc/internal/cache"
+	"nvmllc/internal/engine"
 	"nvmllc/internal/fault"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
+	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
 
@@ -46,29 +54,44 @@ type benchResult struct {
 	Benchmark   string  `json:"benchmark"`
 	Scheduler   string  `json:"scheduler,omitempty"`
 	Layout      string  `json:"layout,omitempty"`
-	Input       string  `json:"input,omitempty"`    // "materialized" or "streaming"
+	Input       string  `json:"input,omitempty"`    // "materialized", "streaming" or "streaming+gen"
 	Faults      string  `json:"faults,omitempty"`   // "disabled" or "enabled"
 	Sampling    string  `json:"sampling,omitempty"` // "disabled" or "enabled"
+	Sharing     string  `json:"sharing,omitempty"`  // "shared" or "unshared" (sweep rows)
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	NsPerAccess float64 `json:"ns_per_access"`
+	// PeakBytes is the modeled peak resident trace-buffer footprint of
+	// one run (system.MaterializedPeakBytes / StreamingPeakBytes) — the
+	// figure the streaming pipeline bounds, distinct from BytesPerOp,
+	// which is cumulative allocator traffic and says nothing about
+	// residency once scratch reuse makes runs allocation-free.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
+	// TraceGens is the number of trace materializations one sweep run
+	// performed (sweep rows only): 1 with sharing, one per design point
+	// without.
+	TraceGens uint64 `json:"trace_gens,omitempty"`
 }
 
 // comparison pairs two variants along one dimension on one core count.
 type comparison struct {
 	Benchmark      string  `json:"benchmark"`
-	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input", "faults" or "sampling"
+	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input", "input-gen", "faults", "sampling" or "sharing"
 	Baseline       string  `json:"baseline"`
 	Contender      string  `json:"contender"`
 	BaselineNsOp   float64 `json:"baseline_ns_per_op"`
 	ContenderNsOp  float64 `json:"contender_ns_per_op"`
 	ImprovementPct float64 `json:"improvement_pct"`
-	// BytesReductionX is baseline bytes_per_op over contender bytes_per_op
-	// (only reported for the input dimension, where the streaming
-	// pipeline's O(chunk) memory is the point of the comparison).
+	// BytesReductionX is baseline bytes_per_op over contender bytes_per_op:
+	// an allocator-traffic ratio, which with warmed scratch buffers on both
+	// sides hovers near 1× and must not be read as a footprint claim.
 	BytesReductionX float64 `json:"bytes_reduction_x,omitempty"`
+	// PeakReductionX is baseline peak_bytes over contender peak_bytes —
+	// the O(trace) vs O(chunk × ring) residency ratio the streaming
+	// pipeline actually delivers (input dimension only).
+	PeakReductionX float64 `json:"peak_reduction_x,omitempty"`
 }
 
 // report is the BENCH_hotloop.json schema.
@@ -90,6 +113,7 @@ type variant struct {
 	input     string
 	faults    string
 	sampling  string
+	sharing   string
 	bench     func(b *testing.B)
 }
 
@@ -126,6 +150,7 @@ func toResult(name string, v variant, accesses int, r testing.BenchmarkResult) b
 		Input:       v.input,
 		Faults:      v.faults,
 		Sampling:    v.sampling,
+		Sharing:     v.sharing,
 		Iterations:  r.N,
 		NsPerOp:     ns,
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -149,11 +174,16 @@ func compare(name, dimension string, base, cont benchResult) comparison {
 		c.Baseline, c.Contender = base.Scheduler, cont.Scheduler
 	case "layout":
 		c.Baseline, c.Contender = base.Layout, cont.Layout
-	case "input":
+	case "input", "input-gen":
 		c.Baseline, c.Contender = base.Input, cont.Input
 		if cont.BytesPerOp > 0 {
 			c.BytesReductionX = float64(base.BytesPerOp) / float64(cont.BytesPerOp)
 		}
+		if cont.PeakBytes > 0 {
+			c.PeakReductionX = float64(base.PeakBytes) / float64(cont.PeakBytes)
+		}
+	case "sharing":
+		c.Baseline, c.Contender = base.Sharing, cont.Sharing
 	case "faults":
 		c.Baseline, c.Contender = base.Faults, cont.Faults
 	case "sampling":
@@ -173,9 +203,22 @@ func main() {
 	accesses := flag.Int("accesses", 100_000, "base trace length per run")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
 	count := flag.Int("count", 3, "repetitions per configuration (best is kept)")
+	quick := flag.Bool("quick", false, "CI mode: shorter traces and measurements (50k accesses, 200ms, best of 2)")
+	gateStreamPct := flag.Float64("gate-stream-pct", -1,
+		"fail (exit 1) if streaming is more than this percent slower than materialized on any core count (<0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+	if *quick {
+		// Short enough for a PR gate, long enough to be gateable: below
+		// ~30k accesses the ring's fixed per-run costs (goroutine spawn,
+		// channel setup) stop amortizing and the parity comparison
+		// measures trace length, not the pipeline; a single repetition
+		// is noise-bound on shared runners.
+		*accesses = 50_000
+		*benchtime = 200 * time.Millisecond
+		*count = 3
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
 	}
@@ -197,7 +240,7 @@ func main() {
 		fatal(err)
 	}
 	rep := report{
-		Schema:         "nvmllc/bench_hotloop/v3",
+		Schema:         "nvmllc/bench_hotloop/v4",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -212,6 +255,10 @@ func main() {
 			fatal(err)
 		}
 		gen, err := workload.NewGenerator(p, opts)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := trace.NewTraceSource(tr)
 		if err != nil {
 			fatal(err)
 		}
@@ -250,10 +297,16 @@ func main() {
 					_, err := system.RunWith(ctx, cfg, tr, scratch)
 					return err
 				})},
+			// Streaming parity: the ring pipeline fed from the already
+			// materialized trace, so both sides of the "input" comparison
+			// time exactly the same simulation work and the delta is the
+			// pipeline itself (chunk validation, scatter decode, channel
+			// handoff). Trace synthesis is measured separately (TraceGen and
+			// the streaming+gen variant below).
 			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "streaming",
 				bench: runBench(func(scratch *system.Scratch) error {
-					gen.Reset()
-					_, err := system.RunStreamWith(ctx, cfg, gen, scratch)
+					src.Reset()
+					_, err := system.RunStreamWith(ctx, cfg, src, scratch)
 					return err
 				})},
 			// Faults enabled but quiescent: a finite endurance far beyond
@@ -275,6 +328,19 @@ func main() {
 					_, err := system.RunWith(ctx, cfgTimeline, tr, scratch)
 					return err
 				})},
+			// Generator-fed streaming: the ring consuming the synthetic
+			// workload generator directly, so trace synthesis sits inside
+			// the timed region and per-run residency is O(chunk × ring)
+			// with no materialized trace at all. On a multi-core host the
+			// producer overlaps the consumer and this approaches the
+			// parity row; on a single-CPU runner generation serializes and
+			// its full cost (see the TraceGen row) lands on top.
+			{scheduler: system.SchedHeap.String(), layout: cache.LayoutSoA.String(), input: "streaming+gen",
+				bench: runBench(func(scratch *system.Scratch) error {
+					gen.Reset()
+					_, err := system.RunStreamWith(ctx, cfg, gen, scratch)
+					return err
+				})},
 		}
 		variants[2].faults = "disabled"
 		variants[2].sampling = "disabled"
@@ -286,15 +352,71 @@ func main() {
 		streamRes := toResult(name, variants[3], n, results[3])
 		faultRes := toResult(name, variants[4], n, results[4])
 		samplingRes := toResult(name, variants[5], n, results[5])
-		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes, faultRes, samplingRes)
+		streamGenRes := toResult(name, variants[6], n, results[6])
+		soaRes.PeakBytes = system.MaterializedPeakBytes(int64(n))
+		streamRes.PeakBytes = system.StreamedTracePeakBytes(int64(n), system.DefaultChunkAccesses, system.DefaultRingSlots)
+		streamGenRes.PeakBytes = system.StreamingPeakBytes(system.DefaultChunkAccesses, system.DefaultRingSlots)
+		rep.Results = append(rep.Results, scanRes, aosRes, soaRes, streamRes, faultRes, samplingRes, streamGenRes)
 		rep.Comparisons = append(rep.Comparisons,
 			compare(name, "scheduler", scanRes, soaRes),
 			compare(name, "layout", aosRes, soaRes),
 			compare(name, "input", soaRes, streamRes),
+			compare(name, "input-gen", soaRes, streamGenRes),
 			compare(name, "faults", soaRes, faultRes),
 			compare(name, "sampling", soaRes, samplingRes),
 		)
 	}
+
+	// Sweep-level amortization: 8 design points differing only in the LLC
+	// model over one workload. With trace sharing the sweep materializes
+	// its trace once; without, every design point regenerates it. The
+	// result cache is off on both sides so every iteration simulates all
+	// 8 points.
+	fmt.Fprintln(os.Stderr, "measuring Sweep_8Points...")
+	sweepOpts := workload.Options{Accesses: *accesses, Threads: 4, Seed: 1}
+	sweepModels := reference.FixedCapacityModels()[:8]
+	mkSweepJobs := func() []engine.Job {
+		jobs := make([]engine.Job, len(sweepModels))
+		for i, m := range sweepModels {
+			jobs[i] = engine.StreamJob(p, sweepOpts, system.Gainestown(m).WithCores(4))
+		}
+		return jobs
+	}
+	runSweep := func(opts ...engine.Option) (engine.Stats, error) {
+		eng := engine.New(append([]engine.Option{engine.WithoutCache()}, opts...)...)
+		if _, err := eng.RunAll(ctx, mkSweepJobs()); err != nil {
+			return engine.Stats{}, err
+		}
+		return eng.Stats(), nil
+	}
+	sweepBench := func(opts ...engine.Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runSweep(opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	sweepVariants := []variant{
+		{sharing: "unshared", bench: sweepBench(engine.WithoutTraceSharing())},
+		{sharing: "shared", bench: sweepBench()},
+	}
+	sweepResults := measureBest(sweepVariants, *count)
+	sweepN := len(sweepModels) * *accesses
+	unsharedRes := toResult("Sweep_8Points", sweepVariants[0], sweepN, sweepResults[0])
+	sharedRes := toResult("Sweep_8Points", sweepVariants[1], sweepN, sweepResults[1])
+	// Without sharing every design point generates for itself; with it
+	// the engine reports its actual materialization count (expected 1).
+	unsharedRes.TraceGens = uint64(len(sweepModels))
+	sharedStats, err := runSweep()
+	if err != nil {
+		fatal(err)
+	}
+	sharedRes.TraceGens = sharedStats.TraceGens
+	rep.Results = append(rep.Results, unsharedRes, sharedRes)
+	rep.Comparisons = append(rep.Comparisons, compare("Sweep_8Points", "sharing", unsharedRes, sharedRes))
 
 	fmt.Fprintln(os.Stderr, "measuring TraceGen...")
 	gen := testing.Benchmark(func(b *testing.B) {
@@ -330,10 +452,32 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+
+	// CI gate: the streaming pipeline must stay within the configured
+	// margin of the materialized path. Everything else in the report is
+	// informational — timing drifts with the runner, but a streaming
+	// regression past the margin means the ring pipeline itself broke.
+	if *gateStreamPct >= 0 {
+		failed := false
+		for _, c := range rep.Comparisons {
+			if c.Dimension != "input" {
+				continue
+			}
+			if c.ImprovementPct < -*gateStreamPct {
+				fmt.Fprintf(os.Stderr, "benchreport: GATE FAIL %s: streaming is %.1f%% slower than materialized (margin %.1f%%)\n",
+					c.Benchmark, -c.ImprovementPct, *gateStreamPct)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: streaming gate passed (margin %.1f%%)\n", *gateStreamPct)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"testing"
 
+	"nvmllc/internal/engine"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/trace"
@@ -74,12 +75,39 @@ func BenchmarkHotLoop_Sampling(b *testing.B) {
 	}
 }
 
+// BenchmarkHotLoop_StreamingTrace measures the ring pipeline fed from
+// an already-materialized trace — the apples-to-apples comparison
+// against BenchmarkHotLoop_64Cores, since both sides then time exactly
+// the same simulation work and the delta is the pipeline itself
+// (benchreport's "input" parity comparison).
+func BenchmarkHotLoop_StreamingTrace(b *testing.B) {
+	const cores = 64
+	tr := hotLoopTrace(b, cores)
+	src, err := trace.NewTraceSource(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := system.Gainestown(reference.SRAMBaseline()).WithCores(cores)
+	var scratch system.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Accesses)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if _, err := system.RunStreamWith(context.Background(), cfg, src, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHotLoop_Streaming measures the chunked streaming pipeline at
 // the 64-core configuration where whole-trace materialization costs the
 // most memory: the generator produces chunk N+1 while the simulator
 // consumes chunk N, and per-iteration memory stays O(chunk) regardless
 // of trace length (the bytes/op here is the BENCH_hotloop.json
-// allocation-gate baseline; see TestStreamingAllocGate).
+// allocation-gate baseline; see TestStreamingAllocGate). Trace
+// synthesis sits inside the timed region, so on a single-CPU runner
+// this carries the full TraceGen cost on top of the pipeline.
 func BenchmarkHotLoop_Streaming(b *testing.B) {
 	const cores = 64
 	p, err := workload.ByName("ft")
@@ -102,6 +130,37 @@ func BenchmarkHotLoop_Streaming(b *testing.B) {
 		}
 	}
 }
+
+// benchSweep runs an 8-design-point LLC-model sweep over one workload
+// through the engine with the result cache off, so every point
+// simulates each iteration. The Shared/Unshared pair isolates cross-job
+// trace sharing: with it the sweep materializes its trace once and
+// hands every design point a read-only cursor; without it every point
+// re-runs the generator.
+func benchSweep(b *testing.B, opts ...engine.Option) {
+	p, err := workload.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	genOpts := workload.Options{Accesses: 100_000, Threads: 4, Seed: 1}
+	models := reference.FixedCapacityModels()[:8]
+	jobs := make([]engine.Job, len(models))
+	for i, m := range models {
+		jobs[i] = engine.StreamJob(p, genOpts, system.Gainestown(m).WithCores(4))
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(models) * genOpts.Accesses))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(append([]engine.Option{engine.WithoutCache()}, opts...)...)
+		if _, err := eng.RunAll(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep_8Points_Shared(b *testing.B)   { benchSweep(b) }
+func BenchmarkSweep_8Points_Unshared(b *testing.B) { benchSweep(b, engine.WithoutTraceSharing()) }
 
 // BenchmarkTraceGen measures the synthetic trace generator's steady
 // state: exact-size buffers, no per-access allocation.

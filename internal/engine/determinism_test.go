@@ -78,6 +78,27 @@ func TestEngineSchedulerEquivalence(t *testing.T) {
 			t.Errorf("%s/%d threads: cache key not deterministic: %s vs %s",
 				j.Workload, j.TraceOpts.Threads, key, key2)
 		}
+		// Pre-decode leg: the same design point streamed through a fresh
+		// engine (chunked ring + batch pre-decode + trace sharing) must
+		// reproduce the linear-scan result too, under the same cache key —
+		// the pipeline rework must never move a job to a different entry.
+		p, err := workload.ByName(j.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj := StreamJob(p, j.TraceOpts, j.Config)
+		if skey, ok := Key(sj); !ok || skey != key {
+			t.Errorf("%s/%d threads: streamed form keys to %q, materialized to %q",
+				j.Workload, j.TraceOpts.Threads, skey, key)
+		}
+		sres, err := New().Run(context.Background(), sj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb, wb := marshal(t, sres), marshal(t, want); !bytes.Equal(sb, wb) {
+			t.Errorf("%s/%d threads: streamed engine result differs from linear-scan scheduler\nstream: %s\nscan:   %s",
+				j.Workload, j.TraceOpts.Threads, sb, wb)
+		}
 	}
 }
 

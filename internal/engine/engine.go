@@ -110,6 +110,12 @@ type Stats struct {
 	// SimWallNS is the summed wall-clock time spent inside simulations,
 	// across all workers.
 	SimWallNS int64
+	// TraceGens counts trace materializations the sharing layer performed
+	// (share.go); TraceShared counts simulations answered from an already
+	// materialized shared trace instead of generating their own. A sweep
+	// of N design points over one workload shows TraceGens=1,
+	// TraceShared=N-1.
+	TraceGens, TraceShared uint64
 }
 
 // Jobs is the total design points answered: simulated, upgraded, cached
@@ -123,6 +129,9 @@ func (s Stats) String() string {
 		time.Duration(s.SimWallNS).Seconds())
 	if s.Upgraded > 0 {
 		out = fmt.Sprintf("%s, %d upgraded", out, s.Upgraded)
+	}
+	if s.TraceShared > 0 {
+		out = fmt.Sprintf("%s, %d traces generated / %d shared", out, s.TraceGens, s.TraceShared)
 	}
 	return out
 }
@@ -216,21 +225,31 @@ type Engine struct {
 	reg         *telemetry.Registry
 	timeline    *system.TimelineConfig
 	store       CacheStore
+	shareOff    bool
+	shareLimit  int64
 
 	mu      sync.Mutex
 	results map[string]*entry
+
+	// shares memoizes generated traces across jobs (share.go); tracePool
+	// recycles their materialization buffers.
+	shareMu   sync.Mutex
+	shares    map[string]*shareEntry
+	tracePool sync.Pool
 
 	// scratch pools per-run simulator buffers (the trace split) across
 	// the worker pool, so steady-state simulation is allocation-free on
 	// the trace pipeline.
 	scratch sync.Pool
 
-	simulated atomic.Uint64
-	upgraded  atomic.Uint64
-	cached    atomic.Uint64
-	failed    atomic.Uint64
-	accesses  atomic.Uint64
-	simWallNS atomic.Int64
+	simulated   atomic.Uint64
+	upgraded    atomic.Uint64
+	cached      atomic.Uint64
+	failed      atomic.Uint64
+	accesses    atomic.Uint64
+	simWallNS   atomic.Int64
+	traceGens   atomic.Uint64
+	traceShared atomic.Uint64
 }
 
 // New creates an engine.
@@ -253,12 +272,14 @@ func (e *Engine) Workers() int {
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Simulated: e.simulated.Load(),
-		Upgraded:  e.upgraded.Load(),
-		Cached:    e.cached.Load(),
-		Failed:    e.failed.Load(),
-		Accesses:  e.accesses.Load(),
-		SimWallNS: e.simWallNS.Load(),
+		Simulated:   e.simulated.Load(),
+		Upgraded:    e.upgraded.Load(),
+		Cached:      e.cached.Load(),
+		Failed:      e.failed.Load(),
+		Accesses:    e.accesses.Load(),
+		SimWallNS:   e.simWallNS.Load(),
+		TraceGens:   e.traceGens.Load(),
+		TraceShared: e.traceShared.Load(),
 	}
 }
 
@@ -399,11 +420,7 @@ func (e *Engine) simulateKeyed(ctx context.Context, j Job, key string, upgrade b
 		res, err = system.RunWith(ctx, j.Config, j.Trace, scratch)
 		accesses = uint64(len(j.Trace.Accesses))
 	case j.Source != nil:
-		var src trace.ChunkSource
-		if src, err = j.Source(); err == nil {
-			res, err = system.RunStreamWith(ctx, j.Config, src, scratch)
-			accesses = uint64(src.Meta().Accesses)
-		}
+		res, accesses, err = e.runSource(ctx, j, scratch)
 	default:
 		err = fmt.Errorf("engine: job %s on %s has neither a trace nor a source", j.Workload, j.LLCName())
 	}
@@ -460,6 +477,11 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]*system.Result, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Pin every distinct shareable trace for the batch, so sweeps
+	// amortize generation across design points regardless of worker-pool
+	// shape (share.go).
+	unpin := e.pinShares(jobs)
+	defer unpin()
 	results := make([]*system.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, e.Workers())

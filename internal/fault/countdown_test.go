@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refInjector replays the pre-countdown eager algorithm — one wear
+// addition and threshold compare per write, dividing 1/enabled each
+// time — as the ground truth the countdown fast path must match
+// bit-for-bit. It borrows threshold recomputation from a shadow
+// Injector built from the same config so both draw identical
+// per-cell thresholds.
+type refInjector struct {
+	shadow *Injector
+	sets   []setState
+	stats  Stats
+}
+
+func newRef(t *testing.T, cfg Config, sets, ways int) *refInjector {
+	t.Helper()
+	shadow, err := New(cfg, sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &refInjector{shadow: shadow, sets: make([]setState, sets), stats: shadow.Stats()}
+	copy(r.sets, shadow.sets)
+	return r
+}
+
+func (r *refInjector) isDead(line uint64) bool {
+	return r.sets[line&r.shadow.setMask].enabled == 0
+}
+
+func (r *refInjector) onWrite(line uint64) Outcome {
+	si := line & r.shadow.setMask
+	st := &r.sets[si]
+	st.wear += 1 / float64(st.enabled)
+	switch {
+	case st.wear >= st.next:
+		st.enabled--
+		r.stats.WriteRetries += uint64(r.shadow.maxRetries)
+		r.stats.FailedWrites++
+		r.stats.CondemnedWays++
+		r.stats.EnabledLines--
+		r.shadow.setNext(st, r.shadow.setThresholds(si), r.shadow.ways-int(st.enabled))
+		if st.enabled == 0 {
+			r.stats.DeadSets++
+		}
+		return Outcome{Retries: r.shadow.maxRetries, Condemned: true}
+	case st.wear >= st.soft:
+		r.stats.WriteRetries++
+		return Outcome{Retries: 1}
+	default:
+		return Outcome{}
+	}
+}
+
+// TestCountdownMatchesEagerReference drives the countdown injector and
+// the eager reference through identical write streams across adversarial
+// regimes — rapid condemnation, long quiescence with lookahead doubling,
+// rounding-stalled wear at huge endurance, soft window equal to the
+// threshold, pre-aged arrays — and demands identical outcomes, death
+// states, and stats at every step.
+func TestCountdownMatchesEagerReference(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		sets, ways int
+		writes     int
+		lines      func(r *rand.Rand, i int) uint64
+	}{
+		{
+			name: "rapid-condemnation",
+			cfg:  Config{Options: Options{EnduranceWrites: 40}, Seed: 3, Spread: 2},
+			sets: 64, ways: 4, writes: 200000,
+			lines: func(r *rand.Rand, i int) uint64 { return r.Uint64() },
+		},
+		{
+			name: "quiescent-hot-set",
+			cfg:  Config{Options: Options{EnduranceWrites: 1e6}, Seed: 5},
+			sets: 16, ways: 8, writes: 300000,
+			lines: func(r *rand.Rand, i int) uint64 { return uint64(i % 3) },
+		},
+		{
+			name: "rounding-stall",
+			cfg:  Config{Options: Options{EnduranceWrites: 1e15}, Seed: 7},
+			sets: 32, ways: 16, writes: 100000,
+			lines: func(r *rand.Rand, i int) uint64 { return r.Uint64() },
+		},
+		{
+			name: "soft-equals-threshold",
+			cfg:  Config{Options: Options{EnduranceWrites: 120}, Seed: 11, SoftFraction: 1},
+			sets: 8, ways: 4, writes: 50000,
+			lines: func(r *rand.Rand, i int) uint64 { return r.Uint64() },
+		},
+		{
+			name: "pre-aged-single-retry",
+			cfg:  Config{Options: Options{EnduranceWrites: 200}, Seed: 13, MaxRetries: 1, PreWearWrites: 180},
+			sets: 16, ways: 4, writes: 100000,
+			lines: func(r *rand.Rand, i int) uint64 { return r.Uint64() },
+		},
+		{
+			name: "tight-spread-slow-approach",
+			cfg:  Config{Options: Options{EnduranceWrites: 5e4}, Seed: 17, Spread: 0.01, SoftFraction: 0.999},
+			sets: 4, ways: 2, writes: 400000,
+			lines: func(r *rand.Rand, i int) uint64 { return uint64(i) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := New(tc.cfg, tc.sets, tc.ways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRef(t, tc.cfg, tc.sets, tc.ways)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < tc.writes; i++ {
+				line := tc.lines(rng, i)
+				dead, rdead := inj.IsDead(line), ref.isDead(line)
+				if dead != rdead {
+					t.Fatalf("write %d line %#x: IsDead %v, reference %v", i, line, dead, rdead)
+				}
+				if dead {
+					continue
+				}
+				got, want := inj.OnWrite(line), ref.onWrite(line)
+				if got != want {
+					t.Fatalf("write %d line %#x: outcome %+v, reference %+v", i, line, got, want)
+				}
+			}
+			if got, want := inj.Stats(), ref.stats; got != want {
+				t.Fatalf("stats diverged:\n got %+v\nwant %+v", got, want)
+			}
+			// Wear itself must agree wherever the countdown is not holding
+			// pre-proven lookahead: replaying the pending additions eagerly
+			// has to land on the reference trajectory exactly.
+			for s := range inj.sets {
+				st, rst := inj.sets[s], ref.sets[s]
+				if st.enabled != rst.enabled || st.next != rst.next {
+					t.Fatalf("set %d: state (enabled %d, next %g) vs reference (%d, %g)",
+						s, st.enabled, st.next, rst.enabled, rst.next)
+				}
+			}
+		})
+	}
+}
+
+// TestCountdownRoundingStallGoesQuiescent pins the rounding-stall
+// regime: with the wear pre-aged to 2^53 the 1/16 per-write increment is
+// below half the wear's ulp, every addition rounds back to the same
+// value, and the first slow visit must arm an effectively infinite
+// countdown and never charge a retry.
+func TestCountdownRoundingStallGoesQuiescent(t *testing.T) {
+	const preWear = 1 << 53
+	cfg := Config{
+		Options:       Options{EnduranceWrites: 2e16},
+		Seed:          1,
+		Spread:        0.1, // thresholds in 2e16·2^±0.1, all far above preWear
+		PreWearWrites: preWear,
+	}
+	inj, err := New(cfg, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Stats().InitialDisabledWays; got != 0 {
+		t.Fatalf("pre-aging condemned %d ways, want 0", got)
+	}
+	if float64(preWear)+1.0/16 != float64(preWear) {
+		t.Fatal("increment does not stall at this wear magnitude")
+	}
+	for i := 0; i < 1000; i++ {
+		if o := inj.OnWrite(0); o != (Outcome{}) {
+			t.Fatalf("write %d: outcome %+v in stall regime", i, o)
+		}
+	}
+	if k := int64(inj.skip[0]); k < quiescentSkip-1000 {
+		t.Fatalf("stalled set armed with skip %d, want ~quiescentSkip", k)
+	}
+	if s := inj.Stats(); s.WriteRetries != 0 || s.CondemnedWays != 0 {
+		t.Fatalf("stall regime charged events: %+v", s)
+	}
+}

@@ -187,11 +187,21 @@ type Outcome struct {
 // at the rare condemnation events.
 type setState struct {
 	// wear is the cumulative per-cell write count under ideal intra-set
-	// leveling.
+	// leveling. While a countdown is armed (skip > 1) the wear already
+	// includes the skipped writes: rearm advanced it with the same
+	// repeated additions OnWrite would have performed, so the float
+	// trajectory — including any rounding stall — is bit-identical to
+	// evaluating every write eagerly.
 	wear float64
 	// next is the smallest threshold among still-enabled cells (+Inf for
 	// a dead set); soft is SoftFraction × next.
 	next, soft float64
+	// inv caches 1/enabled, the per-write wear increment (0 for a dead
+	// set), so the hot path never divides.
+	inv float64
+	// look is the adaptive rearm lookahead cap; it doubles every time a
+	// rearm exhausts it so hot sets amortize toward O(1) slow visits.
+	look int32
 	// enabled counts live ways.
 	enabled uint16
 }
@@ -209,7 +219,22 @@ type Injector struct {
 	setMask    uint64
 	ways       int
 	sets       []setState
-	stats      Stats
+	// skip is the per-set quiescent-write countdown, split out of
+	// setState into its own dense array so the fast path's only memory
+	// touch is 4 bytes per set: at 8K sets that is a 32 KB table that
+	// stays cache-resident under random write traffic, where the full
+	// 40-byte setState records would thrash. A write finding skip > 1
+	// just decrements it — rearm already proved (by exact replay) that
+	// the skipped writes stay below the soft window; skip == 1 forces
+	// the slow path.
+	skip  []int32
+	stats Stats
+	// snap freezes the per-set records as New left them; Reset restores
+	// it so a pooled injector skips re-drawing and re-sorting every
+	// cell's threshold — the dominant construction cost (ways hash
+	// draws and a sort per set, ~10⁵ Exp2 calls for an 8K-set LLC).
+	snap      []setState
+	snapStats Stats
 	// scratch holds per-way thresholds during recomputation.
 	scratch []float64
 }
@@ -239,6 +264,7 @@ func New(cfg Config, sets, ways int) (*Injector, error) {
 		setMask:    uint64(sets - 1),
 		ways:       ways,
 		sets:       make([]setState, sets),
+		skip:       make([]int32, sets),
 		scratch:    make([]float64, ways),
 	}
 	inj.stats = Stats{
@@ -259,6 +285,12 @@ func New(cfg Config, sets, ways int) (*Injector, error) {
 		}
 		st.enabled = uint16(ways - condemned)
 		inj.setNext(st, ts, condemned)
+		st.inv = 0
+		if st.enabled > 0 {
+			st.inv = 1 / float64(st.enabled)
+		}
+		inj.skip[s] = 1 // first write takes the slow path and arms the countdown
+		st.look = minLookahead
 		if condemned > 0 {
 			inj.stats.InitialDisabledWays += condemned
 			inj.stats.EnabledLines -= condemned
@@ -267,7 +299,31 @@ func New(cfg Config, sets, ways int) (*Injector, error) {
 			}
 		}
 	}
+	inj.snap = append([]setState(nil), inj.sets...)
+	inj.snapStats = inj.stats
 	return inj, nil
+}
+
+// Matches reports whether the injector was built for exactly this
+// configuration and geometry, making Reset-and-reuse equivalent to a
+// fresh New.
+func (inj *Injector) Matches(cfg Config, sets, ways int) bool {
+	return inj.cfg == cfg && len(inj.sets) == sets && inj.ways == ways
+}
+
+// Reset restores the injector to its post-construction state: pristine
+// per-set records, the one-write countdown re-armed everywhere, and the
+// construction-time stats. A reset injector is indistinguishable from a
+// newly built one but costs a memcpy instead of re-deriving every
+// cell's threshold, which is what makes pooling it across repeated runs
+// of one design point worthwhile (system.Scratch holds the pooled
+// injector).
+func (inj *Injector) Reset() {
+	copy(inj.sets, inj.snap)
+	for i := range inj.skip {
+		inj.skip[i] = 1
+	}
+	inj.stats = inj.snapStats
 }
 
 // threshold is cell (set, way)'s endurance threshold: the nominal budget
@@ -307,7 +363,13 @@ func (inj *Injector) setNext(st *setState, ts []float64, condemned int) {
 func (inj *Injector) set(line uint64) uint64 { return line & inj.setMask }
 
 // IsDead reports whether the set holding line has no enabled ways left.
+// Until the first set actually dies — never, in the quiescent regime —
+// it answers from the injector header without touching the per-set
+// records, keeping the per-access probe free of random memory traffic.
 func (inj *Injector) IsDead(line uint64) bool {
+	if inj.stats.DeadSets == 0 {
+		return false
+	}
 	return inj.sets[inj.set(line)].enabled == 0
 }
 
@@ -317,16 +379,57 @@ func (inj *Injector) DisabledWays(set int) int {
 	return inj.ways - int(inj.sets[set].enabled)
 }
 
+// Rearm lookahead bounds. The cap starts small so cold sets pay a few
+// additions at most, and doubles whenever a rearm exhausts it so a
+// hammered set converges to O(1) slow-path visits; wasted lookahead at
+// the end of a run is bounded by the last cap, which the doubling keeps
+// within ~2× the writes the set actually absorbed.
+const (
+	// minLookahead starts small because the replay cost is paid up
+	// front: a benchmark spreading writes thinly over thousands of sets
+	// visits each set only a handful of times, and a 32-write opening
+	// replay would cost more float work than evaluating those writes
+	// eagerly. Eight bounds the wasted lookahead at ~2× the writes a
+	// barely-touched set actually absorbs while still letting the
+	// doubling reach maxLookahead within a dozen slow visits.
+	minLookahead = 8
+	maxLookahead = 1 << 15
+	// quiescentSkip is the countdown armed when repeated addition has
+	// stalled (wear + inv rounds back to wear): no future write can move
+	// the wear, so the set can never reach its soft window and every
+	// remaining write is quiescent. It saturates the int32 countdown
+	// slot; the one-in-2³¹-writes exhaustion just re-detects the stall
+	// on the slow path and re-arms.
+	quiescentSkip = int64(math.MaxInt32 - 1)
+)
+
 // OnWrite advances the wear of the written line's set by one data-array
 // write and reports the write-verify outcome. The caller must not invoke
 // it for dead sets (check IsDead first — dead sets take no array
 // writes).
+//
+// The common case — a set far from its next failure — is a single
+// countdown decrement against the dense 4-byte-per-set skip table:
+// rearm has already replayed the skipped writes' wear additions and
+// proved each lands below the soft window, so the fast path changes no
+// observable state an eager evaluation wouldn't, and touches none of
+// the wide per-set records.
 func (inj *Injector) OnWrite(line uint64) Outcome {
-	si := inj.set(line)
-	st := &inj.sets[si]
+	si := line & inj.setMask
+	if k := inj.skip[si]; k > 1 {
+		inj.skip[si] = k - 1
+		return Outcome{}
+	}
+	return inj.onWriteSlow(si, &inj.sets[si])
+}
+
+// onWriteSlow is the countdown-expired path: apply this write's wear
+// addition, classify it against the thresholds exactly as the eager
+// algorithm did, and re-arm the countdown when the set stays quiescent.
+func (inj *Injector) onWriteSlow(si uint64, st *setState) Outcome {
 	// One set write ages every live cell by 1/enabled under ideal
 	// intra-set leveling.
-	st.wear += 1 / float64(st.enabled)
+	st.wear += st.inv
 	switch {
 	case st.wear >= st.next:
 		// The weakest live cell is past its budget: the write fails all
@@ -334,6 +437,12 @@ func (inj *Injector) OnWrite(line uint64) Outcome {
 		// the wear has crossed several thresholds at once the following
 		// writes condemn the remaining cells one by one.
 		st.enabled--
+		st.inv = 0
+		if st.enabled > 0 {
+			st.inv = 1 / float64(st.enabled)
+		}
+		inj.skip[si] = 1
+		st.look = minLookahead
 		inj.stats.WriteRetries += uint64(inj.maxRetries)
 		inj.stats.FailedWrites++
 		inj.stats.CondemnedWays++
@@ -344,11 +453,47 @@ func (inj *Injector) OnWrite(line uint64) Outcome {
 		}
 		return Outcome{Retries: inj.maxRetries, Condemned: true}
 	case st.wear >= st.soft:
-		// Write-verify window: the write needs one extra attempt.
+		// Write-verify window: the write needs one extra attempt. Every
+		// write from here to the condemnation must be charged, so the
+		// countdown stays disarmed.
+		inj.skip[si] = 1
 		inj.stats.WriteRetries++
 		return Outcome{Retries: 1}
 	default:
+		inj.rearm(si, st)
 		return Outcome{}
+	}
+}
+
+// rearm advances the set's wear through as many future writes as it can
+// prove quiescent — by performing the exact additions those writes would
+// perform, so rounding (including the stall where wear + inv rounds back
+// to wear) is reproduced bit-for-bit — and arms the countdown to skip
+// them. The first write past the lookahead takes the slow path and
+// re-evaluates.
+func (inj *Injector) rearm(si uint64, st *setState) {
+	look := int64(st.look)
+	w, inv, soft := st.wear, st.inv, st.soft
+	var q int64
+	for q < look {
+		w2 := w + inv
+		if w2 >= soft {
+			break
+		}
+		if w2 == w {
+			// The increment is below the wear's rounding granularity:
+			// wear can never advance again, so the soft window is
+			// unreachable and every future write is quiescent.
+			q = quiescentSkip
+			break
+		}
+		w = w2
+		q++
+	}
+	st.wear = w
+	inj.skip[si] = int32(q + 1)
+	if q >= look && st.look < maxLookahead {
+		st.look <<= 1
 	}
 }
 

@@ -1,0 +1,177 @@
+package system
+
+// Batched hot-loop pre-decode. The per-access hierarchy walk used to
+// recompute the same geometry at every level — shift the address into a
+// line, mask it into a set, multiply into a tag-store base — for every
+// access, interleaved with the pointer-chasing cache probes. A decoder
+// instead runs one batch pass per trace chunk (or over the whole
+// materialized split) that precomputes the line address, the per-level
+// set bases, and the access kind into SoA lane arrays; the simulation
+// loop then consumes the lanes and hands the bases to
+// cache.AccessAt, keeping the shift/mask work out of the dispatch path
+// and in a tight, bounds-check-eliminated loop. The lanes carry exactly
+// the values the eager path computed, so results are byte-identical
+// (pinned by the stream/layout/scheduler equivalence suites).
+
+import (
+	"nvmllc/internal/cache"
+	"nvmllc/internal/trace"
+)
+
+// laneBuf holds the pre-decoded SoA lanes for a run of accesses: the
+// line address, the set base per cache level (the L1 lane is resolved by
+// kind — instruction fetches decode against the L1I, everything else
+// against the L1D), and the access kind. Each access costs
+// laneBytesPerAccess bytes of lane storage.
+type laneBuf struct {
+	line []uint64
+	l1   []int32
+	l2   []int32
+	llc  []int32
+	kind []trace.Kind
+}
+
+// laneBytesPerAccess is the lane storage per decoded access (8 + 4 + 4 +
+// 4 + 1), the figure the peak-footprint accounting in cmd/benchreport
+// uses.
+const laneBytesPerAccess = 21
+
+// ensure grows the lanes to hold n accesses, reusing prior capacity.
+func (b *laneBuf) ensure(n int) {
+	if cap(b.line) < n {
+		b.line = make([]uint64, n)
+		b.l1 = make([]int32, n)
+		b.l2 = make([]int32, n)
+		b.llc = make([]int32, n)
+		b.kind = make([]trace.Kind, n)
+	}
+	b.line = b.line[:n]
+	b.l1 = b.l1[:n]
+	b.l2 = b.l2[:n]
+	b.llc = b.llc[:n]
+	b.kind = b.kind[:n]
+}
+
+// decoder is an immutable copy of the machine's set-index geometry. The
+// streaming producer goroutine decodes with it while the consumer drives
+// the caches, so it must not alias any mutable simulator state — it
+// holds only the mask/ways values, which never change after
+// construction. Every core's private levels share one geometry, so one
+// decoder serves all cores.
+type decoder struct {
+	blockBits uint
+	l1iMask   uint64
+	l1dMask   uint64
+	l2Mask    uint64
+	llcMask   uint64
+	l1iWays   int32
+	l1dWays   int32
+	l2Ways    int32
+	llcWays   int32
+}
+
+func newDecoder(s *simulator) decoder {
+	geom := func(c *cache.Cache) (uint64, int32) {
+		mask, ways := c.Geometry()
+		return mask, int32(ways)
+	}
+	d := decoder{blockBits: s.blockBits}
+	c0 := s.cores[0]
+	d.l1iMask, d.l1iWays = geom(c0.l1i)
+	d.l1dMask, d.l1dWays = geom(c0.l1d)
+	d.l2Mask, d.l2Ways = geom(c0.l2)
+	if s.llc != nil {
+		// Hybrid mode has no monolithic LLC; its lane stays zero and the
+		// hybrid walk never reads it.
+		d.llcMask, d.llcWays = geom(s.llc)
+	}
+	return d
+}
+
+// decodeInto batch-decodes a contiguous run of accesses into lane
+// windows of the same length. The self-slicing hoists every bounds check
+// out of the loop body.
+func (d *decoder) decodeInto(accs []trace.Access, line []uint64, l1, l2, llc []int32, kind []trace.Kind) {
+	n := len(accs)
+	line = line[:n]
+	l1 = l1[:n]
+	l2 = l2[:n]
+	llc = llc[:n]
+	kind = kind[:n]
+	for i := range accs {
+		a := accs[i]
+		ln := a.Addr >> d.blockBits
+		line[i] = ln
+		kind[i] = a.Kind
+		b1 := int32(ln&d.l1dMask) * d.l1dWays
+		if a.Kind == trace.Ifetch {
+			b1 = int32(ln&d.l1iMask) * d.l1iWays
+		}
+		l1[i] = b1
+		l2[i] = int32(ln&d.l2Mask) * d.l2Ways
+		llc[i] = int32(ln&d.llcMask) * d.llcWays
+	}
+}
+
+// put decodes a single access into lane slot j (the streaming producer's
+// scatter path, where per-thread destinations interleave).
+func (d *decoder) put(b *laneBuf, j int, a trace.Access) {
+	ln := a.Addr >> d.blockBits
+	b.line[j] = ln
+	b.kind[j] = a.Kind
+	b1 := int32(ln&d.l1dMask) * d.l1dWays
+	if a.Kind == trace.Ifetch {
+		b1 = int32(ln&d.l1iMask) * d.l1iWays
+	}
+	b.l1[j] = b1
+	b.l2[j] = int32(ln&d.l2Mask) * d.l2Ways
+	b.llc[j] = int32(ln&d.llcMask) * d.llcWays
+}
+
+// setLanes points a core's consumption views at a lane window.
+func (cs *coreState) setLanes(b *laneBuf, off, n int) {
+	cs.line = b.line[off : off+n]
+	cs.l1b = b.l1[off : off+n]
+	cs.l2b = b.l2[off : off+n]
+	cs.llcb = b.llc[off : off+n]
+	cs.kind = b.kind[off : off+n]
+	cs.pos = 0
+}
+
+// clearLanes empties a core's views.
+func (cs *coreState) clearLanes() {
+	cs.line = nil
+	cs.l1b = nil
+	cs.l2b = nil
+	cs.llcb = nil
+	cs.kind = nil
+	cs.pos = 0
+}
+
+// traceAccessBytes is the size of one trace.Access (the raw chunk and
+// split storage unit) for the peak-footprint accounting.
+const traceAccessBytes = 16
+
+// MaterializedPeakBytes estimates the peak resident trace-buffer
+// footprint of a whole-trace run: the materialized trace itself, the
+// per-thread split copy, and the pre-decoded lanes — all O(trace).
+func MaterializedPeakBytes(accesses int64) int64 {
+	return accesses * (2*traceAccessBytes + laneBytesPerAccess)
+}
+
+// StreamingPeakBytes estimates the peak resident trace-buffer footprint
+// of a streaming run: ringSlots chunk buffers each holding the raw
+// accesses plus their decoded lanes — O(chunk × ring), independent of
+// trace length.
+func StreamingPeakBytes(chunkAccesses, ringSlots int) int64 {
+	return int64(ringSlots) * int64(chunkAccesses) * (traceAccessBytes + laneBytesPerAccess)
+}
+
+// StreamedTracePeakBytes estimates the peak resident trace-buffer
+// footprint of streaming an already-materialized trace: the trace stays
+// resident, but the per-thread split copy and the whole-trace lanes are
+// never built — only the ring's O(chunk × ring) window exists alongside
+// it.
+func StreamedTracePeakBytes(accesses int64, chunkAccesses, ringSlots int) int64 {
+	return accesses*traceAccessBytes + StreamingPeakBytes(chunkAccesses, ringSlots)
+}

@@ -61,7 +61,7 @@ type coreHeap struct {
 func newCoreHeap(cores []*coreState) *coreHeap {
 	h := &coreHeap{cores: cores, ents: make([]heapEnt, 0, len(cores))}
 	for _, cs := range cores {
-		if cs.pos < len(cs.accs) {
+		if cs.pos < len(cs.line) {
 			h.ents = append(h.ents, heapEnt{timeNS: cs.core.TimeNS(), idx: int32(cs.idx)})
 		}
 	}

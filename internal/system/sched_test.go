@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"nvmllc/internal/cpu"
-	"nvmllc/internal/trace"
 	"nvmllc/internal/workload"
 )
 
@@ -23,7 +22,7 @@ func schedCores(t *testing.T, n int) []*coreState {
 		}
 		// Lengths vary per core, some zero (cores with no work).
 		length := (i * 13) % 37
-		cores[i] = &coreState{idx: i, core: core, accs: make([]trace.Access, length)}
+		cores[i] = &coreState{idx: i, core: core, line: make([]uint64, length)}
 	}
 	return cores
 }
@@ -48,7 +47,7 @@ func TestCoreHeapMatchesLinearScan(t *testing.T) {
 			cs := h.min()
 			order = append(order, cs.idx)
 			advance(cs)
-			if cs.pos >= len(cs.accs) {
+			if cs.pos >= len(cs.line) {
 				h.popMin()
 			} else {
 				h.fixMin(cs.core.TimeNS())
@@ -62,7 +61,7 @@ func TestCoreHeapMatchesLinearScan(t *testing.T) {
 		for {
 			var next *coreState
 			for _, cs := range cores {
-				if cs.pos >= len(cs.accs) {
+				if cs.pos >= len(cs.line) {
 					continue
 				}
 				if next == nil || cs.core.TimeNS() < next.core.TimeNS() {

@@ -92,16 +92,18 @@ func TestStreamMatchesWholeTrace(t *testing.T) {
 			}
 			wantB := marshalResult(t, want)
 			for _, chunk := range []int{64, 1000, DefaultChunkAccesses} {
-				gen, err := workload.NewGenerator(prof, opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got, err := runStreamChunked(context.Background(), cfg, gen, nil, chunk)
-				if err != nil {
-					t.Fatalf("%s/%dt/chunk=%d: %v", name, threads, chunk, err)
-				}
-				if gotB := marshalResult(t, got); !bytes.Equal(gotB, wantB) {
-					t.Errorf("%s/%dt/chunk=%d: streaming diverged\nstream: %s\nwhole:  %s", name, threads, chunk, gotB, wantB)
+				for _, slots := range []int{2, DefaultRingSlots, 8} {
+					gen, err := workload.NewGenerator(prof, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := runStreamChunked(context.Background(), cfg, gen, nil, chunk, slots)
+					if err != nil {
+						t.Fatalf("%s/%dt/chunk=%d/slots=%d: %v", name, threads, chunk, slots, err)
+					}
+					if gotB := marshalResult(t, got); !bytes.Equal(gotB, wantB) {
+						t.Errorf("%s/%dt/chunk=%d/slots=%d: streaming diverged\nstream: %s\nwhole:  %s", name, threads, chunk, slots, gotB, wantB)
+					}
 				}
 			}
 		}
@@ -285,4 +287,150 @@ func TestStreamCancellation(t *testing.T) {
 func errorsIsContext(err error) bool {
 	return err == context.Canceled || err == context.DeadlineExceeded ||
 		fmt.Sprint(err) == context.Canceled.Error()
+}
+
+// skewTrace builds a two-thread trace whose stream order is maximally
+// skewed: every thread-0 access is produced before any thread-1 access,
+// so the consumer must buffer thread 0's chunks while thread 1 (whose
+// clock stays earliest) starves for its first access. With a bounded
+// ring this is exactly the state that forces slot evacuation.
+func skewTrace(perThread int) *trace.Trace {
+	accs := make([]trace.Access, 0, 2*perThread)
+	for tid := uint8(0); tid < 2; tid++ {
+		for i := 0; i < perThread; i++ {
+			kind := trace.Read
+			switch i % 3 {
+			case 1:
+				kind = trace.Write
+			case 2:
+				kind = trace.Ifetch
+			}
+			accs = append(accs, trace.Access{
+				Addr: uint64(i)*64*7 + uint64(tid)<<20,
+				Tid:  tid,
+				Kind: kind,
+			})
+		}
+	}
+	return &trace.Trace{
+		Name:       "skew",
+		Threads:    2,
+		InstrCount: uint64(3 * len(accs)),
+		Accesses:   accs,
+	}
+}
+
+// TestStreamSkewEvacuation: a stream whose thread interleaving outruns
+// the ring depth must complete (no deadlock between the bounded ring and
+// the starved producer), actually exercise the evacuation path, and stay
+// byte-identical to the whole-trace run.
+func TestStreamSkewEvacuation(t *testing.T) {
+	tr := skewTrace(640)
+	cfg := sramConfig().WithCores(2)
+	want, err := Run(context.Background(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := marshalResult(t, want)
+	scratch := new(Scratch)
+	for _, slots := range []int{2, 4} {
+		// Two runs per depth: the second reuses the scratch's recycled
+		// spill slots.
+		for round := 0; round < 2; round++ {
+			src, err := trace.NewTraceSource(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stats, err := runStreamChunked(context.Background(), cfg, src, scratch, 64, slots)
+			if err != nil {
+				t.Fatalf("slots=%d round=%d: %v", slots, round, err)
+			}
+			if stats.evacuations == 0 {
+				t.Errorf("slots=%d round=%d: skewed stream performed no evacuations; the deadlock path is untested", slots, round)
+			}
+			if gotB := marshalResult(t, got); !bytes.Equal(gotB, wantB) {
+				t.Errorf("slots=%d round=%d: evacuating stream diverged\nstream: %s\nwhole:  %s", slots, round, gotB, wantB)
+			}
+		}
+	}
+}
+
+// errorTailSource delivers its trace faithfully, then returns an error
+// where a well-behaved source would report exhaustion. The consumer
+// finishes before the producer's error can be delivered, so the error
+// lands after the consumer is gone — the producer must abandon the
+// handoff instead of blocking forever (the run then tears down cleanly
+// and returns the completed result).
+type errorTailSource struct {
+	*trace.TraceSource
+	done bool
+}
+
+func (s *errorTailSource) ReadChunk(buf []trace.Access) (int, error) {
+	n, err := s.TraceSource.ReadChunk(buf)
+	if err == nil && n == 0 {
+		if s.done {
+			return 0, nil
+		}
+		s.done = true
+		return 0, fmt.Errorf("synthetic post-stream failure")
+	}
+	return n, err
+}
+
+// TestStreamProducerErrorAfterConsumerExit: a producer that fails after
+// the consumer has everything it needs must not hang the run on a slot
+// handoff. Regression test for the free/out channel waits not observing
+// the run lifecycle.
+func TestStreamProducerErrorAfterConsumerExit(t *testing.T) {
+	prof, err := workload.ByName("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(prof, workload.Options{Accesses: 10000, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sramConfig().WithCores(2)
+	want, err := Run(context.Background(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewTraceSource(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStream(context.Background(), cfg, &errorTailSource{TraceSource: src})
+	if err != nil {
+		t.Fatalf("completed stream failed on its post-stream producer error: %v", err)
+	}
+	if gotB, wantB := marshalResult(t, got), marshalResult(t, want); !bytes.Equal(gotB, wantB) {
+		t.Errorf("stream with failing tail diverged\nstream: %s\nwhole:  %s", gotB, wantB)
+	}
+}
+
+// TestStreamCancellationMidRun: cancelling while the pipeline is deep in
+// flight (producer possibly blocked on a slot handoff) must unwind both
+// goroutines promptly — the deferred shutdown drains the producer, so a
+// hang here fails the package timeout.
+func TestStreamCancellationMidRun(t *testing.T) {
+	prof, err := workload.ByName("ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(prof, workload.Options{Accesses: 50_000_000, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the run get going before pulling the plug.
+		for i := 0; i < 1_000_000; i++ {
+			_ = i
+		}
+		cancel()
+	}()
+	if _, err := RunStream(ctx, sramConfig().WithCores(4), g); !errorsIsContext(err) {
+		t.Fatalf("mid-run cancellation returned %v, want context error", err)
+	}
 }

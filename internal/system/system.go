@@ -294,8 +294,20 @@ type coreState struct {
 	core     *cpu.Core
 	l1i, l1d *cache.Cache
 	l2       *cache.Cache
-	accs     []trace.Access
-	pos      int
+	// line..kind are the core's current pre-decoded segment (SoA lane
+	// views — see predecode.go): the whole per-thread split on the
+	// materialized path, one chunk's per-thread slice on the streaming
+	// path. pos indexes into them.
+	line []uint64
+	l1b  []int32
+	l2b  []int32
+	llcb []int32
+	kind []trace.Kind
+	pos  int
+	// cur is the ring slot backing the current segment views (streaming
+	// only); segs queues decoded segments delivered but not yet consumed.
+	cur  *ringSlot
+	segs segQueue
 	// streamLeft is the number of accesses this core has not yet
 	// consumed in streaming mode (including ones not yet generated);
 	// unused (zero) on the whole-trace path.
@@ -364,10 +376,15 @@ type Scratch struct {
 	// arena recycles every cache level's tag-store storage (several MB
 	// per 64-core run when allocated fresh).
 	arena cache.Arena
-	// chunks are the streaming double buffer; queues the per-core access
-	// FIFOs chunk contents are split into.
-	chunks [2][]trace.Access
-	queues [][]trace.Access
+	// lanes holds the whole-trace pre-decoded SoA lanes (predecode.go).
+	lanes laneBuf
+	// slots are the streaming ring's chunk slots (raw buffer + decoded
+	// lanes); spills recycle the overflow slots evacuation creates when a
+	// skewed schedule outruns the ring; segq recycles the per-core
+	// segment-FIFO storage.
+	slots  []*ringSlot
+	spills []*ringSlot
+	segq   [][]*ringSlot
 	// wearLines and wearSets recycle the WearTracker's per-line map and
 	// per-set slice; setAccs recycles the timeline sampler's per-set
 	// access counters. All are handed to the run at construction and
@@ -375,6 +392,12 @@ type Scratch struct {
 	wearLines map[uint64]uint64
 	wearSets  []uint64
 	setAccs   []uint64
+	// faults recycles the fault injector: construction draws and sorts
+	// every cell's endurance threshold (milliseconds for an 8K-set LLC),
+	// so repeated fault-enabled runs of the same design point Reset the
+	// pooled injector instead. A run whose fault config or geometry
+	// differs just builds a fresh one.
+	faults *fault.Injector
 }
 
 // Run simulates the trace on the configured machine. The context is
@@ -520,9 +543,16 @@ func newSimulator(cfg Config, threads int, scratch *Scratch, layout cache.Layout
 		scratch.setAccs = nil
 	}
 	if cfg.Fault.Enabled() {
-		inj, err := fault.New(cfg.Fault, llc.Sets(), cfg.LLCWays)
-		if err != nil {
-			return nil, err
+		inj := scratch.faults
+		scratch.faults = nil
+		if inj != nil && inj.Matches(cfg.Fault, llc.Sets(), cfg.LLCWays) {
+			inj.Reset()
+		} else {
+			var err error
+			inj, err = fault.New(cfg.Fault, llc.Sets(), cfg.LLCWays)
+			if err != nil {
+				return nil, err
+			}
 		}
 		sim.faults = inj
 		// Mirror pre-aged condemnations into the tag store so the run
@@ -625,16 +655,30 @@ func (s *simulator) releaseScratch(scratch *Scratch) {
 	if s.setAccs != nil {
 		scratch.setAccs = s.setAccs[:0]
 	}
+	if s.faults != nil {
+		scratch.faults = s.faults
+	}
 }
 
-// loadTrace wires a materialized trace into the cores.
+// loadTrace wires a materialized trace into the cores: the per-thread
+// split, then one batch pre-decode pass filling the scratch's lane
+// arrays with each access's line address and per-level set bases
+// (predecode.go), which step() consumes instead of recomputing geometry.
 func (s *simulator) loadTrace(tr *trace.Trace, scratch *Scratch) error {
 	perThread, err := trace.SplitByThreadInto(tr.Accesses, tr.Threads, &scratch.split, &scratch.parts)
 	if err != nil {
 		return err
 	}
+	scratch.lanes.ensure(len(tr.Accesses))
+	d := newDecoder(s)
+	b := &scratch.lanes
+	off := 0
 	for t, cs := range s.cores {
-		cs.accs = perThread[t]
+		part := perThread[t]
+		n := len(part)
+		d.decodeInto(part, b.line[off:off+n], b.l1[off:off+n], b.l2[off:off+n], b.llc[off:off+n], b.kind[off:off+n])
+		cs.setLanes(b, off, n)
+		off += n
 	}
 	s.spreadBudgets(tr.InstrCount, func(t int) int64 { return int64(len(perThread[t])) })
 	return nil
@@ -660,7 +704,7 @@ func (s *simulator) run(ctx context.Context, sched Scheduler) error {
 	for h.len() > 0 {
 		cs := h.min()
 		s.step(cs)
-		if cs.pos >= len(cs.accs) {
+		if cs.pos >= len(cs.line) {
 			h.popMin()
 		} else {
 			// Stepping only moves the core's clock forward.
@@ -685,7 +729,7 @@ func (s *simulator) runLinearScan(ctx context.Context) error {
 	for {
 		var next *coreState
 		for _, cs := range s.cores {
-			if cs.pos >= len(cs.accs) {
+			if cs.pos >= len(cs.line) {
 				continue
 			}
 			if next == nil || cs.core.TimeNS() < next.core.TimeNS() {
@@ -727,8 +771,10 @@ func (s *simulator) retireRemainder() {
 // step executes one access on the given core. The core-local clock is
 // read once after retirement and threaded through the hierarchy walk
 // (it only changes when a StallLoad lands, and those sites re-read it).
+// The access's line address and per-level set bases come pre-decoded
+// from the SoA lanes (predecode.go) instead of being recomputed here.
 func (s *simulator) step(cs *coreState) {
-	a := cs.accs[cs.pos]
+	i := cs.pos
 	cs.pos++
 
 	// Advance the pipeline over the instructions this access represents.
@@ -742,14 +788,14 @@ func (s *simulator) step(cs *coreState) {
 	cs.instrRetired += n
 
 	now := cs.core.TimeNS()
-	line := a.Addr >> s.blockBits
-	switch a.Kind {
+	line := cs.line[i]
+	switch cs.kind[i] {
 	case trace.Read:
-		s.load(cs, line, now)
+		s.load(cs, line, now, cs.l1b[i], cs.l2b[i], cs.llcb[i])
 	case trace.Ifetch:
-		s.ifetch(cs, line, now)
+		s.ifetch(cs, line, now, cs.l1b[i], cs.l2b[i], cs.llcb[i])
 	case trace.Write:
-		s.store(cs, line, now)
+		s.store(cs, line, now, cs.l1b[i], cs.l2b[i], cs.llcb[i])
 	}
 	if es := s.sampler; es != nil {
 		// After the access's events so an epoch boundary includes them.
@@ -764,9 +810,11 @@ func (s *simulator) step(cs *coreState) {
 }
 
 // load walks a demand read down the hierarchy, stalling the core on the
-// completion time of wherever it hits.
-func (s *simulator) load(cs *coreState, line uint64, now float64) {
-	if hit, ev := cs.l1d.Access(line, false); hit {
+// completion time of wherever it hits. l1b/l2b/llcb are the access's
+// pre-decoded set bases for the demand line (eviction-path lookups for
+// other lines recompute their own).
+func (s *simulator) load(cs *coreState, line uint64, now float64, l1b, l2b, llcb int32) {
+	if hit, ev := cs.l1d.AccessAt(l1b, line, false); hit {
 		return // L1 hit time is covered by base CPI
 	} else if ev.Valid && ev.Dirty {
 		s.l2Writeback(cs, ev.LineAddr, now)
@@ -775,23 +823,23 @@ func (s *simulator) load(cs *coreState, line uint64, now float64) {
 		now = s.downgradeOthers(cs, line, now)
 		s.dir.noteFill(line, cs.idx)
 	}
-	s.fromL2(cs, line, true, now)
+	s.fromL2(cs, line, true, now, l2b, llcb)
 }
 
 // ifetch is a load through the L1I.
-func (s *simulator) ifetch(cs *coreState, line uint64, now float64) {
-	if hit, ev := cs.l1i.Access(line, false); hit {
+func (s *simulator) ifetch(cs *coreState, line uint64, now float64, l1b, l2b, llcb int32) {
+	if hit, ev := cs.l1i.AccessAt(l1b, line, false); hit {
 		return
 	} else if ev.Valid && ev.Dirty {
 		s.l2Writeback(cs, ev.LineAddr, now)
 	}
-	s.fromL2(cs, line, true, now)
+	s.fromL2(cs, line, true, now, l2b, llcb)
 }
 
 // store performs a write-back write-allocate store. Stores retire through
 // the store queue and never stall the core, but their allocations and
 // writebacks consume LLC energy and DRAM bandwidth.
-func (s *simulator) store(cs *coreState, line uint64, now float64) {
+func (s *simulator) store(cs *coreState, line uint64, now float64, l1b, l2b, llcb int32) {
 	if s.dir != nil {
 		// A store needs exclusive ownership: invalidate remote copies,
 		// flushing any dirty one through the LLC first.
@@ -801,7 +849,7 @@ func (s *simulator) store(cs *coreState, line uint64, now float64) {
 			}
 		}
 	}
-	if hit, ev := cs.l1d.Access(line, true); hit {
+	if hit, ev := cs.l1d.AccessAt(l1b, line, true); hit {
 		return
 	} else if ev.Valid && ev.Dirty {
 		s.l2Writeback(cs, ev.LineAddr, now)
@@ -809,7 +857,7 @@ func (s *simulator) store(cs *coreState, line uint64, now float64) {
 	if s.dir != nil {
 		s.dir.noteFill(line, cs.idx)
 	}
-	s.fromL2(cs, line, false, now)
+	s.fromL2(cs, line, false, now, l2b, llcb)
 }
 
 // downgradeOthers handles a read to a line another core may hold dirty:
@@ -858,8 +906,8 @@ func (s *simulator) downgradeOthers(cs *coreState, line uint64, now float64) flo
 
 // fromL2 services an L1 miss from the L2 and below. stalls controls
 // whether the core waits for the data (loads) or not (stores).
-func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool, now float64) {
-	if hit, ev := cs.l2.Access(line, false); hit {
+func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool, now float64, l2b, llcb int32) {
+	if hit, ev := cs.l2.AccessAt(l2b, line, false); hit {
 		if stalls {
 			cs.core.StallLoad(now + s.cfg.L2LatencyNS)
 		}
@@ -878,11 +926,11 @@ func (s *simulator) fromL2(cs *coreState, line uint64, stalls bool, now float64)
 			s.llcWrite(ev.LineAddr, now)
 		}
 	}
-	s.fromLLC(cs, line, stalls, now)
+	s.fromLLC(cs, line, stalls, now, llcb)
 }
 
 // fromLLC services an L2 miss at the shared LLC and, on miss, DRAM.
-func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64) {
+func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64, llcb int32) {
 	if s.hybrid != nil {
 		s.fromHybridLLC(cs, line, stalls, now)
 		return
@@ -915,7 +963,7 @@ func (s *simulator) fromLLC(cs *coreState, line uint64, stalls bool, now float64
 		}
 		return
 	}
-	hit, ev := s.llc.Access(line, false)
+	hit, ev := s.llc.AccessAt(llcb, line, false)
 	if hit {
 		s.stats.Hits++
 		if s.bypass != nil {

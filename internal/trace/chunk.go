@@ -115,3 +115,41 @@ func (s *TraceSource) ReadChunk(buf []Access) (int, error) {
 
 // Reset rewinds the source to the beginning of the trace.
 func (s *TraceSource) Reset() { s.pos = 0 }
+
+// SliceSource adapts a shared, read-only access slice plus its Meta to a
+// ChunkSource. Unlike TraceSource it carries no *Trace and performs no
+// validation of its own — the engine's trace-sharing layer materializes
+// one slice per distinct (workload, options) pair and hands every design
+// point its own SliceSource cursor over the same backing array, so the
+// slice must not be mutated while any cursor is live. The simulator's
+// per-chunk validation still applies to every access read through it.
+type SliceSource struct {
+	accs []Access
+	meta Meta
+	pos  int
+}
+
+// NewSliceSource wraps a shared access slice. The meta must describe
+// exactly the accesses in the slice (same counts and per-thread totals).
+func NewSliceSource(meta Meta, accs []Access) (*SliceSource, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if int64(len(accs)) != meta.Accesses {
+		return nil, fmt.Errorf("trace %s: slice has %d accesses, meta declares %d", meta.Name, len(accs), meta.Accesses)
+	}
+	return &SliceSource{accs: accs, meta: meta}, nil
+}
+
+// Meta describes the shared trace.
+func (s *SliceSource) Meta() Meta { return s.meta }
+
+// ReadChunk copies the next window of the shared slice into buf.
+func (s *SliceSource) ReadChunk(buf []Access) (int, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("trace %s: ReadChunk with empty buffer", s.meta.Name)
+	}
+	n := copy(buf, s.accs[s.pos:])
+	s.pos += n
+	return n, nil
+}
