@@ -10,18 +10,21 @@
 // enabled-but-quiescent, expected ≤2% quiescent overhead from the
 // per-set countdown fast path), epoch sampling (the -timeline
 // instrumentation, expected <5% enabled and 0% disabled: one nil check
-// per access), and cross-job trace sharing (an 8-point LLC-model sweep
-// with the trace materialized once vs regenerated per design point) —
-// plus the trace generator, and writes the results as JSON. The
-// committed BENCH_hotloop.json at the repository root is this program's
-// output: the repo's perf baseline, regenerated whenever the hot path
-// changes (see the README's Performance section).
+// per access), cross-job trace sharing (an 8-point LLC-model sweep
+// with the trace materialized once vs regenerated per design point),
+// and geometry-sweep profiling (eight LLC capacities simulated exactly
+// one by one vs answered by a single filtered reuse-distance profile,
+// the internal/sweep estimator's fast path, gated at ≥3×) — plus the
+// trace generator, and writes the results as JSON. The committed
+// BENCH_hotloop.json at the repository root is this program's output:
+// the repo's perf baseline, regenerated whenever the hot path changes
+// (see the README's Performance section).
 //
 // Usage:
 //
 //	go run ./cmd/benchreport [-o BENCH_hotloop.json] [-accesses 100000]
 //	    [-benchtime 1s] [-count 3] [-quick] [-gate-stream-pct 5]
-//	    [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	    [-gate-profile-x 3] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Each configuration is measured -count times with every variant
 // interleaved within a repetition and the fastest repetition kept, so
@@ -43,6 +46,7 @@ import (
 	"nvmllc/internal/cache"
 	"nvmllc/internal/engine"
 	"nvmllc/internal/fault"
+	"nvmllc/internal/profile"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/trace"
@@ -58,6 +62,7 @@ type benchResult struct {
 	Faults      string  `json:"faults,omitempty"`   // "disabled" or "enabled"
 	Sampling    string  `json:"sampling,omitempty"` // "disabled" or "enabled"
 	Sharing     string  `json:"sharing,omitempty"`  // "shared" or "unshared" (sweep rows)
+	Mode        string  `json:"mode,omitempty"`     // "exact" or "profiled" (geometry-sweep rows)
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -78,7 +83,7 @@ type benchResult struct {
 // comparison pairs two variants along one dimension on one core count.
 type comparison struct {
 	Benchmark      string  `json:"benchmark"`
-	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input", "input-gen", "faults", "sampling" or "sharing"
+	Dimension      string  `json:"dimension"` // "scheduler", "layout", "input", "input-gen", "faults", "sampling", "sharing" or "profile"
 	Baseline       string  `json:"baseline"`
 	Contender      string  `json:"contender"`
 	BaselineNsOp   float64 `json:"baseline_ns_per_op"`
@@ -92,6 +97,10 @@ type comparison struct {
 	// the O(trace) vs O(chunk × ring) residency ratio the streaming
 	// pipeline actually delivers (input dimension only).
 	PeakReductionX float64 `json:"peak_reduction_x,omitempty"`
+	// SpeedupX is baseline ns/op over contender ns/op (profile dimension
+	// only): how many times faster one reuse-distance profile answers
+	// the geometry sweep than exact simulation. -gate-profile-x gates it.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 // report is the BENCH_hotloop.json schema.
@@ -114,6 +123,7 @@ type variant struct {
 	faults    string
 	sampling  string
 	sharing   string
+	mode      string
 	bench     func(b *testing.B)
 }
 
@@ -151,6 +161,7 @@ func toResult(name string, v variant, accesses int, r testing.BenchmarkResult) b
 		Faults:      v.faults,
 		Sampling:    v.sampling,
 		Sharing:     v.sharing,
+		Mode:        v.mode,
 		Iterations:  r.N,
 		NsPerOp:     ns,
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -184,6 +195,11 @@ func compare(name, dimension string, base, cont benchResult) comparison {
 		}
 	case "sharing":
 		c.Baseline, c.Contender = base.Sharing, cont.Sharing
+	case "profile":
+		c.Baseline, c.Contender = base.Mode, cont.Mode
+		if cont.NsPerOp > 0 {
+			c.SpeedupX = base.NsPerOp / cont.NsPerOp
+		}
 	case "faults":
 		c.Baseline, c.Contender = base.Faults, cont.Faults
 	case "sampling":
@@ -206,6 +222,8 @@ func main() {
 	quick := flag.Bool("quick", false, "CI mode: shorter traces and measurements (50k accesses, 200ms, best of 2)")
 	gateStreamPct := flag.Float64("gate-stream-pct", -1,
 		"fail (exit 1) if streaming is more than this percent slower than materialized on any core count (<0 disables)")
+	gateProfileX := flag.Float64("gate-profile-x", -1,
+		"fail (exit 1) if the profiled geometry sweep is not at least this many times faster than exact simulation (<0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -240,7 +258,7 @@ func main() {
 		fatal(err)
 	}
 	rep := report{
-		Schema:         "nvmllc/bench_hotloop/v4",
+		Schema:         "nvmllc/bench_hotloop/v5",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -418,6 +436,79 @@ func main() {
 	rep.Results = append(rep.Results, unsharedRes, sharedRes)
 	rep.Comparisons = append(rep.Comparisons, compare("Sweep_8Points", "sharing", unsharedRes, sharedRes))
 
+	// Geometry-sweep profiling: eight SRAM-class LLC capacities over one
+	// quad-core trace, simulated exactly one after another versus answered
+	// by a single filtered reuse-distance profile — the internal/sweep
+	// estimator's fast path. The profiled side does strictly more than the
+	// estimator needs (it also covers every associativity 1..16), so the
+	// measured speedup is a floor on what sweeps see per anchor.
+	fmt.Fprintln(os.Stderr, "measuring Profile_8Geometries...")
+	profOpts := workload.Options{Accesses: *accesses, Threads: 4, Seed: 1}
+	profTr, err := workload.Generate(p, profOpts)
+	if err != nil {
+		fatal(err)
+	}
+	profCaps, err := cache.CapacityLadder(32<<20, 8)
+	if err != nil {
+		fatal(err)
+	}
+	profCfgs := make([]system.Config, len(profCaps))
+	for i, c := range profCaps {
+		m := reference.SRAMBaseline()
+		m.CapacityBytes = c
+		m.Name = fmt.Sprintf("SRAM@%dKiB", c>>10)
+		profCfgs[i] = system.Gainestown(m).WithCores(4)
+	}
+	tmpl := profCfgs[0]
+	profGeoms, err := cache.EnumerateGeoms(profCaps, tmpl.BlockBytes, tmpl.LLCWays)
+	if err != nil {
+		fatal(err)
+	}
+	profCfg := profile.Config{
+		BlockBytes: tmpl.BlockBytes,
+		SetCounts:  cache.SetCountsOf(profGeoms),
+		MaxWays:    tmpl.LLCWays,
+	}
+	hier := profile.Hierarchy{
+		BlockBytes: tmpl.BlockBytes,
+		L1I:        profile.LevelSpec{CapacityBytes: tmpl.L1IBytes, Ways: tmpl.L1IWays},
+		L1D:        profile.LevelSpec{CapacityBytes: tmpl.L1DBytes, Ways: tmpl.L1DWays},
+		L2:         profile.LevelSpec{CapacityBytes: tmpl.L2Bytes, Ways: tmpl.L2Ways},
+	}
+	profSrc, err := trace.NewTraceSource(profTr)
+	if err != nil {
+		fatal(err)
+	}
+	profVariants := []variant{
+		{mode: "exact", bench: func(b *testing.B) {
+			var scratch system.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, c := range profCfgs {
+					if _, err := system.RunWith(ctx, c, profTr, &scratch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{mode: "profiled", bench: func(b *testing.B) {
+			var sc profile.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				profSrc.Reset()
+				if _, err := profile.RunFiltered(ctx, profSrc, hier, profCfg, &sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	profResults := measureBest(profVariants, *count)
+	profN := len(profCaps) * *accesses
+	exactGeomRes := toResult("Profile_8Geometries", profVariants[0], profN, profResults[0])
+	profiledRes := toResult("Profile_8Geometries", profVariants[1], profN, profResults[1])
+	rep.Results = append(rep.Results, exactGeomRes, profiledRes)
+	rep.Comparisons = append(rep.Comparisons, compare("Profile_8Geometries", "profile", exactGeomRes, profiledRes))
+
 	fmt.Fprintln(os.Stderr, "measuring TraceGen...")
 	gen := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -479,5 +570,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchreport: streaming gate passed (margin %.1f%%)\n", *gateStreamPct)
+	}
+	// Profile gate: one reuse-distance profile must beat the 8-geometry
+	// exact sweep by the configured factor — the headline claim of the
+	// sweep estimator, and the regression canary for the Fenwick hot path.
+	if *gateProfileX >= 0 {
+		for _, c := range rep.Comparisons {
+			if c.Dimension != "profile" {
+				continue
+			}
+			if c.SpeedupX < *gateProfileX {
+				fmt.Fprintf(os.Stderr, "benchreport: GATE FAIL %s: profiled sweep only %.2fx faster than exact (floor %.1fx)\n",
+					c.Benchmark, c.SpeedupX, *gateProfileX)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchreport: profile gate passed (%.1fx >= %.1fx)\n", c.SpeedupX, *gateProfileX)
+		}
 	}
 }

@@ -90,6 +90,7 @@ func main() {
 		// One engine across every requested artifact: design points shared
 		// between figures simulate once, and SIGINT reports partial stats.
 		eng := std.Engine(obs.EngineOptions()...)
+		obs.TrackEngine(eng)
 		cfg := sweep.Config{
 			Opts:            workload.Options{Accesses: std.Accesses, Seed: std.Seed},
 			WriteContention: *contend,

@@ -42,6 +42,7 @@ func main() {
 	timelineCSV := flag.String("timeline-csv", "", "write the full-resolution epoch series (and per-set wear grid) to this CSV path (implies -timeline)")
 	faults := flag.Bool("faults", false, "inject wear-driven stuck-at faults (endurance from the LLC's NVM class)")
 	prewear := flag.Float64("prewear", 0, "pre-age the LLC by this many per-cell writes before the run (implies -faults)")
+	estimate := flag.Bool("estimate", false, "validate the reuse-distance estimator on -workload: profile-predicted vs exact hit rate/MPKI/time per LLC geometry")
 	mainMemTech := flag.String("mainmem", "", "replace DRAM with an NVMain-style main memory: dram, pcram, sttram, rram")
 	hybridWays := flag.Int("hybridsram", 0, "make the LLC a hybrid with this many SRAM ways (rest NVM from -llc)")
 	artifactSel := cliutil.ArtifactFlag(nil, sweep.ArtifactNames())
@@ -65,6 +66,9 @@ func main() {
 		if names := artifactSel.Names(); len(names) > 0 {
 			return runArtifacts(ctx, obs, std, names, *contention)
 		}
+		if *estimate {
+			return runEstimate(ctx, obs, std, *wl, *threads, *contention)
+		}
 		return run(ctx, obs, *wl, *llc, *config, std.Accesses, *threads, *cores, std.Seed, *contention, *wear, *faults || *prewear > 0, *prewear, *mainMemTech, *hybridWays, *timeline || *timelineCSV != "", *timelineCSV)
 	})
 }
@@ -73,6 +77,7 @@ func main() {
 // figures cmd/figures prints, reachable from llcsim by name.
 func runArtifacts(ctx context.Context, obs *cliutil.Observability, std *cliutil.Flags, names []string, contention bool) error {
 	eng := std.Engine(obs.EngineOptions()...)
+	obs.TrackEngine(eng)
 	cfg := sweep.Config{
 		Opts:            workload.Options{Accesses: std.Accesses, Seed: std.Seed},
 		WriteContention: contention,
@@ -94,6 +99,25 @@ func runArtifacts(ctx context.Context, obs *cliutil.Observability, std *cliutil.
 		fmt.Println()
 	}
 	return nil
+}
+
+// runEstimate runs the estimator-validation study for one workload: a
+// capacity ladder of SRAM-class LLCs simulated exactly, against one
+// reuse-distance profile predicting all of them.
+func runEstimate(ctx context.Context, obs *cliutil.Observability, std *cliutil.Flags, wl string, threads int, contention bool) error {
+	eng := std.Engine(obs.EngineOptions()...)
+	obs.TrackEngine(eng)
+	cfg := sweep.Config{
+		Opts:            workload.Options{Accesses: std.Accesses, Threads: threads, Seed: std.Seed},
+		WriteContention: contention,
+		Engine:          eng,
+		Telemetry:       obs.Registry,
+	}
+	study, err := sweep.Estimate(ctx, cfg, sweep.EstimateOptions{Workload: wl})
+	if err != nil {
+		return err
+	}
+	return cliutil.RenderAll(os.Stdout, sweep.RenderEstimate(study))
 }
 
 func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string, accesses, threads, cores int, seed int64, contention, wear, faults bool, prewear float64, mainMemTech string, hybridSRAMWays int, timeline bool, timelineCSV string) error {
@@ -157,7 +181,9 @@ func run(ctx context.Context, obs *cliutil.Observability, wl, llc, config string
 	// design point gets the full telemetry treatment: a simulate span, job
 	// metrics, system-level counters and a manifest design_point event.
 	genOpts := workload.Options{Accesses: accesses, Threads: threads, Seed: seed}
-	r, err := engine.New(obs.EngineOptions()...).Run(ctx, engine.Job{
+	eng := engine.New(obs.EngineOptions()...)
+	obs.TrackEngine(eng)
+	r, err := eng.Run(ctx, engine.Job{
 		Workload:  wl,
 		TraceOpts: genOpts,
 		Config:    cfg,

@@ -13,7 +13,9 @@ import (
 	"context"
 	"testing"
 
+	"nvmllc/internal/cache"
 	"nvmllc/internal/engine"
+	"nvmllc/internal/profile"
 	"nvmllc/internal/reference"
 	"nvmllc/internal/system"
 	"nvmllc/internal/trace"
@@ -161,6 +163,75 @@ func benchSweep(b *testing.B, opts ...engine.Option) {
 
 func BenchmarkSweep_8Points_Shared(b *testing.B)   { benchSweep(b) }
 func BenchmarkSweep_8Points_Unshared(b *testing.B) { benchSweep(b, engine.WithoutTraceSharing()) }
+
+// gainestownHierarchy mirrors the simulated private levels for the
+// profile filter, so the profiled LLC stream matches the simulator's.
+func gainestownHierarchy() profile.Hierarchy {
+	sys := system.Gainestown(reference.SRAMBaseline())
+	return profile.Hierarchy{
+		BlockBytes: sys.BlockBytes,
+		L1I:        profile.LevelSpec{CapacityBytes: sys.L1IBytes, Ways: sys.L1IWays},
+		L1D:        profile.LevelSpec{CapacityBytes: sys.L1DBytes, Ways: sys.L1DWays},
+		L2:         profile.LevelSpec{CapacityBytes: sys.L2Bytes, Ways: sys.L2Ways},
+	}
+}
+
+// BenchmarkProfile_SinglePass measures the raw Mattson stack profiler —
+// Fenwick-tree reuse distances at one LLC set count, every
+// associativity 1..16 answered from the same pass — over the hot-loop
+// trace, with no upstream filtering.
+func BenchmarkProfile_SinglePass(b *testing.B) {
+	tr := hotLoopTrace(b, 4)
+	src, err := trace.NewTraceSource(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := profile.Config{BlockBytes: 64, SetCounts: []int{2048}, MaxWays: 16}
+	var sc profile.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Accesses)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if _, err := profile.Run(context.Background(), src, cfg, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfile_8Geometries measures the sweep estimator's fused
+// pass: the functional L1/L2 filter plus stack profiling at eight LLC
+// set counts (256 KiB to 32 MiB), the single pass that replaces eight
+// exact simulations. Compare against 8× BenchmarkHotLoop_4Cores;
+// cmd/benchreport pins the ratio in BENCH_hotloop.json's profile
+// comparison and CI gates it at ≥3×.
+func BenchmarkProfile_8Geometries(b *testing.B) {
+	tr := hotLoopTrace(b, 4)
+	src, err := trace.NewTraceSource(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := cache.CapacityLadder(32<<20, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	geoms, err := cache.EnumerateGeoms(caps, 64, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := profile.Config{BlockBytes: 64, SetCounts: cache.SetCountsOf(geoms), MaxWays: 16}
+	h := gainestownHierarchy()
+	var sc profile.Scratch
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Accesses)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if _, err := profile.RunFiltered(context.Background(), src, h, cfg, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTraceGen measures the synthetic trace generator's steady
 // state: exact-size buffers, no per-access allocation.

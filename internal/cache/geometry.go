@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Geom is a bare (sets, ways) cache shape — the coordinate the
+// reuse-distance profiler (internal/profile) derives hit rates over,
+// detached from any one level's latencies or energies.
+type Geom struct {
+	// Sets is the power-of-two set count.
+	Sets int
+	// Ways is the associativity.
+	Ways int
+}
+
+// CapacityBytes returns the shape's data capacity at a block size.
+func (g Geom) CapacityBytes(blockBytes int) int64 {
+	return int64(g.Sets) * int64(g.Ways) * int64(blockBytes)
+}
+
+// String renders "sets×ways".
+func (g Geom) String() string { return fmt.Sprintf("%d×%d", g.Sets, g.Ways) }
+
+// Geom returns the validated configuration's shape.
+func (cfg Config) Geom() (Geom, error) {
+	if err := cfg.Validate(); err != nil {
+		return Geom{}, err
+	}
+	return Geom{Sets: cfg.numSets(), Ways: cfg.Ways}, nil
+}
+
+// SetsFor returns the set count of a (capacity, block, ways) geometry,
+// with the same divisibility and power-of-two constraints
+// Config.Validate enforces.
+func SetsFor(capacityBytes int64, blockBytes, ways int) (int, error) {
+	cfg := Config{Name: "geom", CapacityBytes: capacityBytes, BlockBytes: blockBytes, Ways: ways}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return cfg.numSets(), nil
+}
+
+// EnumerateGeoms expands a capacity ladder at fixed block size and
+// associativity into shapes, one per capacity, in input order.
+func EnumerateGeoms(capacities []int64, blockBytes, ways int) ([]Geom, error) {
+	out := make([]Geom, 0, len(capacities))
+	for _, c := range capacities {
+		sets, err := SetsFor(c, blockBytes, ways)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Geom{Sets: sets, Ways: ways})
+	}
+	return out, nil
+}
+
+// SetCountsOf collects the distinct set counts of a shape list, sorted
+// ascending — the profiler's Config.SetCounts for a sweep over them.
+func SetCountsOf(geoms []Geom) []int {
+	seen := make(map[int]bool, len(geoms))
+	var out []int
+	for _, g := range geoms {
+		if !seen[g.Sets] {
+			seen[g.Sets] = true
+			out = append(out, g.Sets)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CapacityLadder builds a power-of-two capacity sweep: points entries
+// ending at maxBytes, each half the previous (e.g. 8 points ending at
+// 16 MiB spans 128 KiB..16 MiB), in ascending order.
+func CapacityLadder(maxBytes int64, points int) ([]int64, error) {
+	if points <= 0 {
+		return nil, fmt.Errorf("cache: capacity ladder needs a positive point count, got %d", points)
+	}
+	if maxBytes <= 0 || maxBytes&(maxBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: capacity ladder top %d must be a positive power of two", maxBytes)
+	}
+	if maxBytes>>(points-1) == 0 {
+		return nil, fmt.Errorf("cache: %d points underflow a %d-byte ladder", points, maxBytes)
+	}
+	out := make([]int64, points)
+	for i := 0; i < points; i++ {
+		out[i] = maxBytes >> (points - 1 - i)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSetsFor(t *testing.T) {
+	sets, err := SetsFor(2<<20, 64, 16)
+	if err != nil || sets != 2048 {
+		t.Fatalf("SetsFor(2MiB, 64, 16) = %d, %v; want 2048", sets, err)
+	}
+	if _, err := SetsFor(3<<20, 64, 16); err == nil {
+		t.Error("SetsFor accepted a non-power-of-two set count")
+	}
+	if _, err := SetsFor(2<<20, 0, 16); err == nil {
+		t.Error("SetsFor accepted a zero block size")
+	}
+}
+
+func TestConfigGeom(t *testing.T) {
+	g, err := Config{Name: "L2", CapacityBytes: 256 << 10, BlockBytes: 64, Ways: 8}.Geom()
+	if err != nil {
+		t.Fatalf("Geom: %v", err)
+	}
+	if g != (Geom{Sets: 512, Ways: 8}) {
+		t.Fatalf("Geom = %+v, want 512×8", g)
+	}
+	if g.CapacityBytes(64) != 256<<10 {
+		t.Errorf("CapacityBytes = %d, want %d", g.CapacityBytes(64), 256<<10)
+	}
+	if g.String() != "512×8" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestCapacityLadder(t *testing.T) {
+	got, err := CapacityLadder(16<<20, 8)
+	if err != nil {
+		t.Fatalf("CapacityLadder: %v", err)
+	}
+	want := []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CapacityLadder = %v, want %v", got, want)
+	}
+	if _, err := CapacityLadder(3<<20, 4); err == nil {
+		t.Error("CapacityLadder accepted a non-power-of-two top")
+	}
+	if _, err := CapacityLadder(1<<20, 0); err == nil {
+		t.Error("CapacityLadder accepted zero points")
+	}
+	if _, err := CapacityLadder(64, 10); err == nil {
+		t.Error("CapacityLadder accepted an underflowing point count")
+	}
+}
+
+func TestEnumerateGeomsAndSetCounts(t *testing.T) {
+	caps, err := CapacityLadder(16<<20, 8)
+	if err != nil {
+		t.Fatalf("CapacityLadder: %v", err)
+	}
+	geoms, err := EnumerateGeoms(caps, 64, 16)
+	if err != nil {
+		t.Fatalf("EnumerateGeoms: %v", err)
+	}
+	if len(geoms) != 8 || geoms[0] != (Geom{Sets: 128, Ways: 16}) || geoms[7] != (Geom{Sets: 16384, Ways: 16}) {
+		t.Fatalf("EnumerateGeoms = %v", geoms)
+	}
+	counts := SetCountsOf(append(geoms, Geom{Sets: 128, Ways: 4}))
+	want := []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("SetCountsOf = %v, want %v", counts, want)
+	}
+	if _, err := EnumerateGeoms([]int64{96 << 10}, 64, 16); err == nil {
+		t.Error("EnumerateGeoms accepted a capacity yielding non-power-of-two sets")
+	}
+}

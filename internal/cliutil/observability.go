@@ -153,7 +153,15 @@ type Observability struct {
 	// Span is the run's root span; sweep and engine spans parent to it
 	// through Context.
 	Span *telemetry.Span
+	// engStats, when set by TrackEngine, snapshots the engine's final
+	// counters into the run_end manifest event.
+	engStats func() engine.Stats
 }
+
+// TrackEngine registers the run's engine so Close can stamp its final
+// counter snapshot — including estimator usage (profiling passes and
+// profile-cache hits) — into the run_end manifest event.
+func (o *Observability) TrackEngine(eng *engine.Engine) { o.engStats = eng.Stats }
 
 // StartObservability builds the run's observability surface from the
 // parsed flags. The manifest opens with a run_start event; the debug
@@ -293,6 +301,19 @@ func (o *Observability) Close(runErr error) error {
 		}
 		if runErr != nil {
 			end.Error = runErr.Error()
+		}
+		if o.engStats != nil {
+			s := o.engStats()
+			end.Engine = &telemetry.ManifestEngine{
+				Simulated:   s.Simulated,
+				Upgraded:    s.Upgraded,
+				Cached:      s.Cached,
+				Failed:      s.Failed,
+				TraceGens:   s.TraceGens,
+				TraceShared: s.TraceShared,
+				Profiles:    s.Profiles,
+				ProfileHits: s.ProfileHits,
+			}
 		}
 		errs = append(errs, o.Manifest.Write(end), o.Manifest.Close())
 	}

@@ -116,6 +116,12 @@ type Stats struct {
 	// of N design points over one workload shows TraceGens=1,
 	// TraceShared=N-1.
 	TraceGens, TraceShared uint64
+	// Profiles counts reuse-distance profiling passes actually executed
+	// (profilejob.go); ProfileHits counts profile requests answered from
+	// the profile cache (memory or store). Profile jobs are a separate
+	// request stream from simulation jobs — neither counter participates
+	// in Jobs(), which stays equal to simulation submissions.
+	Profiles, ProfileHits uint64
 }
 
 // Jobs is the total design points answered: simulated, upgraded, cached
@@ -132,6 +138,9 @@ func (s Stats) String() string {
 	}
 	if s.TraceShared > 0 {
 		out = fmt.Sprintf("%s, %d traces generated / %d shared", out, s.TraceGens, s.TraceShared)
+	}
+	if s.Profiles+s.ProfileHits > 0 {
+		out = fmt.Sprintf("%s, %d profiled / %d profile hits", out, s.Profiles, s.ProfileHits)
 	}
 	return out
 }
@@ -231,6 +240,11 @@ type Engine struct {
 	mu      sync.Mutex
 	results map[string]*entry
 
+	// profMu/profiles memoize reuse-distance profiles (profilejob.go),
+	// a separate singleflight domain from simulation results.
+	profMu   sync.Mutex
+	profiles map[string]*profEntry
+
 	// shares memoizes generated traces across jobs (share.go); tracePool
 	// recycles their materialization buffers.
 	shareMu   sync.Mutex
@@ -250,6 +264,8 @@ type Engine struct {
 	simWallNS   atomic.Int64
 	traceGens   atomic.Uint64
 	traceShared atomic.Uint64
+	profiled    atomic.Uint64
+	profileHits atomic.Uint64
 }
 
 // New creates an engine.
@@ -280,6 +296,8 @@ func (e *Engine) Stats() Stats {
 		SimWallNS:   e.simWallNS.Load(),
 		TraceGens:   e.traceGens.Load(),
 		TraceShared: e.traceShared.Load(),
+		Profiles:    e.profiled.Load(),
+		ProfileHits: e.profileHits.Load(),
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nvmllc/internal/profile"
 	"nvmllc/internal/system"
 )
 
@@ -42,6 +43,19 @@ type CacheStore interface {
 	Keys() []string
 }
 
+// ProfileStore is an optional extension a CacheStore may implement to
+// persist reuse-distance profiles (profilejob.go) alongside results.
+// The engine type-asserts for it; a store without the extension simply
+// keeps profiles memory-only. The same miss-on-corruption contract as
+// Load applies.
+type ProfileStore interface {
+	// LoadProfile returns the stored profile for key, or false when the
+	// store has no valid entry.
+	LoadProfile(key string) (*profile.Profile, bool)
+	// StoreProfile persists the profile under key.
+	StoreProfile(key string, p *profile.Profile) error
+}
+
 // StoreFormatVersion is the on-disk entry format version. Bumping it
 // invalidates every existing entry: the boot sweep skips mismatched
 // files and Load treats them as misses, so old caches silently degrade
@@ -56,6 +70,16 @@ const storeFormatName = "nvmllc-result-cache"
 
 // storeExt is the cache entry file suffix.
 const storeExt = ".llcres"
+
+// profileFormatName and profileStoreExt are the profile tier's
+// counterparts: profiles live beside results in the same directory,
+// under their own suffix and format name so neither decoder can ever be
+// fed the other's files. Profile keys are already a distinct SHA-256
+// domain (ProfileKey), making collisions doubly impossible.
+const (
+	profileFormatName = "nvmllc-profile-cache"
+	profileStoreExt   = ".llcprof"
+)
 
 // storeHeader is the one-line JSON header preceding the payload.
 type storeHeader struct {
@@ -218,8 +242,10 @@ func (c *DiskCache) Load(key string) (*system.Result, bool) {
 	return res, true
 }
 
-// decodeEntry verifies header and checksum and decodes the payload.
-func decodeEntry(key string, raw []byte) (*system.Result, error) {
+// decodeRawEntry verifies an entry's header and checksum against the
+// expected format name and returns the payload bytes — the shared
+// verification path of the result and profile tiers.
+func decodeRawEntry(format, key string, raw []byte) ([]byte, error) {
 	nl := bytes.IndexByte(raw, '\n')
 	if nl < 0 {
 		return nil, fmt.Errorf("no header line")
@@ -228,8 +254,8 @@ func decodeEntry(key string, raw []byte) (*system.Result, error) {
 	if err := json.Unmarshal(raw[:nl], &h); err != nil {
 		return nil, fmt.Errorf("header: %w", err)
 	}
-	if h.Format != storeFormatName {
-		return nil, fmt.Errorf("format %q, want %q", h.Format, storeFormatName)
+	if h.Format != format {
+		return nil, fmt.Errorf("format %q, want %q", h.Format, format)
 	}
 	if h.Version != StoreFormatVersion {
 		return nil, fmt.Errorf("version %d, want %d", h.Version, StoreFormatVersion)
@@ -245,6 +271,15 @@ func decodeEntry(key string, raw []byte) (*system.Result, error) {
 	if hex.EncodeToString(sum[:]) != h.SHA256 {
 		return nil, fmt.Errorf("payload checksum mismatch")
 	}
+	return payload, nil
+}
+
+// decodeEntry verifies header and checksum and decodes the payload.
+func decodeEntry(key string, raw []byte) (*system.Result, error) {
+	payload, err := decodeRawEntry(storeFormatName, key, raw)
+	if err != nil {
+		return nil, err
+	}
 	res := new(system.Result)
 	if err := json.Unmarshal(payload, res); err != nil {
 		return nil, fmt.Errorf("payload: %w", err)
@@ -256,17 +291,30 @@ func decodeEntry(key string, raw []byte) (*system.Result, error) {
 // temp file in the cache directory, synced, and renamed into place, so
 // readers (and a crash mid-write) only ever observe complete entries.
 func (c *DiskCache) Store(key string, res *system.Result) error {
-	p, ok := c.path(key)
-	if !ok {
-		return fmt.Errorf("engine: disk cache: unusable key %q", key)
-	}
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("engine: disk cache: encode %s: %w", key, err)
 	}
+	p, ok := c.path(key)
+	if !ok {
+		return fmt.Errorf("engine: disk cache: unusable key %q", key)
+	}
+	if err := c.writeEntry(p, storeFormatName, key, payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.index[key] = true
+	c.mu.Unlock()
+	c.stores.Add(1)
+	return nil
+}
+
+// writeEntry writes one header+payload entry atomically: temp file in
+// the cache directory, synced, renamed into place.
+func (c *DiskCache) writeEntry(path, format, key string, payload []byte) error {
 	sum := sha256.Sum256(payload)
 	header, err := json.Marshal(storeHeader{
-		Format:  storeFormatName,
+		Format:  format,
 		Version: StoreFormatVersion,
 		Key:     key,
 		SHA256:  hex.EncodeToString(sum[:]),
@@ -275,7 +323,7 @@ func (c *DiskCache) Store(key string, res *system.Result) error {
 	if err != nil {
 		return fmt.Errorf("engine: disk cache: encode header %s: %w", key, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*"+storeExt)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*"+filepath.Ext(path))
 	if err != nil {
 		return fmt.Errorf("engine: disk cache: %w", err)
 	}
@@ -290,12 +338,77 @@ func (c *DiskCache) Store(key string, res *system.Result) error {
 	if werr != nil {
 		return fmt.Errorf("engine: disk cache: write %s: %w", key, werr)
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("engine: disk cache: %w", err)
 	}
-	c.mu.Lock()
-	c.index[key] = true
-	c.mu.Unlock()
+	return nil
+}
+
+// profilePath maps a profile key to its entry file.
+func (c *DiskCache) profilePath(key string) (string, bool) {
+	if key == "" || key != filepath.Base(key) || strings.ContainsAny(key, "/\\") || key == "." || key == ".." {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+profileStoreExt), true
+}
+
+// LoadProfile reads, verifies and decodes the profile entry for key
+// (the ProfileStore side of the cache). The same degrade-to-miss and
+// quarantine discipline as Load applies, sharing the hit/miss/corrupt
+// counters; a decoded profile is additionally run through
+// profile.Validate so a stale-schema entry can never hand out histogram
+// prefix sums that do not add up.
+func (c *DiskCache) LoadProfile(key string) (*profile.Profile, bool) {
+	p, ok := c.profilePath(key)
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	prof, err := decodeProfileEntry(key, raw)
+	if err != nil {
+		_ = os.Remove(p)
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return prof, true
+}
+
+// decodeProfileEntry verifies and decodes one profile entry.
+func decodeProfileEntry(key string, raw []byte) (*profile.Profile, error) {
+	payload, err := decodeRawEntry(profileFormatName, key, raw)
+	if err != nil {
+		return nil, err
+	}
+	prof := new(profile.Profile)
+	if err := json.Unmarshal(payload, prof); err != nil {
+		return nil, fmt.Errorf("payload: %w", err)
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// StoreProfile atomically persists a profile under key.
+func (c *DiskCache) StoreProfile(key string, prof *profile.Profile) error {
+	payload, err := json.Marshal(prof)
+	if err != nil {
+		return fmt.Errorf("engine: disk cache: encode profile %s: %w", key, err)
+	}
+	p, ok := c.profilePath(key)
+	if !ok {
+		return fmt.Errorf("engine: disk cache: unusable profile key %q", key)
+	}
+	if err := c.writeEntry(p, profileFormatName, key, payload); err != nil {
+		return err
+	}
 	c.stores.Add(1)
 	return nil
 }

@@ -1,0 +1,299 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"nvmllc/internal/cache"
+	"nvmllc/internal/trace"
+)
+
+// chunkLen sizes the stream-drain buffer (accesses per ReadChunk).
+const chunkLen = 1 << 16
+
+// flag bits carried per stream entry through the set-partition scatter.
+const (
+	// flagDemand marks an access the histograms classify; every stack
+	// touch updates recency, demand or not.
+	flagDemand uint8 = 1 << 0
+)
+
+// lastTouch is one open-addressed last-touch table slot: the line
+// address and its most recent 1-based set-local position. pos == 0 means
+// empty (positions are 1-based), so recycling the table is a memclr.
+type lastTouch struct {
+	line uint64
+	pos  int32
+}
+
+// Scratch holds the profiler's reusable buffers: the drained line/flag
+// lanes, their set-partition scatter targets, the per-set counting
+// array, the Fenwick tree and last-touch table (sized for the largest
+// set substream and recycled across sets, levels and runs), the
+// stream-drain chunk buffer, and the filter pass's cache arena and LLC
+// stream lanes. The zero value is ready to use; a Scratch must not be
+// shared by concurrent profiling passes. system.Scratch embeds one, so
+// the engine's scratch pool covers profile jobs too.
+type Scratch struct {
+	lines   []uint64
+	flags   []uint8
+	scLines []uint64
+	scFlags []uint8
+	counts  []int32
+	offs    []int32
+	fen     []int32
+	table   []lastTouch
+	chunk   []trace.Access
+	// arena recycles the filter pass's L1/L2 tag stores.
+	arena cache.Arena
+	// fLines/fFlags hold the filter pass's LLC-bound stream.
+	fLines []uint64
+	fFlags []uint8
+}
+
+// grow returns buf resized to n, reallocating only when capacity is
+// short (the slices hold no pointers, so stale tails need no clearing).
+func grow[T uint64 | uint8 | int32 | lastTouch | trace.Access](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// Run profiles a raw access stream: every access is a demand stack
+// touch at its line address. The stream is drained once (one pass over
+// the source); the per-level histogram passes then run over the
+// in-memory line lane. The context is checked per chunk and per set
+// substream, so cancellation aborts long passes in bounded time.
+func Run(ctx context.Context, src trace.ChunkSource, cfg Config, sc *Scratch) (*Profile, error) {
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	p := newProfile(meta, cfg)
+	n, err := drain(ctx, src, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	p.Accesses = int64(n)
+	p.Demand = uint64(n)
+	if err := profileLines(ctx, p, sc.lines[:n], nil, cfg, sc); err != nil {
+		return nil, err
+	}
+	p.finalize()
+	return p, nil
+}
+
+// newProfile builds the empty result shell for a stream's metadata.
+func newProfile(meta trace.Meta, cfg Config) *Profile {
+	p := &Profile{
+		Name:       meta.Name,
+		BlockBytes: cfg.BlockBytes,
+		MaxWays:    cfg.MaxWays,
+		InstrCount: meta.InstrCount,
+		Threads:    meta.Threads,
+		Levels:     make([]Level, len(cfg.SetCounts)),
+	}
+	for i, s := range cfg.SetCounts {
+		p.Levels[i] = Level{Sets: s, Hist: make([]uint64, cfg.MaxWays+1)}
+	}
+	return p
+}
+
+// drain reads the whole stream into sc.lines as line addresses,
+// returning the access count.
+func drain(ctx context.Context, src trace.ChunkSource, cfg Config, sc *Scratch) (int, error) {
+	meta := src.Meta()
+	if meta.Accesses > math.MaxInt32 {
+		return 0, fmt.Errorf("profile %s: %d accesses exceed the profiler's 2^31 stream bound", meta.Name, meta.Accesses)
+	}
+	shift := blockBits(cfg.BlockBytes)
+	sc.lines = grow(sc.lines, int(meta.Accesses))
+	sc.chunk = grow(sc.chunk, chunkLen)
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		m, err := src.ReadChunk(sc.chunk)
+		if err != nil {
+			return 0, err
+		}
+		if m == 0 {
+			break
+		}
+		if n+m > len(sc.lines) {
+			return 0, fmt.Errorf("profile %s: stream produced more than the declared %d accesses", meta.Name, meta.Accesses)
+		}
+		for i := 0; i < m; i++ {
+			sc.lines[n+i] = sc.chunk[i].Addr >> shift
+		}
+		n += m
+	}
+	if int64(n) != meta.Accesses {
+		return 0, fmt.Errorf("profile %s: stream produced %d accesses, meta declares %d", meta.Name, n, meta.Accesses)
+	}
+	return n, nil
+}
+
+// profileLines runs every configured level over the line lane. flags
+// may be nil (every access is demand). Each level partitions the stream
+// by set index — a stable counting scatter, so program order is
+// preserved within each set — and runs the per-set Mattson pass over
+// each contiguous substream.
+func profileLines(ctx context.Context, p *Profile, lines []uint64, flags []uint8, cfg Config, sc *Scratch) error {
+	if len(lines) > math.MaxInt32 {
+		return fmt.Errorf("profile %s: %d accesses exceed the profiler's 2^31 stream bound", p.Name, len(lines))
+	}
+	for li := range p.Levels {
+		lv := &p.Levels[li]
+		if err := profileLevel(ctx, lv, lines, flags, cfg.MaxWays, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// profileLevel computes one set count's stack-distance histogram.
+func profileLevel(ctx context.Context, lv *Level, lines []uint64, flags []uint8, maxWays int, sc *Scratch) error {
+	sets := lv.Sets
+	if sets == 1 {
+		// Fully-indexed single set: the stream is its own substream.
+		return setPass(ctx, lv, lines, flags, maxWays, sc)
+	}
+	mask := uint64(sets - 1)
+	sc.counts = grow(sc.counts, sets)
+	sc.offs = grow(sc.offs, sets)
+	counts := sc.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, l := range lines {
+		counts[l&mask]++
+	}
+	offs := sc.offs
+	var off int32
+	for s := 0; s < sets; s++ {
+		offs[s] = off
+		off += counts[s]
+	}
+	sc.scLines = grow(sc.scLines, len(lines))
+	scLines := sc.scLines
+	if flags != nil {
+		sc.scFlags = grow(sc.scFlags, len(flags))
+		scFlags := sc.scFlags
+		for i, l := range lines {
+			d := offs[l&mask]
+			offs[l&mask] = d + 1
+			scLines[d] = l
+			scFlags[d] = flags[i]
+		}
+	} else {
+		for _, l := range lines {
+			d := offs[l&mask]
+			offs[l&mask] = d + 1
+			scLines[d] = l
+		}
+	}
+	// offs[s] now points one past set s's segment end.
+	start := 0
+	for s := 0; s < sets; s++ {
+		end := int(offs[s])
+		if end == start {
+			continue
+		}
+		var segFlags []uint8
+		if flags != nil {
+			segFlags = sc.scFlags[start:end]
+		}
+		if err := setPass(ctx, lv, scLines[start:end], segFlags, maxWays, sc); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// setPass runs the classical Mattson stack pass over one set's
+// contiguous substream: a Fenwick tree over set-local positions counts,
+// in O(log n) per access, the distinct lines touched since the probed
+// line's previous access (each line contributes a single 1 at its most
+// recent position), and an open-addressed last-touch table maps lines
+// to those positions.
+func setPass(ctx context.Context, lv *Level, seg []uint64, flags []uint8, maxWays int, sc *Scratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m := len(seg)
+	sc.fen = grow(sc.fen, m+1)
+	fen := sc.fen
+	for i := range fen {
+		fen[i] = 0
+	}
+	// Table capacity ≥ 2× the segment's distinct-line bound keeps linear
+	// probing short; capacity is a power of two for mask-and-multiply
+	// hashing.
+	tcap := 16
+	for tcap < 2*m {
+		tcap <<= 1
+	}
+	sc.table = grow(sc.table, tcap)
+	table := sc.table
+	for i := range table {
+		table[i] = lastTouch{}
+	}
+	tmask := uint64(tcap - 1)
+	tshift := uint(64 - bits.TrailingZeros(uint(tcap)))
+	hist := lv.Hist
+	for j := 0; j < m; j++ {
+		line := seg[j]
+		pos := int32(j + 1)
+		demand := flags == nil || flags[j]&flagDemand != 0
+		// Probe the last-touch table (fibonacci hash, linear probing).
+		slot := (line * 0x9E3779B97F4A7C15) >> tshift
+		for table[slot].pos != 0 && table[slot].line != line {
+			slot = (slot + 1) & tmask
+		}
+		if prev := table[slot].pos; prev != 0 {
+			// Distinct lines touched in (prev, pos): prefix-sum delta over
+			// the active (most-recent-position) flags, excluding prev itself.
+			var d int32
+			for i := pos - 1; i > 0; i -= i & (-i) {
+				d += fen[i]
+			}
+			for i := prev; i > 0; i -= i & (-i) {
+				d -= fen[i]
+			}
+			// The probed line's own flag moves from prev to pos.
+			for i := prev; i <= int32(m); i += i & (-i) {
+				fen[i]--
+			}
+			if demand {
+				if int(d) >= maxWays {
+					hist[maxWays]++
+				} else {
+					hist[d]++
+				}
+			}
+		} else {
+			table[slot].line = line
+			if demand {
+				lv.Cold++
+			}
+		}
+		table[slot].pos = pos
+		for i := pos; i <= int32(m); i += i & (-i) {
+			fen[i]++
+		}
+	}
+	return nil
+}

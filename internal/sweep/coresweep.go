@@ -62,7 +62,7 @@ func CoreSweep(ctx context.Context, name string, cores []int, cfg Config) (*Core
 			return nil, err
 		}
 		traces := map[string]*trace.Trace{name: tr}
-		raw, err := runAll(ctx, eng, models, []string{name}, traces, opts, cfg, n)
+		raw, err := runPoints(ctx, eng, models, []string{name}, traces, opts, cfg, n)
 		if err != nil {
 			return nil, err
 		}

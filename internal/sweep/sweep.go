@@ -54,6 +54,13 @@ type Config struct {
 	// own registry instruments the simulations; this field still drives
 	// the sweep spans.
 	Telemetry *telemetry.Registry
+	// Estimator, when non-nil, switches figure/core-sweep/degradation
+	// grids to the single-pass reuse-distance fast path (estimate.go):
+	// exact simulation only for the SRAM anchor and Estimator.PinExact
+	// models, profile-derived estimates (Result.Estimated) for the rest.
+	// Nil — the default — keeps every sweep exactly simulated,
+	// byte-identical to the pre-estimator behavior.
+	Estimator *Estimator
 }
 
 // engineOrNew returns the configured shared engine, or builds a private
@@ -192,7 +199,7 @@ func RunFigure(ctx context.Context, title string, models []nvsim.LLCModel, names
 		traces[name] = tr
 	}
 
-	raw, runErr := runAll(ctx, cfg.engineOrNew(), models, names, traces, cfg.Opts, cfg, 0)
+	raw, runErr := runPoints(ctx, cfg.engineOrNew(), models, names, traces, cfg.Opts, cfg, 0)
 
 	fig := newFigureResult(title, models, raw)
 	for _, w := range names {

@@ -23,6 +23,7 @@ import (
 	"nvmllc/internal/dram"
 	"nvmllc/internal/fault"
 	"nvmllc/internal/nvsim"
+	"nvmllc/internal/profile"
 	"nvmllc/internal/telemetry"
 	"nvmllc/internal/trace"
 )
@@ -250,6 +251,10 @@ type Result struct {
 	// (Config.Core.ClockGHz), recorded so IPC is computed against the
 	// clock that actually ran rather than a hardcoded default.
 	ClockGHz float64
+	// Estimated marks a Result derived analytically from a reuse-distance
+	// profile (internal/sweep's estimator fast path) instead of simulated.
+	// Estimated results never enter the engine's result cache.
+	Estimated bool
 }
 
 // Seconds returns execution time in seconds.
@@ -398,7 +403,16 @@ type Scratch struct {
 	// pooled injector instead. A run whose fault config or geometry
 	// differs just builds a fresh one.
 	faults *fault.Injector
+	// prof holds the reuse-distance profiler's buffers (line lanes,
+	// Fenwick tree, last-touch table, filter tag stores), so the
+	// engine's scratch pool covers profile jobs with the same recycling
+	// the simulator gets.
+	prof profile.Scratch
 }
+
+// ProfileScratch exposes the embedded reuse-distance profiler scratch
+// for engine profile jobs. The same no-concurrent-use rule applies.
+func (s *Scratch) ProfileScratch() *profile.Scratch { return &s.prof }
 
 // Run simulates the trace on the configured machine. The context is
 // checked periodically inside the simulation loop, so cancelling it

@@ -68,6 +68,26 @@ type ManifestEvent struct {
 
 	// Jobs is the design-point event count (run_end only).
 	Jobs int `json:"jobs,omitempty"`
+
+	// Engine is the final engine counter snapshot (run_end only, when
+	// the tool registered its engine): how many design points simulated
+	// vs cached, and how much work the estimator fast path absorbed
+	// (profiling passes and profile-cache hits).
+	Engine *ManifestEngine `json:"engine,omitempty"`
+}
+
+// ManifestEngine mirrors engine.Stats for the run_end manifest event
+// (declared here because telemetry sits below engine in the import
+// graph).
+type ManifestEngine struct {
+	Simulated   uint64 `json:"simulated"`
+	Upgraded    uint64 `json:"upgraded,omitempty"`
+	Cached      uint64 `json:"cached"`
+	Failed      uint64 `json:"failed,omitempty"`
+	TraceGens   uint64 `json:"trace_gens,omitempty"`
+	TraceShared uint64 `json:"trace_shared,omitempty"`
+	Profiles    uint64 `json:"profiles,omitempty"`
+	ProfileHits uint64 `json:"profile_hits,omitempty"`
 }
 
 // ManifestWriter emits JSONL manifest events. It is safe for concurrent
